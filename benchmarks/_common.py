@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper table/figure: it times the relevant code
+path under pytest-benchmark and *emits* the paper-format rows both to the
+terminal (bypassing capture, so ``pytest benchmarks/ --benchmark-only``
+shows them) and to ``benchmarks/results/<name>.txt`` for the record.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.utils.io import dump_json, experiment_record
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table uncaptured and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    sys.__stdout__.write("\n" + text + "\n")
+    sys.__stdout__.flush()
+
+
+def emit_json(name: str, rows, **metadata) -> None:
+    """Persist an experiment's structured rows as results/<name>.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    dump_json(RESULTS_DIR / f"{name}.json", experiment_record(name, rows, **metadata))

@@ -1,0 +1,140 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Beyond the paper's own Figure 6, these isolate individual mechanisms:
+
+* lookup table on/off (div/mod cost in the transform);
+* fusion depth sweep 1–3 (fragment densification vs halo growth);
+* dual tessellation vs explicit im2row GEMM at equal numerics.
+"""
+
+import numpy as np
+import pytest
+
+from _common import emit
+from repro.core.api import ConvStencil
+from repro.core.im2row import im2row_stencil_2d
+from repro.core.simulated import ExecutionConfig, run_simulated_2d
+from repro.model.convstencil_model import convstencil_throughput
+from repro.model.perf_model import time_from_counters
+from repro.stencils.catalog import get_kernel
+from repro.stencils.grid import pad_halo
+from repro.utils.rng import default_rng
+from repro.utils.tables import format_table
+
+
+def test_bench_ablation_lookup_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    return _ablation_lookup_table()
+
+
+def _ablation_lookup_table():
+    """Disabling the lookup table charges div/mod and must cost time."""
+    kernel = get_kernel("box-2d9p")
+    padded = pad_halo(default_rng(0).random((48, 48)), kernel.radius)
+    with_lut = run_simulated_2d(padded, kernel, ExecutionConfig())
+    without = run_simulated_2d(padded, kernel, ExecutionConfig(lookup_table=False))
+    t_with = time_from_counters(with_lut.counters)
+    t_without = time_from_counters(without.counters)
+    emit(
+        "ablation_lookup",
+        format_table(
+            ["config", "div/mod ops", "model time (us)"],
+            [
+                ("lookup table", with_lut.counters.int_divmod, t_with * 1e6),
+                ("recompute offsets", without.counters.int_divmod, t_without * 1e6),
+            ],
+            title="Ablation — lookup table (§3.4)",
+        ),
+    )
+    assert t_without > t_with
+
+
+def test_bench_ablation_fusion_depth(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    return _ablation_fusion_depth()
+
+
+def _ablation_fusion_depth():
+    """Modelled throughput of Box-2D9P at fusion depths 1–3 (Figure 4's
+    motivation: depth 3 fills the fragment)."""
+    kernel = get_kernel("box-2d9p")
+    rows = []
+    estimates = []
+    for depth in (1, 2, 3):
+        est = convstencil_throughput(kernel, (4096, 4096), fusion=depth)
+        estimates.append(est.gstencils_per_s)
+        rows.append((depth, est.steps_per_pass, round(est.gstencils_per_s, 1)))
+    emit(
+        "ablation_fusion",
+        format_table(
+            ["depth", "steps/pass", "modelled GStencils/s"],
+            rows,
+            title="Ablation — temporal fusion depth (Box-2D9P, 4096**2)",
+        ),
+    )
+    assert estimates[2] > estimates[1] > estimates[0]
+
+
+@pytest.mark.parametrize("engine", ["dual-tessellation", "im2row-gemm"])
+def test_bench_layout_engines(benchmark, engine):
+    """Functional race: same numerics, two layouts."""
+    kernel = get_kernel("box-2d49p")
+    x = default_rng(1).random((256, 256))
+    padded = pad_halo(x, kernel.radius)
+    if engine == "dual-tessellation":
+        cs = ConvStencil(kernel)
+        out = benchmark(cs.apply_valid, padded)
+    else:
+        out = benchmark(im2row_stencil_2d, padded, kernel)
+    assert out.shape == x.shape
+
+
+def test_bench_ablation_padding_conflicts(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    return _ablation_padding_conflicts()
+
+
+def _ablation_padding_conflicts():
+    """Bank-conflict counts with and without the §3.4 padding."""
+    kernel = get_kernel("box-2d49p")
+    padded = pad_halo(default_rng(2).random((40, 40)), kernel.radius)
+    unpadded = run_simulated_2d(padded, kernel, ExecutionConfig.variant("III"))
+    padded_run = run_simulated_2d(padded, kernel, ExecutionConfig.variant("IV"))
+    rows = [
+        ("no padding", unpadded.counters.shared_load_conflicts,
+         round(unpadded.counters.bank_conflicts_per_request, 3)),
+        ("conflict-free pitch", padded_run.counters.shared_load_conflicts,
+         round(padded_run.counters.bank_conflicts_per_request, 3)),
+    ]
+    emit(
+        "ablation_padding",
+        format_table(
+            ["config", "load conflicts", "BC/R"],
+            rows,
+            title="Ablation — shared-memory padding (Box-2D49P)",
+        ),
+    )
+    assert padded_run.counters.shared_load_conflicts == 0
+    assert unpadded.counters.shared_load_conflicts > 0
+
+
+def test_bench_ablation_zero_chunk_skipping(benchmark):
+    """Extension ablation: elide all-zero weight chunks for star kernels."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name in ("heat-2d", "star-2d13p", "box-2d49p"):
+        kernel = get_kernel(name)
+        padded = pad_halo(default_rng(3).random((40, 40)), kernel.radius)
+        dense = run_simulated_2d(padded, kernel)
+        sparse = run_simulated_2d(padded, kernel, ExecutionConfig(skip_zero_chunks=True))
+        saved = 1.0 - sparse.counters.mma_fp64 / dense.counters.mma_fp64
+        rows.append((name, dense.counters.mma_fp64, sparse.counters.mma_fp64,
+                     f"{100 * saved:.0f}%"))
+    emit(
+        "ablation_zero_chunks",
+        format_table(
+            ["kernel", "MMAs dense", "MMAs skipping", "saved"],
+            rows,
+            title="Ablation — zero-chunk elision (extension beyond the paper)",
+        ),
+    )

@@ -1,0 +1,24 @@
+"""The paper-claims ledger: every quantitative claim, re-checked and timed."""
+
+from _common import emit, emit_json
+from repro.analysis.claims import claims_table, verify_claims
+
+
+def test_bench_claims_ledger(benchmark):
+    outcomes = benchmark.pedantic(verify_claims, rounds=1, iterations=1)
+    assert all(result.passed for _, result in outcomes)
+    emit("claims_ledger", claims_table())
+    emit_json(
+        "claims_ledger",
+        [
+            {
+                "claim": claim.claim_id,
+                "source": claim.source,
+                "statement": claim.statement,
+                "passed": result.passed,
+                "expected": result.expected,
+                "measured": result.measured,
+            }
+            for claim, result in outcomes
+        ],
+    )

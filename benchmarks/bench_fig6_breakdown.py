@@ -1,0 +1,29 @@
+"""Figure 6 — performance breakdown of ConvStencil's optimisations.
+
+Runs the simulated pipeline in all five variants for the three breakdown
+kernels and emits the incremental-speedup rows.
+"""
+
+import pytest
+
+from _common import emit
+from repro.analysis.breakdown import FIG6_KERNELS, breakdown_table, run_breakdown
+
+SHAPES = {"heat-1d": (2048,), "box-2d9p": (48, 48), "box-3d27p": (14, 14, 14)}
+
+
+@pytest.mark.parametrize("kernel_name", FIG6_KERNELS)
+def test_bench_breakdown(benchmark, kernel_name):
+    rows = benchmark.pedantic(
+        run_breakdown,
+        args=(kernel_name,),
+        kwargs={"shape": SHAPES[kernel_name]},
+        rounds=1,
+        iterations=1,
+    )
+    assert rows[-1].speedup_vs_variant_i > 1.0
+
+
+def test_bench_emit_fig6(benchmark):
+    table = benchmark.pedantic(breakdown_table, rounds=1, iterations=1)
+    emit("fig6_breakdown", table)

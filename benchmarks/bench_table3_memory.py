@@ -1,0 +1,56 @@
+"""Table 3 — memory expansion of im2row vs stencil2row.
+
+Times the two layout transformations on a 512² grid and regenerates the
+paper's Table 3 rows (analytical factors + empirical cross-check).
+"""
+
+import numpy as np
+import pytest
+
+from _common import emit, emit_json
+from repro.analysis.memory_footprint import TABLE3_KERNELS, footprint_table
+from repro.core.im2row import im2row_matrix_2d
+from repro.core.stencil2row import stencil2row_matrices_2d
+from repro.stencils.catalog import get_kernel
+from repro.utils.rng import default_rng
+
+GRID = default_rng(3).random((512, 512))
+
+
+@pytest.mark.parametrize("kernel_name", TABLE3_KERNELS)
+def test_bench_stencil2row_transform(benchmark, kernel_name):
+    """Wall-clock of building both stencil2row matrices."""
+    edge = get_kernel(kernel_name).edge
+    a, b = benchmark(stencil2row_matrices_2d, GRID, edge)
+    assert a.shape == b.shape
+
+
+@pytest.mark.parametrize("kernel_name", ["heat-2d", "box-2d49p"])
+def test_bench_im2row_transform(benchmark, kernel_name):
+    """Wall-clock of the im2row transform (the space-exploding baseline)."""
+    edge = get_kernel(kernel_name).edge
+    mat = benchmark(im2row_matrix_2d, GRID, edge)
+    assert mat.shape[1] == edge * edge
+
+
+def test_bench_footprint_accounting(benchmark):
+    """Regenerate and emit the full Table 3."""
+    table = benchmark(footprint_table, (512, 512))
+    emit("table3_memory", table)
+    from repro.analysis.memory_footprint import footprint_rows
+
+    emit_json("table3_memory", footprint_rows((512, 512)), grid=[512, 512])
+    assert "96.43%" in table
+
+
+def test_bench_memory_ratio_measured(benchmark):
+    """The concrete allocation ratio matches Eq. 11."""
+    edge = 7
+
+    def measure():
+        a, b = stencil2row_matrices_2d(GRID, edge)
+        im2row = im2row_matrix_2d(GRID, edge)
+        return (a.nbytes + b.nbytes) / im2row.nbytes
+
+    ratio = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert np.isclose(ratio, 2.0 / ((edge + 1) * edge), rtol=0.05)

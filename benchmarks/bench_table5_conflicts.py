@@ -1,0 +1,37 @@
+"""Table 5 — uncoalesced accesses and bank conflicts vs TCStencil.
+
+Replays both systems' access patterns on the GPU substrate, times the
+replay, and emits the paper's Table-5 rows.
+"""
+
+import pytest
+
+from _common import emit, emit_json
+from repro.analysis.conflicts import TABLE5_KERNELS, conflicts_table, measure_conflicts
+from repro.baselines.tcstencil import TCStencil
+from repro.stencils.catalog import get_kernel
+
+
+@pytest.mark.parametrize("kernel_name", TABLE5_KERNELS)
+def test_bench_convstencil_conflict_replay(benchmark, kernel_name):
+    rows = benchmark.pedantic(
+        measure_conflicts, args=(kernel_name,), rounds=1, iterations=1
+    )
+    tc, conv = rows
+    assert conv.uncoalesced_fraction < tc.uncoalesced_fraction
+
+
+@pytest.mark.parametrize("kernel_name", TABLE5_KERNELS)
+def test_bench_tcstencil_conflict_replay(benchmark, kernel_name):
+    kernel = get_kernel(kernel_name)
+    metrics = benchmark(TCStencil().conflict_metrics, kernel, (128, 128))
+    assert metrics.bank_conflicts_per_request > 0.5
+
+
+def test_bench_emit_table5(benchmark):
+    table = benchmark.pedantic(conflicts_table, rounds=1, iterations=1)
+    emit("table5_conflicts", table)
+    emit_json(
+        "table5_conflicts",
+        {name: measure_conflicts(name) for name in TABLE5_KERNELS},
+    )

@@ -1,0 +1,60 @@
+"""Library throughput — this implementation's own wall-clock numbers.
+
+Not a paper figure: measures the vectorised dual-tessellation engines in
+MStencils/s on laptop-scale grids, the number a downstream user of this
+Python library actually experiences.
+"""
+
+import numpy as np
+import pytest
+
+from _common import emit
+from repro.core.api import ConvStencil
+from repro.stencils.catalog import BENCHMARKS, get_kernel
+from repro.stencils.reference import apply_stencil_reference
+from repro.utils.rng import default_rng
+from repro.utils.tables import format_table
+
+SHAPES = {1: (262_144,), 2: (512, 512), 3: (48, 48, 48)}
+
+
+@pytest.mark.parametrize("kernel_name", list(BENCHMARKS))
+def test_bench_engine_throughput(benchmark, kernel_name):
+    kernel = get_kernel(kernel_name)
+    x = default_rng(2).random(SHAPES[kernel.ndim])
+    cs = ConvStencil(kernel)
+    out = benchmark(cs.run, x, 1)
+    assert out.shape == x.shape
+
+
+@pytest.mark.parametrize("kernel_name", ["heat-2d", "box-2d49p"])
+def test_bench_reference_executor(benchmark, kernel_name):
+    """The shifted-view reference, for comparison with dual tessellation."""
+    kernel = get_kernel(kernel_name)
+    x = default_rng(2).random(SHAPES[kernel.ndim])
+    benchmark(apply_stencil_reference, x, kernel)
+
+
+def test_bench_emit_throughput_summary(benchmark):
+    """One-shot MStencils/s summary across all catalogued benchmarks."""
+    import time
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name in BENCHMARKS:
+        kernel = get_kernel(name)
+        x = default_rng(2).random(SHAPES[kernel.ndim])
+        cs = ConvStencil(kernel)
+        cs.run(x, 1)  # warm-up
+        t0 = time.perf_counter()
+        cs.run(x, 1)
+        dt = time.perf_counter() - t0
+        rows.append((name, f"{x.size / dt / 1e6:.1f}"))
+    emit(
+        "library_throughput",
+        format_table(
+            ["kernel", "MStencils/s (this library, CPU)"],
+            rows,
+            title="Library functional throughput (not a paper figure)",
+        ),
+    )

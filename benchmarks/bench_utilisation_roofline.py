@@ -1,0 +1,61 @@
+"""Utilisation and roofline studies (§3.3's 12.5% → 87.5% claim).
+
+Not a single paper figure, but the quantitative backbone of §3.3's
+narrative: measures Tensor-Core fragment utilisation on the simulator and
+places every benchmark kernel on the A100 roofline.
+"""
+
+import pytest
+
+from _common import emit
+from repro.analysis.utilisation import utilisation_study, utilisation_table
+from repro.model.roofline import roofline_points, roofline_table
+
+
+def test_bench_utilisation_study(benchmark):
+    rows = benchmark.pedantic(utilisation_study, rounds=1, iterations=1)
+    assert all(r.measured_fused > 0.125 for r in rows)
+
+
+def test_bench_emit_utilisation(benchmark):
+    table = benchmark.pedantic(utilisation_table, rounds=1, iterations=1)
+    emit("utilisation", table)
+    assert "87.5%" in table
+
+
+def test_bench_roofline(benchmark):
+    points = benchmark(roofline_points)
+    assert len(points) == 8
+
+
+def test_bench_emit_roofline(benchmark):
+    table = benchmark.pedantic(roofline_table, rounds=1, iterations=1)
+    emit("roofline", table)
+    assert "balance" in table
+
+
+def test_bench_emit_scaling(benchmark):
+    """Distributed strong/weak scaling over NVLink (our extension study)."""
+    from repro.analysis.scaling import scaling_table
+
+    table = benchmark.pedantic(scaling_table, rounds=1, iterations=1)
+    emit("scaling", table)
+    assert "efficiency" in table
+
+
+def test_bench_emit_memory_budget(benchmark):
+    """Shared-memory budget: stencil2row vs im2row per block (§2.3)."""
+    from repro.analysis.memory_budget import memory_budget_table
+
+    table = benchmark.pedantic(memory_budget_table, rounds=1, iterations=1)
+    emit("memory_budget", table)
+    assert "164KiB" in table
+
+
+def test_bench_emit_sensitivity(benchmark):
+    """Device-parameter elasticity of modelled throughput."""
+    from repro.model.whatif import sensitivity_table
+
+    table = benchmark.pedantic(sensitivity_table, rounds=1, iterations=1)
+    emit("sensitivity", table)
+    assert "tcu_throughput" in table

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Autotuning launch configurations with the performance model.
+
+Searches block tiles × fusion depths for two kernels and problem sizes,
+showing that the tuner rediscovers the paper's hand-picked configuration
+(32×64 blocks, 3-step fusion for Box-2D9P) on large grids — and picks
+smaller blocks on small grids where occupancy dominates.
+"""
+
+from repro.autotune import autotune
+from repro.stencils.catalog import get_kernel
+from repro.utils.tables import format_table
+
+
+def show(kernel_name: str, shape) -> None:
+    kernel = get_kernel(kernel_name)
+    configs = autotune(kernel, shape)
+    rows = [
+        (
+            f"{c.block[0]}x{c.block[1]}",
+            c.fusion_depth,
+            f"{c.shared_bytes // 1024} KiB",
+            f"{c.occupancy:.2f}",
+            f"{c.halo_amplification:.2f}",
+            round(c.gstencils_per_s, 1),
+        )
+        for c in configs[:6]
+    ]
+    print(format_table(
+        ["block", "fusion", "smem/block", "occupancy", "halo amp", "GStencils/s"],
+        rows,
+        title=f"{kernel_name} @ {shape[0]}x{shape[1]} — top configurations",
+    ))
+    best = configs[0]
+    print(f"-> best: block {best.block}, fusion {best.fusion_depth}\n")
+
+
+def main() -> None:
+    show("box-2d9p", (10240, 10240))   # paper scale
+    show("box-2d9p", (256, 256))       # occupancy-starved
+    show("box-2d49p", (10240, 10240))  # already fragment-wide
+
+
+if __name__ == "__main__":
+    main()

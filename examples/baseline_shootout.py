@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Functional shoot-out: every engine, one problem, wall-clock + accuracy.
+
+Runs ConvStencil and all five baselines on the same Box-2D9P problem,
+verifying they agree numerically (TCStencil only to FP16 accuracy — the
+paper's core argument for why FP64 Tensor-Core support matters) and timing
+this library's implementations on the CPU.
+"""
+
+import time
+
+import numpy as np
+
+from repro import ConvStencil, get_kernel, run_reference
+from repro.baselines import all_baselines
+from repro.utils.rng import default_rng
+from repro.utils.tables import format_table
+
+SHAPE = (256, 256)
+STEPS = 3
+
+
+def main() -> None:
+    kernel = get_kernel("box-2d9p")
+    x = default_rng(7).random(SHAPE)
+    reference = run_reference(x, kernel, STEPS)
+
+    rows = []
+
+    def race(label, fn):
+        t0 = time.perf_counter()
+        out = fn()
+        dt = time.perf_counter() - t0
+        err = np.abs(out - reference).max() / np.abs(reference).max()
+        rows.append((label, f"{dt * 1e3:.1f} ms", f"{err:.2e}"))
+
+    solver = ConvStencil(kernel, fusion="auto")
+    race("convstencil (fused x3)", lambda: solver.run(x, STEPS))
+    race("convstencil (unfused)", lambda: ConvStencil(kernel).run(x, STEPS))
+    for name, engine in all_baselines().items():
+        if engine.supports(kernel):
+            race(name, lambda e=engine: e.run(x, kernel, STEPS))
+
+    print(format_table(
+        ["engine", "wall-clock (CPU)", "max rel. error vs reference"],
+        rows,
+        title=f"Box-2D9P {SHAPE[0]}x{SHAPE[1]}, {STEPS} steps",
+    ))
+    print("\nNote: TCStencil's ~1e-4 error is its FP16 arithmetic — the")
+    print("precision gap §1 of the paper cites as TCStencil's key limitation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Distributed heat diffusion: slab decomposition across simulated ranks.
+
+Splits a 2-D diffusion problem across four subdomains, exchanges halo rows
+between neighbours every fused pass (never touching a global array inside
+the time loop), and verifies the gathered result is bit-identical to
+single-domain execution — plus reports the communication volume the halos
+would push over an interconnect, and how temporal fusion cuts the message
+count.
+"""
+
+import numpy as np
+
+from repro import ConvStencil, get_kernel
+from repro.distributed import DistributedStencil
+from repro.utils.rng import default_rng
+
+GRID = (256, 192)
+STEPS = 24
+RANKS = 4
+
+
+def main() -> None:
+    kernel = get_kernel("heat-2d")
+    x = default_rng(5).random(GRID)
+
+    single = ConvStencil(kernel, fusion=3).run(x, STEPS, boundary="periodic")
+
+    dist = DistributedStencil(kernel, ranks=RANKS, fusion=3)
+    gathered = dist.run(x, STEPS, boundary="periodic")
+
+    err = np.abs(gathered - single).max()
+    print(f"{RANKS} ranks x {STEPS} steps on {GRID[0]}x{GRID[1]} grid "
+          f"(fusion depth {dist.plan.depth})")
+    print(f"max |distributed - single| = {err:.2e}")
+    assert err == 0.0, "slab decomposition must be bit-identical"
+
+    fused_stats = dist.exchange_stats
+    print(f"\nhalo exchanges (fused x3):   {fused_stats.messages:4d} messages, "
+          f"{fused_stats.bytes_sent / 1024:.1f} KiB")
+
+    unfused = DistributedStencil(kernel, ranks=RANKS, fusion=1)
+    unfused.run(x, STEPS, boundary="periodic")
+    print(f"halo exchanges (unfused):    {unfused.exchange_stats.messages:4d} messages, "
+          f"{unfused.exchange_stats.bytes_sent / 1024:.1f} KiB")
+    print("\nfusion sends the same bytes in one third the messages — the")
+    print("ghost-zone latency win that §3.3's kernel fusion also buys on-chip.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""What-if exploration with the §3.1 performance model.
+
+Uses the structural Eq. 13/14 model to answer questions the paper's
+evaluation raises but cannot sweep on one machine:
+
+* how does ConvStencil scale from V100 (no FP64 TCUs) to A100 to H100?
+* where does each kernel sit on the compute/memory roofline?
+* how much does each fusion depth buy, per kernel?
+"""
+
+from repro.core.fusion import plan_fusion
+from repro.gpu.specs import A100, H100, V100
+from repro.model.convstencil_model import convstencil_pass_time, convstencil_throughput
+from repro.stencils.catalog import BENCHMARKS, get_kernel
+from repro.utils.tables import format_table
+
+
+def device_sweep() -> str:
+    rows = []
+    for name in BENCHMARKS:
+        kernel = get_kernel(name)
+        shape = BENCHMARKS[name].problem_size
+        cells = [name]
+        for spec in (V100, A100, H100):
+            est = convstencil_throughput(kernel, shape, spec=spec)
+            cells.append(round(est.gstencils_per_s, 1))
+        rows.append(cells)
+    return format_table(
+        ["kernel", "V100", "A100", "H100"],
+        rows,
+        title="Modelled ConvStencil GStencils/s across devices",
+    )
+
+
+def roofline_position() -> str:
+    rows = []
+    for name in BENCHMARKS:
+        kernel = get_kernel(name)
+        plan = plan_fusion(kernel, "auto")
+        n = int(1e8) if kernel.ndim < 3 else int(1e9)
+        _, bound = convstencil_pass_time(plan.fused, n, A100)
+        rows.append((name, plan.depth, plan.fused.edge, bound))
+    return format_table(
+        ["kernel", "fusion", "fused edge", "binding resource"],
+        rows,
+        title="Roofline position per benchmark (A100)",
+    )
+
+
+def fusion_sweep() -> str:
+    rows = []
+    for name in ("heat-1d", "heat-2d", "box-2d9p"):
+        kernel = get_kernel(name)
+        shape = BENCHMARKS[name].problem_size
+        for depth in (1, 2, 3):
+            est = convstencil_throughput(kernel, shape, fusion=depth)
+            rows.append((name, depth, round(est.gstencils_per_s, 1), est.bound))
+    return format_table(
+        ["kernel", "fusion depth", "GStencils/s", "bound"],
+        rows,
+        title="Fusion-depth sweep (paper sizes, A100)",
+    )
+
+
+def main() -> None:
+    from repro.analysis.utilisation import utilisation_table
+    from repro.model.roofline import roofline_table
+
+    print(device_sweep(), end="\n\n")
+    print(roofline_position(), end="\n\n")
+    print(fusion_sweep(), end="\n\n")
+    print(roofline_table(), end="\n\n")
+    print(utilisation_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Solving the Poisson equation: Jacobi vs multigrid, both on ConvStencil.
+
+Every inner operation of both solvers — smoothing sweeps, residual
+stencils, full-weighting restriction — runs through the dual-tessellation
+engines.  The point of the demo is the algorithmic cliff: plain Jacobi
+needs thousands of sweeps where a V-cycle hierarchy needs a dozen cycles.
+"""
+
+import time
+
+import numpy as np
+
+from repro.solvers import JacobiPoisson, MultigridPoisson
+from repro.utils.rng import default_rng
+from repro.utils.tables import format_table
+
+N = 129  # 2^7 + 1: seven multigrid levels
+TOL = 1e-6
+
+
+def main() -> None:
+    rng = default_rng(4)
+    f = rng.standard_normal((N, N))
+
+    t0 = time.perf_counter()
+    mg = MultigridPoisson(tol=TOL)
+    mg_result = mg.solve(f)
+    mg_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    jac = JacobiPoisson(tol=TOL, max_iterations=4000)
+    jac_result = jac.solve(-f)
+    jac_time = time.perf_counter() - t0
+
+    rows = [
+        (
+            "multigrid V(2,2)",
+            mg_result.cycles,
+            f"{mg_result.final_residual:.1e}",
+            "yes" if mg_result.converged else "no",
+            f"{mg_time * 1e3:.0f} ms",
+        ),
+        (
+            "jacobi",
+            jac_result.iterations,
+            f"{jac_result.final_residual:.1e}",
+            "yes" if jac_result.converged else "no (cap hit)",
+            f"{jac_time * 1e3:.0f} ms",
+        ),
+    ]
+    print(format_table(
+        ["solver", "iterations/cycles", "residual", "converged", "wall"],
+        rows,
+        title=f"Poisson on {N}x{N}, tol {TOL:g}",
+    ))
+    print(f"\nmultigrid residual per cycle: "
+          f"{' -> '.join(f'{r:.1e}' for r in mg_result.residual_history[:6])} ...")
+    print(f"convergence factor {mg_result.convergence_factor():.3f} per V-cycle "
+          "(textbook multigrid: ~0.1-0.3)")
+    assert mg_result.converged
+    assert np.all(np.isfinite(mg_result.solution))
+
+
+if __name__ == "__main__":
+    main()

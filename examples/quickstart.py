@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: run a stencil through ConvStencil and check it.
+
+Covers the core workflow in under a minute:
+  1. pick a kernel from the paper's catalog,
+  2. build a grid with a boundary condition,
+  3. run time steps through dual tessellation (optionally fused),
+  4. validate against the reference executor.
+"""
+
+import numpy as np
+
+from repro import (
+    BoundaryCondition,
+    ConvStencil,
+    Grid,
+    get_kernel,
+    list_kernels,
+    run_reference,
+)
+
+
+def main() -> None:
+    print("catalogued kernels:", ", ".join(list_kernels()))
+
+    # 1. the 9-point box stencil the paper's Figure 4 fuses into Box-2D49P
+    kernel = get_kernel("box-2d9p")
+    print(f"\nkernel {kernel.name}: {kernel.points} points, "
+          f"radius {kernel.radius}, {kernel.ndim}-D")
+
+    # 2. a 256x256 grid with periodic boundaries
+    grid = Grid.random((256, 256), boundary=BoundaryCondition.PERIODIC, seed=0)
+
+    # 3. 12 time steps; fusion="auto" composes 3 steps per pass so the
+    #    Tensor-Core fragments run dense (see repro.core.fusion)
+    solver = ConvStencil(kernel, fusion="auto")
+    print(f"fusion depth {solver.fusion_depth} -> executes as "
+          f"{solver.fused_kernel.name} ({solver.fused_kernel.volume} weights)")
+    result = solver.run(grid, steps=12)
+
+    # 4. the dual-tessellation result equals the direct stencil
+    reference = run_reference(grid.data, kernel, 12, grid.boundary)
+    error = np.abs(result - reference).max()
+    print(f"\nmax |convstencil - reference| after 12 steps: {error:.2e}")
+    assert error < 1e-11
+    print("OK — dual tessellation reproduces the stencil exactly.")
+
+
+if __name__ == "__main__":
+    main()

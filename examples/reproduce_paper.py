@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the ConvStencil paper in one run.
+
+Prints, in order: Table 3 (memory expansion), Table 5 (conflicts vs
+TCStencil), Figure 6 (optimisation breakdown), Figure 7 (state-of-the-art
+comparison), and Figure 8 (DRStencil-T3 size sweeps with crossovers).
+Takes a couple of minutes; individual drivers live in ``repro.analysis``.
+"""
+
+import sys
+import time
+
+from repro.analysis import (
+    breakdown_table,
+    conflicts_table,
+    fig7_table,
+    footprint_table,
+    sweep_table,
+)
+from repro.analysis.claims import claims_table
+
+
+def section(title: str, builder) -> None:
+    print("=" * 78)
+    t0 = time.perf_counter()
+    print(builder())
+    print(f"[{title} regenerated in {time.perf_counter() - t0:.1f}s]\n")
+
+
+def main() -> None:
+    section("Table 3", footprint_table)
+    section("Table 5", conflicts_table)
+    section("Figure 6", breakdown_table)
+    section("Figure 7", fig7_table)
+    section("Figure 8", sweep_table)
+    section("Claims ledger", claims_table)
+    print("=" * 78)
+    print("All paper tables/figures regenerated. See EXPERIMENTS.md for the")
+    print("paper-vs-measured comparison of each.")
+    if "--report" in sys.argv:
+        from repro.analysis.report import write_report
+
+        path = write_report("REPORT.md")
+        print(f"full markdown report written to {path}")
+
+
+if __name__ == "__main__":
+    main()

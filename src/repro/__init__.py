@@ -1,0 +1,47 @@
+"""ConvStencil reproduction: stencil computation as matrix multiplication.
+
+A faithful Python reimplementation of *ConvStencil: Transform Stencil
+Computation to Matrix Multiplication on Tensor Cores* (PPoPP '24),
+comprising the stencil2row layout transformation, dual tessellation with
+triangular weight matrices, temporal kernel fusion, conflict-removal
+machinery, a Tensor-Core/GPU simulator substrate, the paper's performance
+model, and the five comparison baselines.
+
+Quickstart::
+
+    import numpy as np
+    from repro import ConvStencil, Grid, get_kernel
+
+    grid = Grid.random((512, 512))
+    cs = ConvStencil(get_kernel("box-2d9p"), fusion="auto")
+    out = cs.run(grid, steps=12)
+"""
+
+from repro._version import __version__
+from repro.core import ConvStencil, convstencil_valid
+from repro.stencils import (
+    BENCHMARKS,
+    BoundaryCondition,
+    Grid,
+    StencilKernel,
+    apply_stencil_reference,
+    get_benchmark,
+    get_kernel,
+    list_kernels,
+    run_reference,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BoundaryCondition",
+    "ConvStencil",
+    "Grid",
+    "StencilKernel",
+    "__version__",
+    "apply_stencil_reference",
+    "convstencil_valid",
+    "get_benchmark",
+    "get_kernel",
+    "list_kernels",
+    "run_reference",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro`` — the artifact-compatible command-line driver."""
+
+from repro.cli import main
+
+raise SystemExit(main())

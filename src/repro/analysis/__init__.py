@@ -1,0 +1,32 @@
+"""Experiment drivers: one module per paper table/figure."""
+
+from repro.analysis.breakdown import BreakdownRow, breakdown_table, run_breakdown
+from repro.analysis.conflicts import ConflictRow, conflicts_table, measure_conflicts
+from repro.analysis.fusion_sweep import SweepPoint, fig8_sweep, sweep_table
+from repro.analysis.memory_footprint import FootprintRow, footprint_rows, footprint_table
+from repro.analysis.precision import PrecisionRow, precision_study, precision_table
+from repro.analysis.report import build_report, write_report
+from repro.analysis.sota import SotaRow, fig7_rows, fig7_table
+
+__all__ = [
+    "BreakdownRow",
+    "ConflictRow",
+    "FootprintRow",
+    "PrecisionRow",
+    "SotaRow",
+    "SweepPoint",
+    "breakdown_table",
+    "build_report",
+    "conflicts_table",
+    "fig7_rows",
+    "fig7_table",
+    "fig8_sweep",
+    "footprint_rows",
+    "footprint_table",
+    "measure_conflicts",
+    "precision_study",
+    "precision_table",
+    "run_breakdown",
+    "sweep_table",
+    "write_report",
+]

@@ -1,0 +1,124 @@
+"""Figure 6: performance breakdown of ConvStencil's optimisations.
+
+Each of the paper's three breakdown kernels (Heat-1D, Box-2D9P, Box-3D27P)
+is executed through the simulated pipeline in all five variants (I–V); the
+measured counters are converted into time by the §3.1 performance model
+(:func:`repro.model.perf_model.time_from_counters`) and reported as the
+incremental speedup of each optimisation stage — the same presentation the
+paper's stacked-arrow figure uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.simulated import ExecutionConfig, run_simulated
+from repro.gpu.specs import A100, DeviceSpec
+from repro.model.perf_model import time_from_counters
+from repro.stencils.catalog import get_kernel
+from repro.stencils.grid import pad_halo
+from repro.utils.rng import default_rng
+from repro.utils.tables import format_table
+
+__all__ = ["BreakdownRow", "FIG6_KERNELS", "VARIANTS", "breakdown_table", "run_breakdown"]
+
+#: Kernels the paper breaks down in Figure 6.
+FIG6_KERNELS = ("heat-1d", "box-2d9p", "box-3d27p")
+#: Pipeline variants in the figure's order.
+VARIANTS = ("I", "II", "III", "IV", "V")
+
+#: Simulated grid per dimensionality (kept small: the simulator walks tiles).
+_DEFAULT_SHAPES: Dict[int, Tuple[int, ...]] = {1: (4096,), 2: (72, 72), 3: (20, 20, 20)}
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """Modelled time and speedups of one variant on one kernel."""
+
+    kernel_name: str
+    variant: str
+    time: float
+    speedup_vs_prev: float
+    speedup_vs_variant_i: float
+
+
+def run_breakdown(
+    kernel_name: str,
+    shape: Tuple[int, ...] | None = None,
+    spec: DeviceSpec = A100,
+    seed: int | None = None,
+) -> List[BreakdownRow]:
+    """Simulate variants I–V for one kernel; return per-variant rows.
+
+    The kernel runs with its recommended temporal fusion (the Fig. 6
+    benchmarks are the full Table-4 configurations, e.g. Box-2D9P executes
+    as an effective Box-2D49P).
+    """
+    from repro.core.fusion import plan_fusion
+
+    base = get_kernel(kernel_name)
+    plan = plan_fusion(base, "auto")
+    if shape is None:
+        shape = _DEFAULT_SHAPES[base.ndim]
+    data = default_rng(seed).random(shape)
+
+    rows: List[BreakdownRow] = []
+    outputs: Dict[str, np.ndarray] = {}
+    prev_time = None
+    first_time = None
+    for variant in VARIANTS:
+        # Kernel fusion exists to densify Tensor-Core fragments (§3.3); the
+        # CUDA-core variants I/II therefore run unfused, the Tensor-Core
+        # variants III–V run the fused benchmark configuration.  Times are
+        # compared per *time step*.
+        fused = variant not in ("I", "II")
+        kernel = plan.fused if fused else base
+        steps_per_pass = plan.depth if fused else 1
+        padded = pad_halo(data, kernel.radius)
+        run = run_simulated(padded, kernel, ExecutionConfig.variant(variant))
+        key = "fused" if fused else "base"
+        if key in outputs:
+            # optimisation stages never change the numerics
+            np.testing.assert_allclose(run.output, outputs[key], rtol=1e-12)
+        else:
+            outputs[key] = run.output
+        t = time_from_counters(run.counters, spec) / steps_per_pass
+        if first_time is None:
+            first_time = t
+        rows.append(
+            BreakdownRow(
+                kernel_name=kernel_name,
+                variant=variant,
+                time=t,
+                speedup_vs_prev=(prev_time / t) if prev_time else 1.0,
+                speedup_vs_variant_i=first_time / t,
+            )
+        )
+        prev_time = t
+    return rows
+
+
+def breakdown_table(
+    kernels: Tuple[str, ...] = FIG6_KERNELS, seed: int | None = None
+) -> str:
+    """Render the Figure-6 breakdown for all three kernels."""
+    rows = []
+    for name in kernels:
+        for r in run_breakdown(name, seed=seed):
+            rows.append(
+                (
+                    name,
+                    r.variant,
+                    f"{r.time * 1e6:.1f}us",
+                    f"+{100 * (r.speedup_vs_prev - 1):.0f}%",
+                    f"{r.speedup_vs_variant_i:.2f}x",
+                )
+            )
+    return format_table(
+        ["kernel", "variant", "model time", "gain vs prev", "total vs I"],
+        rows,
+        title="Figure 6 — performance breakdown (simulated counters + Eq. 2-4)",
+    )

@@ -1,0 +1,77 @@
+"""ASCII renderings of the paper's figures from regenerated data.
+
+Couples the analysis drivers to :mod:`repro.viz`: Figure 7 as per-kernel
+bar panels, Figure 8 as speedup-vs-size curves with the crossover baseline,
+and Figure 6 as a per-kernel gain ladder.  Pure presentation — every number
+comes from the same drivers the tables use.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.analysis.breakdown import FIG6_KERNELS, run_breakdown
+from repro.analysis.fusion_sweep import FIG8_KERNELS, fig8_sweep, find_crossover
+from repro.analysis.sota import fig7_rows
+from repro.viz import bar_chart, series_chart
+
+__all__ = ["fig6_ascii", "fig7_ascii", "fig8_ascii"]
+
+
+def fig7_ascii(width: int = 36) -> str:
+    """Figure 7 as one bar panel per benchmark kernel."""
+    panels = []
+    for row in fig7_rows():
+        panels.append(
+            bar_chart(
+                row.gstencils,
+                width=width,
+                title=f"{row.kernel_name} (GStencils/s)",
+            )
+        )
+    return "\n\n".join(panels)
+
+
+def fig8_ascii(height: int = 9, width: int = 56) -> str:
+    """Figure 8 as speedup curves; '-' marks the crossover baseline."""
+    panels = []
+    for kernel_name, ndim, start, stop, step in FIG8_KERNELS:
+        pts = fig8_sweep(kernel_name, ndim, start, stop, step)
+        cross = find_crossover(pts)
+        series = [(float(p.edge_size), p.speedup) for p in pts]
+        panels.append(
+            series_chart(
+                series,
+                height=height,
+                width=width,
+                baseline=1.0,
+                title=(
+                    f"{kernel_name}: ConvStencil/DRStencil-T3 speedup "
+                    f"(crossover @ {cross}^{ndim})"
+                ),
+            )
+        )
+    return "\n\n".join(panels)
+
+
+def fig6_ascii(shapes: dict | None = None) -> str:
+    """Figure 6 as per-kernel cumulative-speedup bars (variants I–V)."""
+    shapes = shapes or {}
+    panels = []
+    for name in FIG6_KERNELS:
+        rows = run_breakdown(name, shape=shapes.get(name))
+        values = {
+            f"variant {r.variant}": r.speedup_vs_variant_i for r in rows
+        }
+        panels.append(
+            bar_chart(values, width=30, title=f"{name} (speedup vs variant I)", unit="x")
+        )
+    return "\n\n".join(panels)
+
+
+def figure_bundle(include_fig6: bool = False) -> Tuple[str, ...]:
+    """All figure renderings (Figure 6 optional: it runs the simulator)."""
+    out = [fig7_ascii(), fig8_ascii()]
+    if include_fig6:
+        out.insert(0, fig6_ascii())
+    return tuple(out)

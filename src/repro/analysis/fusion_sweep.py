@@ -1,0 +1,94 @@
+"""Figure 8: ConvStencil vs DRStencil-T3 across problem sizes.
+
+Sweeps the four Figure-8 kernels over the paper's size ranges (2-D: 256² to
+5120² step 256; 3-D: 64³ to 1024³ step 32) and reports both systems'
+modelled GStencils/s plus the speedup series — reproducing the crossover
+points (≈768²/512², ≈288³/128³) and large-size plateaus (1.42×/2.13×/
+1.63×/5.22×).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.model.baseline_models import system_throughput
+from repro.utils.tables import format_table
+
+__all__ = ["FIG8_KERNELS", "SweepPoint", "fig8_sweep", "find_crossover", "sweep_table"]
+
+#: Kernels and sweep ranges of Figure 8: (kernel, ndim, start, stop, step).
+FIG8_KERNELS = (
+    ("heat-2d", 2, 256, 5120, 256),
+    ("box-2d9p", 2, 256, 5120, 256),
+    ("heat-3d", 3, 64, 1024, 32),
+    ("box-3d27p", 3, 64, 1024, 32),
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Both systems' modelled throughput at one problem size."""
+
+    kernel_name: str
+    edge_size: int
+    convstencil: float
+    drstencil_t3: float
+
+    @property
+    def speedup(self) -> float:
+        """ConvStencil over DRStencil-T3 (>1 means ConvStencil wins)."""
+        return self.convstencil / self.drstencil_t3
+
+
+def fig8_sweep(
+    kernel_name: str, ndim: int, start: int, stop: int, step: int
+) -> List[SweepPoint]:
+    """Sweep one kernel over edge sizes ``start..stop`` (inclusive)."""
+    points = []
+    for size in range(start, stop + 1, step):
+        shape: Tuple[int, ...] = (size,) * ndim
+        conv = system_throughput("convstencil", kernel_name, shape)
+        drt3 = system_throughput("drstencil-t3", kernel_name, shape)
+        assert conv is not None and drt3 is not None
+        points.append(
+            SweepPoint(
+                kernel_name=kernel_name,
+                edge_size=size,
+                convstencil=conv.gstencils_per_s,
+                drstencil_t3=drt3.gstencils_per_s,
+            )
+        )
+    return points
+
+
+def find_crossover(points: List[SweepPoint]) -> Optional[int]:
+    """First edge size at which ConvStencil overtakes DRStencil-T3."""
+    for p in points:
+        if p.speedup >= 1.0:
+            return p.edge_size
+    return None
+
+
+def sweep_table(step_override: int | None = None) -> str:
+    """Render the four Figure-8 sweeps (coarsened for readability)."""
+    rows = []
+    for kernel_name, ndim, start, stop, step in FIG8_KERNELS:
+        pts = fig8_sweep(kernel_name, ndim, start, stop, step_override or step * 4)
+        cross = find_crossover(pts)
+        for p in pts:
+            rows.append(
+                (
+                    kernel_name,
+                    f"{p.edge_size}^{ndim}",
+                    round(p.convstencil, 1),
+                    round(p.drstencil_t3, 1),
+                    f"{100 * (p.speedup - 1):+.0f}%",
+                )
+            )
+        rows.append((kernel_name, "crossover", "--", "--", f"@{cross}^{ndim}"))
+    return format_table(
+        ["kernel", "size", "ConvStencil", "DRStencil-T3", "speedup"],
+        rows,
+        title="Figure 8 — ConvStencil vs DRStencil-T3 across problem sizes",
+    )

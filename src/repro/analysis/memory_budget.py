@@ -1,0 +1,90 @@
+"""Shared-memory budget analysis (§2.3: "only 164KB of shared memory").
+
+For every benchmark kernel (auto-fused) and a spread of block tiles, report
+the per-block stencil2row allocation, whether it fits the A100's 164 KiB,
+the resident blocks per SM, and — for contrast — what the same block would
+need under plain im2row (the space explosion that rules the naive layout
+out of shared memory entirely for wide kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.blocking import plan_blocks_2d
+from repro.core.fusion import plan_fusion
+from repro.gpu.specs import A100, DeviceSpec
+from repro.stencils.catalog import get_kernel
+from repro.utils.tables import format_table
+
+__all__ = ["BudgetRow", "memory_budget_rows", "memory_budget_table"]
+
+_BLOCKS: Tuple[Tuple[int, int], ...] = ((16, 32), (32, 64), (64, 128))
+_2D_KERNELS = ("heat-2d", "box-2d9p", "star-2d13p", "box-2d49p")
+
+
+@dataclass(frozen=True)
+class BudgetRow:
+    """One (kernel, block) shared-memory accounting entry."""
+
+    kernel_name: str
+    fused_edge: int
+    block: Tuple[int, int]
+    stencil2row_bytes: int
+    im2row_bytes: int
+    fits: bool
+    blocks_per_sm: int
+
+    @property
+    def saving(self) -> float:
+        return 1.0 - self.stencil2row_bytes / self.im2row_bytes
+
+
+def memory_budget_rows(
+    kernel_names: Sequence[str] = _2D_KERNELS,
+    blocks: Sequence[Tuple[int, int]] = _BLOCKS,
+    spec: DeviceSpec = A100,
+) -> List[BudgetRow]:
+    """Budget accounting for every (kernel, block) pair."""
+    rows = []
+    for name in kernel_names:
+        kernel = get_kernel(name)
+        fused = plan_fusion(kernel, "auto").fused
+        for block in blocks:
+            plan = plan_blocks_2d(block, fused, block=block)
+            tile_points = plan.input_tile[0] * plan.input_tile[1]
+            im2row_bytes = 8 * tile_points * fused.points
+            rows.append(
+                BudgetRow(
+                    kernel_name=name,
+                    fused_edge=fused.edge,
+                    block=block,
+                    stencil2row_bytes=plan.shared_bytes,
+                    im2row_bytes=im2row_bytes,
+                    fits=plan.fits(spec),
+                    blocks_per_sm=plan.blocks_per_sm(spec),
+                )
+            )
+    return rows
+
+
+def memory_budget_table(spec: DeviceSpec = A100) -> str:
+    """Render the budget table with the im2row contrast column."""
+    rows = [
+        (
+            r.kernel_name,
+            f"{r.block[0]}x{r.block[1]}",
+            f"{r.stencil2row_bytes / 1024:.0f} KiB",
+            f"{r.im2row_bytes / 1024:.0f} KiB",
+            f"{100 * r.saving:.0f}%",
+            "yes" if r.fits else "NO",
+            r.blocks_per_sm,
+        )
+        for r in memory_budget_rows(spec=spec)
+    ]
+    return format_table(
+        ["kernel", "block", "stencil2row", "im2row", "saved", "fits 164KiB", "blocks/SM"],
+        rows,
+        title="Shared-memory budget per block (§2.3), auto-fused kernels",
+    )

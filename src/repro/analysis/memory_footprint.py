@@ -1,0 +1,102 @@
+"""Table 3: memory-expansion factors of im2row vs stencil2row.
+
+Each row reports, for one stencil shape, the multiplication factor by which
+the transformed layout exceeds the original input, and the saving of
+stencil2row over im2row.  Values are produced twice: analytically (Eq. 7–11)
+and empirically, by actually materialising both layouts for a concrete grid
+and counting elements — the two must agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.im2row import im2row_expansion_factor, im2row_shape
+from repro.core.stencil2row import (
+    memory_saving_vs_im2row,
+    stencil2row_expansion_factor,
+    stencil2row_shape,
+)
+from repro.stencils.catalog import get_kernel
+from repro.utils.tables import format_table
+
+__all__ = ["FootprintRow", "TABLE3_KERNELS", "footprint_rows", "footprint_table"]
+
+#: Shapes of the paper's Table 3, in its row order.
+TABLE3_KERNELS = (
+    "heat-2d",
+    "box-2d9p",
+    "star-2d9p",
+    "box-2d25p",
+    "star-2d13p",
+    "box-2d49p",
+)
+
+
+@dataclass(frozen=True)
+class FootprintRow:
+    """One Table-3 row (analytical + empirical factors)."""
+
+    kernel_name: str
+    im2row_factor: float
+    stencil2row_factor: float
+    memory_saving: float
+    empirical_im2row_factor: float
+    empirical_stencil2row_factor: float
+
+
+def _empirical_factors(kernel_name: str, shape: Tuple[int, int]) -> Tuple[float, float]:
+    """Count elements of the concretely-materialised layouts on ``shape``.
+
+    im2row stores one column per stencil *point* (star kernels skip zero
+    weights); stencil2row stores its two fixed-shape matrices.
+    """
+    kernel = get_kernel(kernel_name)
+    n_input = float(np.prod(shape))
+    rows, _ = im2row_shape(shape, kernel.edge)
+    im2row_elems = rows * kernel.points
+    s2r_rows, s2r_cols = stencil2row_shape(shape, kernel.edge)
+    s2r_elems = 2 * s2r_rows * s2r_cols
+    return im2row_elems / n_input, s2r_elems / n_input
+
+
+def footprint_rows(shape: Tuple[int, int] = (512, 512)) -> List[FootprintRow]:
+    """Compute every Table-3 row (analytical + empirical on ``shape``)."""
+    out = []
+    for name in TABLE3_KERNELS:
+        kernel = get_kernel(name)
+        emp_im2row, emp_s2r = _empirical_factors(name, shape)
+        out.append(
+            FootprintRow(
+                kernel_name=name,
+                im2row_factor=im2row_expansion_factor(kernel),
+                stencil2row_factor=stencil2row_expansion_factor(kernel.edge),
+                memory_saving=memory_saving_vs_im2row(kernel.points, kernel.edge),
+                empirical_im2row_factor=emp_im2row,
+                empirical_stencil2row_factor=emp_s2r,
+            )
+        )
+    return out
+
+
+def footprint_table(shape: Tuple[int, int] = (512, 512)) -> str:
+    """Render Table 3 (with the empirical cross-check columns)."""
+    rows = [
+        (
+            r.kernel_name,
+            r.im2row_factor,
+            round(r.stencil2row_factor, 2),
+            f"{100 * r.memory_saving:.2f}%",
+            round(r.empirical_im2row_factor, 2),
+            round(r.empirical_stencil2row_factor, 2),
+        )
+        for r in footprint_rows(shape)
+    ]
+    return format_table(
+        ["shape", "im2row", "stencil2row", "memory saving", "im2row@grid", "s2r@grid"],
+        rows,
+        title=f"Table 3 — memory expansion factors (empirical on {shape})",
+    )

@@ -1,0 +1,67 @@
+"""Consolidated reproduction report.
+
+Builds one markdown document containing every regenerated table/figure plus
+the precision study — the artifact a reviewer would read first.  Used by
+``examples/reproduce_paper.py --report`` and the integration tests.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro._version import __version__
+from repro.analysis.breakdown import breakdown_table
+from repro.analysis.conflicts import conflicts_table
+from repro.analysis.fusion_sweep import sweep_table
+from repro.analysis.memory_footprint import footprint_table
+from repro.analysis.precision import precision_table
+from repro.analysis.sota import fig7_table
+from repro.analysis.utilisation import utilisation_table
+from repro.model.roofline import roofline_table
+
+__all__ = ["build_report", "write_report"]
+
+_HEADER = f"""# ConvStencil reproduction report (repro v{__version__})
+
+Regenerated outputs for every table and figure of *ConvStencil: Transform
+Stencil Computation to Matrix Multiplication on Tensor Cores* (PPoPP '24).
+See EXPERIMENTS.md for the side-by-side comparison against the paper's
+numbers and DESIGN.md for what is measured vs modelled.
+"""
+
+
+def build_report(include_breakdown: bool = True) -> str:
+    """Assemble the full report (breakdown simulation is the slow part)."""
+    sections = [
+        _HEADER,
+        "## Table 3 — memory expansion\n\n```\n" + footprint_table() + "\n```",
+        "## Table 5 — conflicts vs TCStencil\n\n```\n" + conflicts_table() + "\n```",
+    ]
+    if include_breakdown:
+        sections.append(
+            "## Figure 6 — optimisation breakdown\n\n```\n" + breakdown_table() + "\n```"
+        )
+    sections.extend(
+        [
+            "## Figure 7 — state-of-the-art comparison\n\n```\n" + fig7_table() + "\n```",
+            "## Figure 8 — ConvStencil vs DRStencil-T3\n\n```\n" + sweep_table() + "\n```",
+            "## Precision — FP64 vs FP16\n\n```\n" + precision_table() + "\n```",
+            "## Tensor-Core utilisation (§3.3)\n\n```\n" + utilisation_table() + "\n```",
+            "## Roofline placement\n\n```\n" + roofline_table() + "\n```",
+            "## Paper-claims ledger\n\n```\n" + _claims() + "\n```",
+        ]
+    )
+    return "\n\n".join(sections) + "\n"
+
+
+def _claims() -> str:
+    from repro.analysis.claims import claims_table
+
+    return claims_table()
+
+
+def write_report(path: "str | Path", include_breakdown: bool = True) -> Path:
+    """Write the report to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(build_report(include_breakdown=include_breakdown))
+    return path

@@ -1,0 +1,73 @@
+"""Figure 7: state-of-the-art comparison across all Table-4 benchmarks.
+
+For every benchmark kernel, report the modelled GStencils/s of AMOS, cuDNN,
+Brick, DRStencil, TCStencil (FP64-derated), and ConvStencil at the paper's
+problem sizes, plus ConvStencil's speedup over each — the bars and the
+speedup line of Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.model.baseline_models import SYSTEMS, system_throughput
+from repro.stencils.catalog import BENCHMARKS
+from repro.utils.tables import format_table
+
+__all__ = ["SotaRow", "fig7_rows", "fig7_table"]
+
+
+@dataclass(frozen=True)
+class SotaRow:
+    """Modelled throughput of every system on one kernel."""
+
+    kernel_name: str
+    gstencils: Dict[str, Optional[float]]
+
+    @property
+    def convstencil(self) -> float:
+        value = self.gstencils["convstencil"]
+        assert value is not None
+        return value
+
+    def speedup_over(self, system: str) -> Optional[float]:
+        """ConvStencil's speedup over ``system`` (None if unsupported)."""
+        other = self.gstencils.get(system)
+        if other is None or other <= 0:
+            return None
+        return self.convstencil / other
+
+
+def fig7_rows() -> List[SotaRow]:
+    """Compute the full Figure-7 matrix at Table-4 problem sizes."""
+    rows = []
+    for name in BENCHMARKS:
+        gst: Dict[str, Optional[float]] = {}
+        for system in SYSTEMS:
+            est = system_throughput(system, name)
+            gst[system] = est.gstencils_per_s if est else None
+        rows.append(SotaRow(kernel_name=name, gstencils=gst))
+    return rows
+
+
+def fig7_table() -> str:
+    """Render the Figure-7 comparison (GStencils/s + speedup columns)."""
+    table = []
+    for row in fig7_rows():
+        cells = [row.kernel_name]
+        for system in SYSTEMS:
+            v = row.gstencils[system]
+            cells.append("--" if v is None else round(v, 1))
+        best_baseline = max(
+            (v for s, v in row.gstencils.items() if s != "convstencil" and v),
+            default=None,
+        )
+        cells.append(
+            f"{row.convstencil / best_baseline:.2f}x" if best_baseline else "--"
+        )
+        table.append(cells)
+    headers = ["kernel", *SYSTEMS, "speedup vs best"]
+    return format_table(
+        headers, table, title="Figure 7 — modelled GStencils/s at Table-4 sizes"
+    )

@@ -1,0 +1,146 @@
+"""Configuration autotuner: block tiles and fusion depth.
+
+The paper fixes its launch configuration per benchmark (Table 4: 32×64
+blocks, hand-chosen fusion).  This module searches that configuration space
+automatically, the way a production library would:
+
+* candidate block tiles are filtered by the hard constraints — the block's
+  stencil2row matrices must fit the SM's shared memory, and at least one
+  8-row band of dual tessellation must be available;
+* candidates are scored with the §3.1 performance model extended by the
+  block-level effects this repository measures: halo read amplification
+  (``core.blocked``) and wave-quantised occupancy (``core.blocking``);
+* fusion depths 1–3 trade fragment density and per-pass amortisation
+  against halo growth, exactly as §3.3 describes.
+
+The tuner is deterministic (exhaustive over a small grid of candidates) and
+returns the full scored list so callers can inspect the trade-off surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.blocked import halo_read_amplification
+from repro.core.blocking import plan_blocks_2d
+from repro.core.fusion import plan_fusion
+from repro.errors import ModelError
+from repro.gpu.specs import A100, DeviceSpec
+from repro.model.calibration import KERNEL_LAUNCH_OVERHEAD, convstencil_efficiency
+from repro.model.convstencil_model import convstencil_pass_time
+from repro.stencils.kernel import StencilKernel
+
+__all__ = ["TunedConfig", "autotune", "candidate_blocks"]
+
+#: Default block-tile candidates (powers of two around the paper's 32×64).
+DEFAULT_BLOCKS: Tuple[Tuple[int, int], ...] = (
+    (8, 32),
+    (8, 64),
+    (16, 32),
+    (16, 64),
+    (16, 128),
+    (32, 32),
+    (32, 64),
+    (32, 128),
+    (64, 64),
+    (64, 128),
+)
+
+
+@dataclass(frozen=True)
+class TunedConfig:
+    """One scored configuration."""
+
+    block: Tuple[int, int]
+    fusion_depth: int
+    fused_edge: int
+    shared_bytes: int
+    occupancy: float
+    halo_amplification: float
+    modelled_time_per_step: float
+    gstencils_per_s: float
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return (
+            f"block={self.block} fusion={self.fusion_depth} "
+            f"({self.gstencils_per_s:.1f} GStencils/s)"
+        )
+
+
+def candidate_blocks(
+    kernel: StencilKernel,
+    fused_edge: int,
+    blocks: Sequence[Tuple[int, int]] = DEFAULT_BLOCKS,
+    spec: DeviceSpec = A100,
+) -> List[Tuple[int, int]]:
+    """Block tiles whose stencil2row staging fits the shared-memory budget."""
+    feasible = []
+    probe = StencilKernel(
+        name="probe", weights=np.zeros((fused_edge, fused_edge)) + 1.0
+    )
+    for block in blocks:
+        if block[0] < 1 or block[1] < fused_edge + 1:
+            continue
+        plan = plan_blocks_2d((max(block[0], 1), max(block[1], 1)), probe, block=block)
+        if plan.fits(spec):
+            feasible.append(block)
+    return feasible
+
+
+def autotune(
+    kernel: StencilKernel,
+    shape: Tuple[int, int],
+    spec: DeviceSpec = A100,
+    blocks: Sequence[Tuple[int, int]] = DEFAULT_BLOCKS,
+    fusion_depths: Sequence[int] = (1, 2, 3),
+) -> List[TunedConfig]:
+    """Exhaustively score (block, fusion) configurations; best first.
+
+    Only 2-D kernels are tunable (1-D blocks are flat, 3-D decomposes into
+    tuned 2-D planes).
+    """
+    if kernel.ndim != 2:
+        raise ModelError("autotune currently supports 2-D kernels")
+    if len(shape) != 2 or min(shape) < kernel.edge:
+        raise ModelError(f"invalid problem shape {shape} for kernel {kernel.name!r}")
+    n_points = int(np.prod(shape))
+    eta = convstencil_efficiency(kernel.name)
+    configs: List[TunedConfig] = []
+    for depth in fusion_depths:
+        plan = plan_fusion(kernel, depth)
+        fused = plan.fused
+        ideal, _ = convstencil_pass_time(fused, n_points, spec)
+        for block in candidate_blocks(kernel, fused.edge, blocks, spec):
+            bplan = plan_blocks_2d(shape, fused, block=block)
+            if not bplan.fits(spec):
+                continue
+            occ = bplan.occupancy(spec)
+            if occ <= 0.0:
+                continue
+            amp = halo_read_amplification(block, fused.edge)
+            # halo re-reads inflate the global phase of the pass; the model
+            # folds that into the ideal time proportionally to the read share
+            time = ideal * (1.0 + 0.5 * (amp - 1.0)) / (eta * occ)
+            time += KERNEL_LAUNCH_OVERHEAD
+            gst = plan.depth * n_points / time / 1e9
+            configs.append(
+                TunedConfig(
+                    block=block,
+                    fusion_depth=plan.depth,
+                    fused_edge=fused.edge,
+                    shared_bytes=bplan.shared_bytes,
+                    occupancy=occ,
+                    halo_amplification=amp,
+                    modelled_time_per_step=time / plan.depth,
+                    gstencils_per_s=gst,
+                )
+            )
+    if not configs:
+        raise ModelError(
+            f"no feasible configuration for {kernel.name!r} on {spec.name}; "
+            "offer larger blocks or a smaller kernel"
+        )
+    return sorted(configs, key=lambda c: -c.gstencils_per_s)

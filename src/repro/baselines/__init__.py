@@ -1,0 +1,26 @@
+"""Comparison baselines: the five systems of the paper's Figure 7.
+
+Each baseline is a *functional* stencil engine (its numerics are verified
+against the reference executor) built around the algorithmic idea that
+defines the system, plus a hook into the calibrated throughput model used
+by the Figure-7/8 benchmarks.
+"""
+
+from repro.baselines.amos import AmosStencil
+from repro.baselines.base import StencilBaseline, all_baselines
+from repro.baselines.brick import BrickStencil
+from repro.baselines.direct_cuda import DirectStencil
+from repro.baselines.drstencil import DRStencil
+from repro.baselines.gemm_conv import GemmConvStencil
+from repro.baselines.tcstencil import TCStencil
+
+__all__ = [
+    "AmosStencil",
+    "BrickStencil",
+    "DRStencil",
+    "DirectStencil",
+    "GemmConvStencil",
+    "StencilBaseline",
+    "TCStencil",
+    "all_baselines",
+]

@@ -1,0 +1,37 @@
+"""Direct CUDA-core stencil: the unoptimised point-by-point formulation.
+
+One thread per output point, a weighted sum over the kernel footprint —
+the common ancestor of every GPU stencil framework and the ground floor of
+the Figure-6 ladder.  Functionally identical to the reference executor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import StencilBaseline
+from repro.stencils.grid import BoundaryCondition
+from repro.stencils.kernel import StencilKernel
+from repro.stencils.reference import apply_stencil_reference
+
+__all__ = ["DirectStencil"]
+
+
+class DirectStencil(StencilBaseline):
+    """Naive direct stencil on (simulated) CUDA cores."""
+
+    name = "direct"
+
+    def _step(
+        self,
+        data: np.ndarray,
+        kernel: StencilKernel,
+        boundary: BoundaryCondition,
+        fill_value: float,
+    ) -> np.ndarray:
+        return apply_stencil_reference(data, kernel, boundary, fill_value)
+
+    @staticmethod
+    def flops_per_point(kernel: StencilKernel) -> int:
+        """Two FLOPs (multiply + add) per stencil point."""
+        return 2 * kernel.points

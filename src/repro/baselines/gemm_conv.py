@@ -1,0 +1,57 @@
+"""cuDNN-style GEMM-based convolution baseline (§2.2, §5.1).
+
+Reproduces the ``FWD_IMPLICIT_PRECOMP_GEMM`` algorithm class the paper
+benchmarks cuDNN with (``channel = 1``): each step materialises the im2row
+matrix of the padded input and multiplies it by the flattened kernel — the
+matrix-*vector* degeneration whose space explosion and fragment waste
+motivate ConvStencil (§2.3).  3-D kernels are handled as stacked 2-D im2row
+products, mirroring how convolution libraries lower Conv3d.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import StencilBaseline
+from repro.core.im2row import im2row_matrix_1d, im2row_matrix_2d
+from repro.stencils.grid import BoundaryCondition, pad_halo
+from repro.stencils.kernel import StencilKernel
+
+__all__ = ["GemmConvStencil"]
+
+
+class GemmConvStencil(StencilBaseline):
+    """im2row + GEMM stencil execution (the cuDNN comparison point)."""
+
+    name = "cudnn"
+
+    def _step(
+        self,
+        data: np.ndarray,
+        kernel: StencilKernel,
+        boundary: BoundaryCondition,
+        fill_value: float,
+    ) -> np.ndarray:
+        padded = pad_halo(data, kernel.radius, boundary, fill_value)
+        if kernel.ndim == 1:
+            return im2row_matrix_1d(padded, kernel.edge) @ kernel.weights
+        if kernel.ndim == 2:
+            mat = im2row_matrix_2d(padded, kernel.edge)
+            return (mat @ kernel.weights.reshape(-1)).reshape(data.shape)
+        # 3-D: one im2row GEMM per kernel plane, accumulated over planes.
+        e = kernel.edge
+        pz = data.shape[0]
+        out = np.zeros_like(data)
+        for dz in range(e):
+            plane_w = kernel.weights[dz].reshape(-1)
+            if not plane_w.any():
+                continue
+            for p in range(pz):
+                mat = im2row_matrix_2d(padded[p + dz], e)
+                out[p] += (mat @ plane_w).reshape(data.shape[1:])
+        return out
+
+    @staticmethod
+    def im2row_bytes(kernel: StencilKernel, n_points: int) -> int:
+        """Workspace footprint of the explicit im2row matrix (space explosion)."""
+        return 8 * n_points * kernel.volume

@@ -1,0 +1,156 @@
+"""TCStencil baseline: FP16 stencil via symmetric 16×16 matrix products.
+
+TCStencil [Liu et al., ICS'22] expresses a stencil as products of the input
+tile with small *banded coefficient matrices* on FP16 Tensor Cores (the only
+precision whose fragments are square).  The paper's critique, which this
+module makes measurable:
+
+* FP16-only — most HPC stencils need FP64; per §5.1 the comparison derates
+  TCStencil's throughput by 4× (the FP64/FP16 memory-traffic ratio);
+* the banded matrices are mostly zeros, wasting fragment capacity;
+* 16×16 tile loads are heavily uncoalesced in global memory, and the
+  column-major coefficient accesses bank-conflict in shared memory
+  (Table 5: ≈45–50 % UGA, ≈0.9–1.3 BC/R).
+
+The functional path executes the banded-matrix algorithm with genuine
+float16 operands (float32 accumulate, as WMMA does), so TCStencil's
+precision loss is also observable.  :meth:`TCStencil.conflict_metrics`
+replays the access patterns through the GPU substrate for Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.baselines.base import StencilBaseline
+from repro.errors import BaselineError
+from repro.gpu.banks import analyze_shared_request
+from repro.gpu.simulator import DeviceSim
+from repro.gpu.warp import rowmajor_tile_addresses
+from repro.stencils.grid import BoundaryCondition, pad_halo
+from repro.stencils.kernel import StencilKernel
+
+__all__ = ["ConflictMetrics", "TCStencil"]
+
+#: FP16 fragment edge (m16n16k16 WMMA).
+TILE = 16
+
+
+@dataclass(frozen=True)
+class ConflictMetrics:
+    """Table-5 metrics measured from a simulated access replay."""
+
+    uncoalesced_fraction: float
+    bank_conflicts_per_request: float
+
+
+def _banded_matrix(
+    out_rows: int, in_rows: int, coeffs: np.ndarray, dtype=np.float16
+) -> np.ndarray:
+    """Banded matrix B with ``B[i, i + d] = coeffs[d]`` (coeffs span the halo)."""
+    b = np.zeros((out_rows, in_rows), dtype=dtype)
+    for d, c in enumerate(coeffs):
+        if c != 0.0:
+            idx = np.arange(out_rows)
+            b[idx, idx + d] = dtype(c)
+    return b
+
+
+class TCStencil(StencilBaseline):
+    """FP16 banded-matrix-product stencil (the TCStencil comparison point)."""
+
+    name = "tcstencil"
+    supported_ndim = (1, 2)
+
+    def _step(
+        self,
+        data: np.ndarray,
+        kernel: StencilKernel,
+        boundary: BoundaryCondition,
+        fill_value: float,
+    ) -> np.ndarray:
+        r = kernel.radius
+        padded = pad_halo(data, r, boundary, fill_value).astype(np.float16)
+        if kernel.ndim == 1:
+            band = _banded_matrix(data.shape[0], padded.shape[0], kernel.weights)
+            # float32 accumulation, as WMMA's FP16 MMA performs
+            return (band.astype(np.float32) @ padded.astype(np.float32)).astype(
+                np.float64
+            )
+        m, n = data.shape
+        out = np.zeros((m, n), dtype=np.float32)
+        pad32 = padded.astype(np.float32)
+        for dy in range(kernel.edge):
+            col = kernel.weights[:, dy]
+            if not col.any():
+                continue
+            band = _banded_matrix(m, padded.shape[0], col).astype(np.float32)
+            y_dy = band @ pad32  # (m, n + 2r)
+            out += y_dy[:, dy : dy + n]
+        return out.astype(np.float64)
+
+    # -- Table-5 access-pattern replay --------------------------------------
+
+    def conflict_metrics(
+        self, kernel: StencilKernel, shape: Tuple[int, ...]
+    ) -> ConflictMetrics:
+        """Replay TCStencil's global/shared access patterns on ``shape``.
+
+        Global memory: each WMMA load pulls a 16-row FP16 stripe (two
+        adjacent fragments are staged together, 32 halfs per row); rows land
+        in distinct 128 B transactions, so roughly half of every
+        transaction's bytes are waste.  Shared memory: the row-major
+        A-operand requests are conflict-free, but the banded coefficient
+        operand is consumed column-major, replaying 4×; box kernels need
+        extra column passes for their row-shifted accumulations.
+        """
+        if kernel.ndim != 2:
+            raise BaselineError("conflict_metrics models the 2-D TCStencil kernels")
+        m, n = shape
+        if m < TILE or n < 2 * TILE:
+            raise BaselineError(f"shape {shape} too small for 16×16 fragments")
+        from repro.gpu.coalescing import transactions_for_access
+
+        sim = DeviceSim()
+        pitch_bytes = n * 2
+        # one warp-level WMMA load per 16×32 stripe: analyse the whole
+        # stripe as a single transaction group (no 32-lane chunking)
+        tiles = 0
+        for ti in range(0, m - TILE + 1, TILE):
+            for tj in range(0, n - 2 * TILE + 1, 2 * TILE):
+                base = ti * pitch_bytes + tj * 2
+                addrs = rowmajor_tile_addresses(base, TILE, 2 * TILE, pitch_bytes, 2)
+                stats = transactions_for_access(addrs, 2)
+                sim.counters.global_transactions += stats.transactions
+                sim.counters.ideal_global_transactions += stats.ideal_transactions
+                sim.counters.uncoalesced_transactions += max(
+                    0, stats.transactions - stats.ideal_transactions
+                )
+                tiles += 1
+
+        # shared-memory replay: per fragment, 8 row-pair requests (A operand)
+        # + column-stripe requests for the banded coefficients
+        col_requests = kernel.edge + (0 if kernel.shape_kind == "star" else 2)
+        smem_pitch_halfs = TILE
+        for _ in range(tiles):
+            for rp in range(8):  # row-pair requests: conflict-free
+                offs = np.arange(2 * TILE) + rp * 2 * smem_pitch_halfs
+                words = (offs * 2) // 4
+                _, conflicts = analyze_shared_request(words)
+                sim.counters.shared_load_requests += 1
+                sim.counters.shared_load_conflicts += conflicts
+            for cs in range(col_requests):  # column stripes: 4-way conflicts
+                rows = np.repeat(np.arange(TILE), 2)
+                cols = np.tile(np.arange(2), TILE) + 2 * cs
+                offs = rows * smem_pitch_halfs + cols
+                words = (offs * 2) // 4
+                _, conflicts = analyze_shared_request(words)
+                sim.counters.shared_load_requests += 1
+                sim.counters.shared_load_conflicts += conflicts
+        return ConflictMetrics(
+            uncoalesced_fraction=sim.counters.uncoalesced_fraction,
+            bank_conflicts_per_request=sim.counters.bank_conflicts_per_request,
+        )

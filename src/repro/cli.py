@@ -1,0 +1,240 @@
+"""Command-line interface mirroring the paper artifact (§A.4/A.5).
+
+The artifact ships ``convstencil_{1,2,3}d shape input_size… iterations``;
+this reproduction exposes the same surface::
+
+    python -m repro 2d box2d1r 10240 10240 10240
+    python -m repro 1d 1d1r 10240000 100000
+    python -m repro 3d box3d1r 1024 1024 1024 1024 --breakdown
+
+and prints the artifact's output format (§A.5)::
+
+    INFO: shape = box2d1r, m = 10240, n = 10240, times = 10240
+    ConvStencil(2D):
+    Time = 17080[ms]
+    GStencil/s = 188.569311
+
+``Time`` and ``GStencil/s`` come from the calibrated A100 performance model
+(there is no GPU here); ``--verify`` additionally executes a scaled-down
+grid functionally and checks it against the reference, and ``--custom``
+accepts user weights exactly like the artifact's ``--custom`` option.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.analysis.breakdown import run_breakdown
+from repro.core.api import ConvStencil
+from repro.errors import ReproError
+from repro.gpu.specs import A100, H100, V100, DeviceSpec
+from repro.model.convstencil_model import convstencil_throughput
+from repro.stencils.catalog import ARTIFACT_ALIASES, get_kernel
+from repro.stencils.kernel import StencilKernel
+from repro.stencils.reference import run_reference
+from repro.utils.rng import default_rng
+
+__all__ = ["build_parser", "main", "run"]
+
+_DEVICES = {"A100": A100, "V100": V100, "H100": H100}
+_DIM_NAMES = {"1d": 1, "2d": 2, "3d": 3}
+_VERIFY_SHAPES = {1: (4096,), 2: (96, 96), 3: (20, 20, 20)}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the artifact-style argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="convstencil",
+        description="ConvStencil reproduction — artifact-compatible driver",
+    )
+    parser.add_argument(
+        "dim", choices=sorted(_DIM_NAMES), help="dimensionality (1d/2d/3d)"
+    )
+    parser.add_argument(
+        "shape",
+        help=(
+            "stencil shape: an artifact name "
+            f"({', '.join(sorted(ARTIFACT_ALIASES))}) or a catalog name"
+        ),
+    )
+    parser.add_argument(
+        "sizes",
+        type=int,
+        nargs="+",
+        help="input extents (one per dimension) followed by the iteration count",
+    )
+    parser.add_argument(
+        "--custom",
+        metavar="W1,W2,...",
+        help="comma-separated custom stencil weights (artifact --custom)",
+    )
+    parser.add_argument(
+        "--device", choices=sorted(_DEVICES), default="A100", help="modelled GPU"
+    )
+    parser.add_argument(
+        "--fusion",
+        default="auto",
+        help='temporal fusion depth: integer or "auto" (default)',
+    )
+    parser.add_argument(
+        "--breakdown",
+        action="store_true",
+        help="print the Figure-6 per-variant breakdown (artifact breakdown mode)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="also execute a scaled-down grid and check it against the reference",
+    )
+    parser.add_argument(
+        "--autotune",
+        action="store_true",
+        help="search block/fusion configurations and report the top candidates (2-D only)",
+    )
+    parser.add_argument(
+        "--cuda",
+        metavar="FILE.cu",
+        help="write the reference CUDA kernel for this shape (2-D only)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="REPORT.md",
+        help="regenerate every paper table/figure into a markdown report",
+    )
+    return parser
+
+
+def _resolve_kernel(args: argparse.Namespace, ndim: int) -> StencilKernel:
+    kernel = get_kernel(args.shape)
+    if kernel.ndim != ndim:
+        raise ReproError(
+            f"shape {args.shape!r} is {kernel.ndim}-D but the command requested {ndim}-D"
+        )
+    if args.custom:
+        weights = [float(w) for w in args.custom.split(",") if w.strip()]
+        dense = np.zeros_like(kernel.weights).reshape(-1)
+        nz = np.flatnonzero(kernel.weights.reshape(-1) != 0.0)
+        if len(weights) != nz.size:
+            raise ReproError(
+                f"--custom needs {nz.size} weights for shape {args.shape!r}, "
+                f"got {len(weights)}"
+            )
+        dense[nz] = weights
+        kernel = StencilKernel(
+            name=f"{kernel.name}-custom",
+            weights=dense.reshape(kernel.weights.shape),
+            shape_kind=kernel.shape_kind,
+        )
+    return kernel
+
+
+def _fusion(arg: str):
+    return arg if arg == "auto" else int(arg)
+
+
+def run(argv: Sequence[str]) -> List[str]:
+    """Execute the CLI and return the output lines (also printed by main)."""
+    args = build_parser().parse_args(argv)
+    ndim = _DIM_NAMES[args.dim]
+    if len(args.sizes) != ndim + 1:
+        raise ReproError(
+            f"{args.dim} expects {ndim} extent(s) + 1 iteration count, "
+            f"got {len(args.sizes)} numbers"
+        )
+    *extents, iterations = args.sizes
+    if iterations < 1 or any(e < 1 for e in extents):
+        raise ReproError("extents and iteration count must be positive")
+    kernel = _resolve_kernel(args, ndim)
+    spec: DeviceSpec = _DEVICES[args.device]
+
+    dims = ", ".join(f"{n} = {v}" for n, v in zip("mnp", extents))
+    lines = [f"INFO: shape = {args.shape}, {dims}, times = {iterations}"]
+
+    est = convstencil_throughput(
+        kernel, tuple(extents), spec=spec, fusion=_fusion(args.fusion)
+    )
+    passes = -(-iterations // est.steps_per_pass)
+    total_time = passes * est.time_per_pass
+    gst = iterations * est.grid_points / total_time / 1e9
+    lines.append(f"ConvStencil({ndim}D):")
+    lines.append(f"Time = {total_time * 1e3:.4g}[ms]")
+    lines.append(f"GStencil/s = {gst:.6f}")
+
+    if args.breakdown:
+        lines.append("")
+        lines.append("Breakdown (variants I..V, modelled time per step):")
+        for row in run_breakdown(kernel.name if not args.custom else "heat-2d"):
+            lines.append(
+                f"  {row.variant:>3}: {row.time * 1e6:9.3f} us  "
+                f"(+{100 * (row.speedup_vs_prev - 1):.0f}% vs prev)"
+            )
+
+    if args.verify:
+        shape = _VERIFY_SHAPES[ndim]
+        x = default_rng(0).random(shape)
+        steps = 2
+        got = ConvStencil(kernel, fusion=_fusion(args.fusion)).run(x, steps)
+        ref = run_reference(x, kernel, steps)
+        err = float(np.abs(got - ref).max())
+        lines.append("")
+        lines.append(
+            f"VERIFY: {steps} steps on {'x'.join(map(str, shape))} grid, "
+            f"max |err| = {err:.3e} -> {'OK' if err < 1e-10 else 'FAIL'}"
+        )
+        if err >= 1e-10:
+            raise ReproError("functional verification failed")
+
+    if args.autotune:
+        from repro.autotune import autotune
+
+        if ndim != 2:
+            raise ReproError("--autotune currently supports 2-D shapes")
+        lines.append("")
+        lines.append("Autotune (block x fusion, best first):")
+        for cfg in autotune(kernel, tuple(extents), spec=spec)[:5]:
+            lines.append(
+                f"  block {cfg.block[0]:>3}x{cfg.block[1]:<4} fusion {cfg.fusion_depth} "
+                f"-> {cfg.gstencils_per_s:7.1f} GStencils/s "
+                f"(occ {cfg.occupancy:.2f}, smem {cfg.shared_bytes // 1024} KiB)"
+            )
+
+    if args.cuda:
+        from repro.codegen import generate_cuda_2d
+
+        if ndim != 2:
+            raise ReproError("--cuda currently supports 2-D shapes")
+        src, cuda_spec = generate_cuda_2d(kernel, fusion=_fusion(args.fusion))
+        with open(args.cuda, "w") as fh:
+            fh.write(src)
+        lines.append("")
+        lines.append(
+            f"CUDA: wrote {args.cuda} ({len(src.splitlines())} lines, "
+            f"pitch {cuda_spec.plan.pitch}, fused x{cuda_spec.fusion_depth})"
+        )
+
+    if args.report:
+        from repro.analysis.report import write_report
+
+        path = write_report(args.report, include_breakdown=False)
+        lines.append("")
+        lines.append(f"REPORT: wrote {path}")
+    return lines
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Console entry point."""
+    try:
+        for line in run(sys.argv[1:] if argv is None else list(argv)):
+            print(line)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

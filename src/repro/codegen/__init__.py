@@ -1,0 +1,16 @@
+"""Reference CUDA source generation.
+
+The original ConvStencil is CUDA C++; this package emits equivalent
+reference kernels — with the stencil2row lookup tables, triangular weight
+matrices, conflict-free pitch, and dual-tessellation WMMA loop baked in
+from this repository's verified Python implementations — so a user with an
+actual A100 can take the generated ``.cu`` straight to ``nvcc``.
+
+The sources are *generated artifacts*: they are structurally tested here
+(constants match the Python planner, braces balance, every weight appears)
+but not compiled in this GPU-less environment.
+"""
+
+from repro.codegen.cuda import CudaKernelSpec, generate_cuda_2d
+
+__all__ = ["CudaKernelSpec", "generate_cuda_2d"]

@@ -1,0 +1,168 @@
+"""Public ConvStencil API.
+
+:class:`ConvStencil` bundles a stencil kernel with an optional temporal
+fusion plan and executes time iterations through the dual-tessellation
+engines::
+
+    from repro import ConvStencil, get_kernel
+    cs = ConvStencil(get_kernel("box-2d9p"), fusion="auto")
+    out = cs.run(grid, steps=12)
+
+Boundary semantics match the reference executors: each pass pads the grid by
+the pass kernel's radius using the grid's boundary condition.  With fusion
+depth ``d > 1`` one pass advances ``d`` time steps reading a ``d·r`` halo —
+the same ghost-zone semantics the paper's fused GPU kernels use, so results
+are identical to unfused execution under periodic halos and in the interior
+(``≥ d·r`` from the boundary) under constant halos.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine1d import convstencil_valid_1d
+from repro.core.engine2d import convstencil_valid_2d
+from repro.core.engine3d import convstencil_valid_3d
+from repro.core.fusion import FusionPlan, plan_fusion
+from repro.errors import KernelError
+from repro.stencils.grid import BoundaryCondition, Grid, pad_halo
+from repro.stencils.kernel import StencilKernel
+
+__all__ = ["ConvStencil", "convstencil_valid"]
+
+_ENGINES = {
+    1: convstencil_valid_1d,
+    2: convstencil_valid_2d,
+    3: convstencil_valid_3d,
+}
+
+
+def convstencil_valid(padded: np.ndarray, kernel: StencilKernel) -> np.ndarray:
+    """Single valid-region dual-tessellation pass for 1-, 2-, or 3-D data."""
+    try:
+        engine = _ENGINES[kernel.ndim]
+    except KeyError:  # pragma: no cover - kernel validation forbids this
+        raise KernelError(f"unsupported dimensionality {kernel.ndim}")
+    return engine(padded, kernel)
+
+
+class ConvStencil:
+    """Stencil executor built on stencil2row + dual tessellation.
+
+    Parameters
+    ----------
+    kernel:
+        The stencil to apply each time step.
+    fusion:
+        ``1`` (default, no fusion), a positive integer depth, or ``"auto"``
+        to densify Tensor-Core fragments per §3.3 (e.g. Box-2D9P → depth 3).
+    """
+
+    def __init__(self, kernel: StencilKernel, fusion: int | str = 1) -> None:
+        self.kernel = kernel
+        self.plan: FusionPlan = plan_fusion(kernel, fusion)
+
+    @property
+    def fused_kernel(self) -> StencilKernel:
+        """The kernel actually executed per pass (``kernel`` composed
+        ``fusion`` times)."""
+        return self.plan.fused
+
+    @property
+    def fusion_depth(self) -> int:
+        """Time steps advanced per dual-tessellation pass."""
+        return self.plan.depth
+
+    def apply_valid(self, padded: np.ndarray) -> np.ndarray:
+        """One fused pass over an already-padded array (valid region out)."""
+        return convstencil_valid(np.asarray(padded, dtype=np.float64), self.plan.fused)
+
+    def _pass(
+        self,
+        data: np.ndarray,
+        kernel: StencilKernel,
+        boundary: BoundaryCondition,
+        fill_value: float,
+    ) -> np.ndarray:
+        padded = pad_halo(data, kernel.radius, boundary, fill_value)
+        return convstencil_valid(padded, kernel)
+
+    def run(
+        self,
+        grid: "Grid | np.ndarray",
+        steps: int,
+        boundary: BoundaryCondition | str = BoundaryCondition.CONSTANT,
+        fill_value: float = 0.0,
+    ) -> np.ndarray:
+        """Advance ``steps`` time steps and return the final same-shape array.
+
+        If ``grid`` is a :class:`~repro.stencils.grid.Grid` its boundary
+        metadata overrides ``boundary``/``fill_value``.  Fused passes cover
+        ``steps // depth`` iterations; any remainder runs unfused so the
+        requested step count is always honoured exactly.
+        """
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        if isinstance(grid, Grid):
+            data = grid.data
+            boundary = grid.boundary
+            fill_value = grid.fill_value
+        else:
+            data = np.asarray(grid, dtype=np.float64)
+            boundary = BoundaryCondition(boundary)
+        if data.ndim != self.kernel.ndim:
+            raise KernelError(
+                f"{self.kernel.ndim}-D kernel applied to {data.ndim}-D grid"
+            )
+        depth = self.plan.depth
+        fused_passes, remainder = divmod(steps, depth)
+        out = data
+        for _ in range(fused_passes):
+            out = self._pass(out, self.plan.fused, boundary, fill_value)
+        for _ in range(remainder):
+            out = self._pass(out, self.kernel, boundary, fill_value)
+        return out
+
+    def run_batch(
+        self,
+        batch: np.ndarray,
+        steps: int,
+        boundary: BoundaryCondition | str = BoundaryCondition.CONSTANT,
+        fill_value: float = 0.0,
+    ) -> np.ndarray:
+        """Advance a batch of independent grids (leading batch axis).
+
+        For 2-D kernels the whole batch shares each pass's tessellation
+        sweep (one einsum over the stacked slices — the ensemble-simulation
+        fast path); other dimensionalities fall back to a per-grid loop.
+        """
+        batch = np.asarray(batch, dtype=np.float64)
+        if batch.ndim != self.kernel.ndim + 1:
+            raise KernelError(
+                f"run_batch expects (batch, *grid) data: {self.kernel.ndim + 1}-D, "
+                f"got {batch.ndim}-D"
+            )
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        boundary = BoundaryCondition(boundary)
+        if self.kernel.ndim != 2:
+            return np.stack(
+                [self.run(g, steps, boundary, fill_value) for g in batch]
+            )
+        from repro.core.engine2d import convstencil_valid_2d_batched
+
+        def batched_pass(stack: np.ndarray, kernel: StencilKernel) -> np.ndarray:
+            r = kernel.radius
+            padded = np.stack(
+                [pad_halo(g, r, boundary, fill_value) for g in stack]
+            )
+            return convstencil_valid_2d_batched(padded, kernel)
+
+        depth = self.plan.depth
+        fused_passes, remainder = divmod(steps, depth)
+        out = batch
+        for _ in range(fused_passes):
+            out = batched_pass(out, self.plan.fused)
+        for _ in range(remainder):
+            out = batched_pass(out, self.kernel)
+        return out

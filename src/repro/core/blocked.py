@@ -1,0 +1,150 @@
+"""Block-level simulated execution (the paper's launch structure).
+
+:func:`run_simulated_2d` treats the whole grid as one block — exact for
+small studies, but a real launch decomposes the grid into Table-4 thread
+blocks, each staging its *own* halo-widened input tile.  This module adds
+that layer:
+
+* per-block shared-memory geometry from :mod:`repro.core.blocking`
+  (for the paper's 32×64 blocks and 7-edge kernels: the Figure-5
+  266→268 matrices);
+* halo re-reads — adjacent blocks load overlapping input, the global-
+  traffic amplification ``(B + k - 1)² / B²`` that favours larger tiles;
+* per-block band/tile structure, so MMA counts reflect block-local
+  rounding exactly as a launch would.
+
+Numerics remain bit-identical to the unblocked executor (asserted in
+``tests/core/test_blocked.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.blocking import BlockPlan, plan_blocks_2d
+from repro.core.simulated import ExecutionConfig, SimulatedRun, run_simulated_2d
+from repro.errors import TessellationError
+from repro.gpu.simulator import DeviceSim
+from repro.stencils.kernel import StencilKernel
+
+__all__ = [
+    "halo_read_amplification",
+    "run_simulated_1d_blocked",
+    "run_simulated_2d_blocked",
+]
+
+
+def run_simulated_1d_blocked(
+    padded: np.ndarray,
+    kernel: StencilKernel,
+    config: ExecutionConfig = ExecutionConfig(),
+    block: int = 1024,
+    sim: DeviceSim | None = None,
+) -> SimulatedRun:
+    """Simulate a blocked 1-D launch (Table 4's 1024-point blocks).
+
+    Analogue of :func:`run_simulated_2d_blocked`: each block stages its
+    halo-widened segment, so adjacent blocks re-read ``k - 1`` elements.
+    """
+    from repro.core.simulated import run_simulated_1d
+
+    if kernel.ndim != 1:
+        raise TessellationError("run_simulated_1d_blocked requires a 1-D kernel")
+    padded = np.asarray(padded, dtype=np.float64)
+    if padded.ndim != 1:
+        raise TessellationError(f"expected 1-D data, got {padded.ndim}-D")
+    if block < 1:
+        raise TessellationError(f"invalid block length {block}")
+    k = kernel.edge
+    n = padded.shape[0]
+    if n < k:
+        raise TessellationError(f"kernel edge {k} does not fit input length {n}")
+    sim = sim or DeviceSim()
+    y_valid = n - k + 1
+    out = np.empty(y_valid, dtype=np.float64)
+    shared_bytes = 0
+    for j0 in range(0, y_valid, block):
+        j1 = min(j0 + block, y_valid)
+        run = run_simulated_1d(padded[j0 : j1 + k - 1], kernel, config, sim)
+        out[j0:j1] = run.output
+        shared_bytes = max(shared_bytes, run.shared_bytes)
+    return SimulatedRun(
+        output=out, counters=sim.counters, config=config, shared_bytes=shared_bytes
+    )
+
+
+def halo_read_amplification(block: Tuple[int, int], edge: int) -> float:
+    """Global-read amplification of a blocked launch.
+
+    Each ``bx × by`` output block reads ``(bx + k - 1)(by + k - 1)`` input
+    elements; the ratio over its own share is the redundant-read factor the
+    block size trades against occupancy.
+    """
+    bx, by = block
+    if bx < 1 or by < 1:
+        raise TessellationError(f"invalid block {block}")
+    return ((bx + edge - 1) * (by + edge - 1)) / float(bx * by)
+
+
+def run_simulated_2d_blocked(
+    padded: np.ndarray,
+    kernel: StencilKernel,
+    config: ExecutionConfig = ExecutionConfig(),
+    block: Tuple[int, int] = (32, 64),
+    sim: DeviceSim | None = None,
+) -> SimulatedRun:
+    """Simulate a blocked 2-D ConvStencil launch over a halo-padded input.
+
+    The output equals :func:`run_simulated_2d`'s; the counters reflect the
+    blocked execution (halo re-reads, per-block shared geometry).  Returns
+    a :class:`SimulatedRun` whose ``shared_bytes`` is the per-block
+    allocation — the quantity the 164 KiB budget constrains.
+    """
+    if kernel.ndim != 2:
+        raise TessellationError("run_simulated_2d_blocked requires a 2-D kernel")
+    padded = np.asarray(padded, dtype=np.float64)
+    if padded.ndim != 2:
+        raise TessellationError(f"expected 2-D data, got {padded.ndim}-D")
+    k = kernel.edge
+    m, n = padded.shape
+    if m < k or n < k:
+        raise TessellationError(f"kernel edge {k} does not fit input {padded.shape}")
+    bx, by = block
+    if bx < 1 or by < 1:
+        raise TessellationError(f"invalid block {block}")
+    x_valid, y_valid = m - k + 1, n - k + 1
+    sim = sim or DeviceSim()
+
+    out = np.empty((x_valid, y_valid), dtype=np.float64)
+    shared_bytes = 0
+    for i0 in range(0, x_valid, bx):
+        i1 = min(i0 + bx, x_valid)
+        for j0 in range(0, y_valid, by):
+            j1 = min(j0 + by, y_valid)
+            tile = padded[i0 : i1 + k - 1, j0 : j1 + k - 1]
+            run = run_simulated_2d(tile, kernel, config, sim)
+            out[i0:i1, j0:j1] = run.output
+            shared_bytes = max(shared_bytes, run.shared_bytes)
+    return SimulatedRun(
+        output=out, counters=sim.counters, config=config, shared_bytes=shared_bytes
+    )
+
+
+def block_plan_for(
+    padded_shape: Tuple[int, int],
+    kernel: StencilKernel,
+    config: ExecutionConfig = ExecutionConfig(),
+    block: Tuple[int, int] = (32, 64),
+) -> BlockPlan:
+    """The static plan matching :func:`run_simulated_2d_blocked`'s launch."""
+    k = kernel.edge
+    out_shape = (padded_shape[0] - k + 1, padded_shape[1] - k + 1)
+    return plan_blocks_2d(
+        out_shape,
+        kernel,
+        block=block,
+        padding=config.padding,
+        dirty_bits=config.dirty_bits,
+    )

@@ -1,0 +1,42 @@
+"""Vectorised 1-D ConvStencil engine (§4.1).
+
+For 1-D stencils each stencil2row matrix has ``ceil(n/(k+1))`` rows of ``k``
+elements; dual tessellation reduces to two dense products with the 1-D
+triangular weight matrices, producing ``k+1`` finished outputs per
+stencil2row row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.stencil2row import stencil2row_matrices_1d
+from repro.core.weights import weight_matrices_1d
+from repro.errors import TessellationError
+from repro.stencils.kernel import StencilKernel
+
+__all__ = ["convstencil_valid_1d"]
+
+
+def convstencil_valid_1d(padded: np.ndarray, kernel: StencilKernel) -> np.ndarray:
+    """Valid-region stencil of a halo-padded 1-D input via dual tessellation.
+
+    Returns an array of length ``len(padded) - edge + 1`` equal (to FP64
+    reassociation error) to the direct sliding-window stencil.
+    """
+    if kernel.ndim != 1:
+        raise TessellationError("convstencil_valid_1d requires a 1-D kernel")
+    padded = np.asarray(padded, dtype=np.float64)
+    if padded.ndim != 1:
+        raise TessellationError(f"expected 1-D data, got {padded.ndim}-D")
+    k = kernel.edge
+    n = padded.shape[0]
+    if n < k:
+        raise TessellationError(f"input length {n} < kernel edge {k}")
+    n_valid = n - k + 1
+    a, b = stencil2row_matrices_1d(padded, k)
+    wa, wb = weight_matrices_1d(kernel)
+    # Vitrolite A accumulated with vitrolite B — a single fused MMA chain.
+    vit = a @ wa
+    vit += b @ wb
+    return vit.reshape(-1)[:n_valid]

@@ -1,0 +1,88 @@
+"""Temporal kernel fusion (§3.3 "Kernel Fusion", Figure 4).
+
+Small kernels waste Tensor-Core fragment columns: Box-2D9P's weight matrix
+has only 3 useful columns of the 8-wide FP64 fragment.  Fusing ``d`` time
+steps into one pass — replacing the kernel by its ``d``-fold composition —
+widens the effective kernel (edge ``d·(edge-1)+1``) until the fragment is
+nearly full, and amortises one global-memory round trip over ``d`` time
+steps.
+
+The paper fuses Box-2D9P twice (three composed applications) into an
+effective Box-2D49P, leaving a single wasted fragment column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KernelError
+from repro.stencils.kernel import StencilKernel
+
+__all__ = ["FusionPlan", "fused_edge", "plan_fusion", "recommended_depth"]
+
+#: Widest kernel edge that still fits one 8-column FP64 fragment
+#: (edge 7 → weight width 8 = exactly one m8n8k4 fragment column block).
+MAX_FRAGMENT_EDGE = 7
+#: 1-D stencil2row rows are only ``edge`` elements wide, so wider fused
+#: kernels stay cheap; the paper fuses up to three time steps.
+MAX_EDGE_1D = 13
+#: Deepest temporal fusion considered (the paper compares against
+#: DRStencil-T3 and fuses at most three steps itself, §5.4).
+MAX_DEPTH = 3
+
+
+def fused_edge(edge: int, depth: int) -> int:
+    """Edge length of a kernel after fusing ``depth`` time steps."""
+    if depth < 1:
+        raise KernelError(f"fusion depth must be >= 1, got {depth}")
+    return depth * (edge - 1) + 1
+
+
+def recommended_depth(kernel: StencilKernel, max_edge: int | None = None) -> int:
+    """Deepest fusion (≤ 3 steps) whose fused edge still fits the fragment.
+
+    Box-2D9P (edge 3) → 3 (effective Box-2D49P, Figure 4); Box-2D49P → 1;
+    Heat-1D → 3; 1D5P → 3 (1-D rows are cheap, so edge 13 is fine);
+    3-D kernels → 1 (fusion cubes the kernel volume, §4.2 decomposes
+    instead).
+    """
+    if max_edge is None:
+        if kernel.ndim == 3:
+            return 1
+        max_edge = MAX_EDGE_1D if kernel.ndim == 1 else MAX_FRAGMENT_EDGE
+    if kernel.edge > max_edge:
+        return 1
+    return min(MAX_DEPTH, max(1, (max_edge - 1) // (kernel.edge - 1)))
+
+
+@dataclass(frozen=True)
+class FusionPlan:
+    """A resolved fusion decision: base kernel, depth, and fused kernel.
+
+    ``fused.apply`` advances ``depth`` time steps per pass; halo depth per
+    pass is ``fused_kernel.radius = depth * base.radius``.
+    """
+
+    base: StencilKernel
+    depth: int
+    fused: StencilKernel
+
+    @property
+    def utilisation_columns(self) -> int:
+        """Useful weight-matrix columns out of 8 (Figure 4's densification)."""
+        return min(self.fused.edge, 8)
+
+
+def plan_fusion(kernel: StencilKernel, depth: int | str = "auto") -> FusionPlan:
+    """Resolve a fusion request into a :class:`FusionPlan`.
+
+    ``depth`` may be a positive integer or ``"auto"`` (choose
+    :func:`recommended_depth`).
+    """
+    if depth == "auto":
+        resolved = recommended_depth(kernel)
+    else:
+        resolved = int(depth)
+        if resolved < 1:
+            raise KernelError(f"fusion depth must be >= 1, got {depth}")
+    return FusionPlan(base=kernel, depth=resolved, fused=kernel.fuse(resolved))

@@ -1,0 +1,102 @@
+"""The classical im2row layout transformation (paper §2.2, Figure 1).
+
+im2row unrolls every kernel-sized patch of the input into one row of a tall
+matrix; convolution (and hence stencil) then becomes a matrix product with
+the flattened kernel.  For a one-kernel, one-channel stencil this degenerates
+into a matrix–*vector* product, which is exactly the space-explosion /
+low-utilisation problem (§2.3) that motivates stencil2row.
+
+This module provides both the explicit transform (used by the GEMM-based
+convolution baseline and by tests) and the footprint accounting behind the
+paper's Table 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.errors import LayoutError
+from repro.stencils.kernel import StencilKernel
+
+__all__ = [
+    "im2row_expansion_factor",
+    "im2row_matrix_1d",
+    "im2row_matrix_2d",
+    "im2row_shape",
+    "im2row_stencil_1d",
+    "im2row_stencil_2d",
+]
+
+
+def im2row_shape(input_shape: tuple, edge: int) -> tuple:
+    """Shape ``(rows, cols)`` of the im2row matrix for a hyper-cubic kernel.
+
+    ``rows`` is the number of *valid* kernel placements, ``cols`` the kernel
+    volume.  (The paper's Eq. 9/10 use the approximation rows ≈ m·n; we keep
+    the exact count and reconcile the two in the footprint analysis.)
+    """
+    if any(s < edge for s in input_shape):
+        raise LayoutError(
+            f"kernel edge {edge} does not fit input of shape {input_shape}"
+        )
+    rows = 1
+    for s in input_shape:
+        rows *= s - edge + 1
+    return rows, edge ** len(input_shape)
+
+
+def im2row_matrix_1d(padded: np.ndarray, edge: int) -> np.ndarray:
+    """im2row matrix of a 1-D input: all length-``edge`` windows as rows."""
+    padded = np.asarray(padded, dtype=np.float64)
+    if padded.ndim != 1:
+        raise LayoutError(f"im2row_matrix_1d expects 1-D input, got {padded.ndim}-D")
+    if padded.shape[0] < edge:
+        raise LayoutError(f"input length {padded.shape[0]} < kernel edge {edge}")
+    return sliding_window_view(padded, edge)
+
+
+def im2row_matrix_2d(padded: np.ndarray, edge: int) -> np.ndarray:
+    """im2row matrix of a 2-D input: each ``edge×edge`` patch flattened to a row.
+
+    Rows are ordered row-major over valid patch origins; this matches the
+    figure-2 layout where the 0th row is the patch at the top-left corner.
+    """
+    padded = np.asarray(padded, dtype=np.float64)
+    if padded.ndim != 2:
+        raise LayoutError(f"im2row_matrix_2d expects 2-D input, got {padded.ndim}-D")
+    m, n = padded.shape
+    if m < edge or n < edge:
+        raise LayoutError(f"kernel edge {edge} does not fit input {padded.shape}")
+    windows = sliding_window_view(padded, (edge, edge))
+    rows = (m - edge + 1) * (n - edge + 1)
+    return windows.reshape(rows, edge * edge)
+
+
+def im2row_stencil_1d(padded: np.ndarray, kernel: StencilKernel) -> np.ndarray:
+    """Valid-region stencil computed as im2row-matrix × kernel-vector."""
+    if kernel.ndim != 1:
+        raise LayoutError("im2row_stencil_1d requires a 1-D kernel")
+    mat = im2row_matrix_1d(padded, kernel.edge)
+    return mat @ kernel.weights
+
+
+def im2row_stencil_2d(padded: np.ndarray, kernel: StencilKernel) -> np.ndarray:
+    """Valid-region stencil computed as im2row-matrix × kernel-vector."""
+    if kernel.ndim != 2:
+        raise LayoutError("im2row_stencil_2d requires a 2-D kernel")
+    m, n = padded.shape
+    e = kernel.edge
+    mat = im2row_matrix_2d(padded, e)
+    flat = mat @ kernel.weights.reshape(-1)
+    return flat.reshape(m - e + 1, n - e + 1)
+
+
+def im2row_expansion_factor(kernel: StencilKernel) -> float:
+    """Memory-expansion multiple of im2row relative to the original input.
+
+    Table 3 counts only the stencil's actual *points*: a star kernel's im2row
+    matrix stores one column per nonzero point (Heat-2D → 5×, Star-2D13P →
+    13×), a box kernel the full ``edge**ndim`` (Box-2D49P → 49×).
+    """
+    return float(kernel.points)

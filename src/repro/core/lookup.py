@@ -1,0 +1,77 @@
+"""Host-precomputed lookup tables for layout transformation (§3.4).
+
+Mapping an input element to its stencil2row slot (Eq. 5/6) needs an integer
+division and a modulus per matrix — "highly time-consuming on GPUs" and
+identical across blocks.  ConvStencil therefore precomputes the per-column
+offsets on the host and ships them to the kernel as lookup tables.
+
+:func:`build_column_lookup` is that host-side precomputation: for every
+input column ``y`` it records the destination row and column offset in
+matrices A and B plus a validity flag.  The executor combines the table
+with *dirty-bits padding*: invalid columns are steered (by predicated
+select, not a branch) into the padding zone beyond the live columns, so the
+device-side transform becomes a straight-line gather → scatter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import LayoutError
+
+__all__ = ["ColumnLookup", "build_column_lookup"]
+
+
+@dataclass(frozen=True)
+class ColumnLookup:
+    """Per-input-column destinations in stencil2row matrices A and B.
+
+    All arrays have length ``n`` (input columns).  ``a_row[y]`` is the
+    destination row in matrix A's paper layout and ``a_off[y]`` the offset
+    within an element group, so the full column index for input element
+    ``(x, y)`` is ``edge * x + a_off[y]``.  ``a_valid[y]`` is False for the
+    one-in-``edge+1`` residue matrix A skips (those elements either branch
+    or go to the dirty zone, per the execution config).  Rows/offsets of
+    invalid entries are clamped in-range so a branch-free executor can use
+    them unconditionally.
+    """
+
+    edge: int
+    a_row: np.ndarray
+    a_off: np.ndarray
+    a_valid: np.ndarray
+    b_row: np.ndarray
+    b_off: np.ndarray
+    b_valid: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of input columns covered by the table."""
+        return self.a_row.shape[0]
+
+    @property
+    def divmod_ops_saved(self) -> int:
+        """Integer div/mod instructions the table saves per input row
+        (2 ops × 2 matrices per element)."""
+        return 4 * self.n
+
+
+def build_column_lookup(n: int, edge: int) -> ColumnLookup:
+    """Precompute the Eq. 5/6 column mappings for an ``n``-column input."""
+    if n < 1:
+        raise LayoutError(f"need at least one input column, got {n}")
+    if edge < 1:
+        raise LayoutError(f"edge must be positive, got {edge}")
+    g = edge + 1
+    y = np.arange(n, dtype=np.int64)
+    return ColumnLookup(
+        edge=edge,
+        a_row=y // g,
+        a_off=y % g,  # == edge (out of live range) exactly when invalid
+        a_valid=(y + 1) % g != 0,
+        b_row=np.maximum(y - edge, 0) // g,
+        b_off=np.maximum(y - edge, 0) % g,
+        b_valid=(y >= edge) & ((y - edge + 1) % g != 0),
+    )

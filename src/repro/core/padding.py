@@ -1,0 +1,64 @@
+"""Shared-memory padding planning: bank-conflict removal + dirty bits (§3.4).
+
+Combines the bank-geometry rule from :mod:`repro.gpu.banks` with the layout
+needs of the stencil2row matrices:
+
+* **padding** — choose a row pitch ``P ≡ 4 or 12 (mod 16)`` (FP64 elements)
+  so the two 4×4 requests of every WMMA A-fragment load tile all 32 banks
+  (Figure 5's ``266 → 268`` example);
+* **dirty bits** — reserve at least one padding element per row as the dump
+  site for input elements the stencil2row mapping skips, eliminating the
+  per-element conditional branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LayoutError
+from repro.gpu.banks import conflict_free_pitch, is_pitch_conflict_free
+
+__all__ = ["PaddingPlan", "plan_padding"]
+
+
+@dataclass(frozen=True)
+class PaddingPlan:
+    """Resolved shared-memory row geometry for one stencil2row matrix."""
+
+    #: Live row length (elements actually holding stencil2row data).
+    cols: int
+    #: Allocated row pitch in FP64 elements.
+    pitch: int
+    #: Column index where dirty elements are dumped, or ``None`` when the
+    #: executor must branch instead.
+    dirty_col: int | None
+
+    @property
+    def padding_elements(self) -> int:
+        return self.pitch - self.cols
+
+    @property
+    def conflict_free(self) -> bool:
+        return is_pitch_conflict_free(self.pitch)
+
+
+def plan_padding(cols: int, padding: bool, dirty_bits: bool) -> PaddingPlan:
+    """Plan the pitch for a stencil2row shared-memory matrix.
+
+    ``padding=False`` keeps the natural pitch (bank conflicts included);
+    ``dirty_bits`` requires at least one spare element, reusing the padding
+    zone when present (Fig. 6 variant V) or adding the minimal slack
+    otherwise.
+    """
+    if cols < 1:
+        raise LayoutError(f"cols must be positive, got {cols}")
+    if dirty_bits and not padding:
+        # dirty bits reuse the padding area; without padding we still need
+        # one spare slot, but make no bank-geometry promise.
+        return PaddingPlan(cols=cols, pitch=cols + 1, dirty_col=cols)
+    if not padding:
+        return PaddingPlan(cols=cols, pitch=cols, dirty_col=None)
+    pitch = conflict_free_pitch(cols, require_dirty_slot=dirty_bits)
+    return PaddingPlan(
+        cols=cols, pitch=pitch, dirty_col=pitch - 1 if dirty_bits else None
+    )

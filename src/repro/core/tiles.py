@@ -1,0 +1,109 @@
+"""Tile addressing for dual tessellation (§3.3, Eq. 12).
+
+Each dual tessellation consumes an 8-row tile of a stencil2row matrix.  With
+``n_s2r`` elements per stencil2row row and ``shifts`` tile positions per
+8-row band (one per valid output row), tile ``i`` starts at flat element
+offset::
+
+    base_address_i = 8 * n_s2r * (i // shifts) + (i % shifts) * edge
+
+i.e. tiles sweep rightwards by ``edge`` elements (one input row down) and
+then drop to the next 8-row band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import TessellationError
+from repro.utils.arrays import ceil_div
+
+__all__ = ["TilePlan", "tile_base_address"]
+
+#: Rows of the matrix left-multiplied on an FP64 Tensor-Core fragment.
+TILE_ROWS = 8
+
+
+def tile_base_address(i: int, n_s2r: int, shifts: int, edge: int) -> int:
+    """Eq. 12: flat base address of tile ``i`` inside a stencil2row matrix."""
+    if i < 0:
+        raise TessellationError(f"tile index must be non-negative, got {i}")
+    if shifts <= 0:
+        raise TessellationError(f"shifts per band must be positive, got {shifts}")
+    return TILE_ROWS * n_s2r * (i // shifts) + (i % shifts) * edge
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """Iteration plan over all dual-tessellation tiles of one problem.
+
+    Parameters
+    ----------
+    s2r_rows, s2r_cols:
+        Shape of the stencil2row matrix (rows may not be a multiple of 8;
+        the final band is logically zero-padded).
+    shifts:
+        Tile positions per band = number of valid output rows
+        (``m - edge + 1`` for a 2-D input of ``m`` rows; 1 for 1-D).
+    edge:
+        Kernel edge ``k``; each tile spans ``k²`` columns (``k`` in 1-D).
+    tile_cols:
+        Columns per tile (``k²`` for 2-D, ``k`` for 1-D).
+    """
+
+    s2r_rows: int
+    s2r_cols: int
+    shifts: int
+    edge: int
+    tile_cols: int
+
+    def __post_init__(self) -> None:
+        if self.shifts <= 0:
+            raise TessellationError(f"shifts must be positive, got {self.shifts}")
+        if self.tile_cols <= 0 or self.edge <= 0:
+            raise TessellationError("edge and tile_cols must be positive")
+
+    @property
+    def bands(self) -> int:
+        """Number of 8-row bands (last one zero-padded if needed)."""
+        return ceil_div(self.s2r_rows, TILE_ROWS)
+
+    @property
+    def tiles(self) -> int:
+        """Total dual tessellations required for this problem."""
+        return self.bands * self.shifts
+
+    def base_address(self, i: int) -> int:
+        """Eq. 12 address of tile ``i`` (flat, in elements)."""
+        if not 0 <= i < self.tiles:
+            raise TessellationError(f"tile index {i} out of range [0, {self.tiles})")
+        return tile_base_address(i, self.s2r_cols, self.shifts, self.edge)
+
+    def tile_origin(self, i: int) -> tuple:
+        """(band_row0, col0) origin of tile ``i`` in matrix coordinates."""
+        base = self.base_address(i)
+        return base // self.s2r_cols, base % self.s2r_cols
+
+    def iter_tiles(self) -> Iterator[tuple]:
+        """Yield ``(i, band_row0, col0)`` for every tile in execution order."""
+        for i in range(self.tiles):
+            r0, c0 = self.tile_origin(i)
+            yield i, r0, c0
+
+    def extract(self, matrix: np.ndarray, i: int) -> np.ndarray:
+        """Copy tile ``i`` out of a paper-layout stencil2row ``matrix``.
+
+        Returns an ``(8, tile_cols)`` array; rows beyond the matrix (final
+        partial band) and columns beyond the row end are zero-filled, which
+        is exactly what the dirty-padding zone guarantees on device.
+        """
+        r0, c0 = self.tile_origin(i)
+        tile = np.zeros((TILE_ROWS, self.tile_cols), dtype=np.float64)
+        rows = min(TILE_ROWS, matrix.shape[0] - r0)
+        cols = min(self.tile_cols, matrix.shape[1] - c0)
+        if rows > 0 and cols > 0:
+            tile[:rows, :cols] = matrix[r0 : r0 + rows, c0 : c0 + cols]
+        return tile

@@ -1,0 +1,27 @@
+"""Distributed execution: slab decomposition + halo exchange.
+
+Scaling ConvStencil past one device requires domain decomposition — the
+standard MPI pattern for stencils (and the natural extension of the paper's
+single-A100 evaluation).  This subpackage provides a process-local
+simulation of that pattern: the grid splits into contiguous slabs ("ranks"),
+each pass exchanges halo layers only with neighbouring slabs (never through
+a global array), and every rank runs the ConvStencil engines on its slab.
+
+Results are bit-identical to single-domain execution for every boundary
+condition, and the exchange-volume accounting exposes the communication
+cost that would cross an interconnect.
+"""
+
+from repro.distributed.decomposition import (
+    DomainDecomposition,
+    ExchangeStats,
+    exchange_halos,
+)
+from repro.distributed.runner import DistributedStencil
+
+__all__ = [
+    "DistributedStencil",
+    "DomainDecomposition",
+    "ExchangeStats",
+    "exchange_halos",
+]

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the ConvStencil reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors elsewhere.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class KernelError(ReproError):
+    """Raised for invalid stencil-kernel definitions (shape, radius, weights)."""
+
+
+class GridError(ReproError):
+    """Raised for invalid grid shapes, halo widths, or boundary conditions."""
+
+
+class LayoutError(ReproError):
+    """Raised when a layout transformation (im2row / stencil2row) is misused."""
+
+
+class TessellationError(ReproError):
+    """Raised when dual tessellation receives incompatible tiles or weights."""
+
+class FragmentError(ReproError):
+    """Raised for Tensor-Core fragment shape or dtype violations."""
+
+
+class SimulationError(ReproError):
+    """Raised by the GPU simulator for invalid device programs."""
+
+
+class ModelError(ReproError):
+    """Raised by the performance model for invalid configurations."""
+
+
+class BaselineError(ReproError):
+    """Raised by baseline engines for unsupported stencil configurations."""

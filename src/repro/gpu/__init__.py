@@ -1,0 +1,42 @@
+"""GPU simulator substrate: device specs, memories, Tensor Cores, counters.
+
+This package stands in for the NVIDIA A100 the paper runs on.  It is not a
+cycle-accurate GPU model; it is an *accounting* simulator: it executes the
+same data movements and MMA operations a WMMA kernel would issue, and counts
+the quantities the paper reasons about — FP64 MMA instructions, bytes moved
+per memory level, shared-memory bank conflicts per request, uncoalesced
+global transactions, integer div/mod and branch instructions — which the
+performance model (:mod:`repro.model`) then converts into time via the
+paper's Eq. 2–4.
+"""
+
+from repro.gpu.banks import analyze_shared_request, conflict_free_pitch, fp64_word_addresses
+from repro.gpu.coalescing import CoalescingStats, transactions_for_access
+from repro.gpu.counters import PerfCounters
+from repro.gpu.memory import GlobalMemorySim, SharedArray2D
+from repro.gpu.simulator import DeviceSim
+from repro.gpu.specs import A100, H100, V100, DeviceSpec
+from repro.gpu.tensor_core import (
+    MMA_SHAPE_FP16,
+    MMA_SHAPE_FP64,
+    TensorCore,
+)
+
+__all__ = [
+    "A100",
+    "CoalescingStats",
+    "DeviceSim",
+    "DeviceSpec",
+    "GlobalMemorySim",
+    "H100",
+    "MMA_SHAPE_FP16",
+    "MMA_SHAPE_FP64",
+    "PerfCounters",
+    "SharedArray2D",
+    "TensorCore",
+    "V100",
+    "analyze_shared_request",
+    "conflict_free_pitch",
+    "fp64_word_addresses",
+    "transactions_for_access",
+]

@@ -1,0 +1,71 @@
+"""Shared-memory bank-conflict analysis (§3.4, Figure 5).
+
+On the A100, shared memory is organised into 32 banks of 4 bytes.  An FP64
+element spans two consecutive banks, so a 16-thread FP64 request touches up
+to 32 banks.  A request whose threads address *different 4-byte words in the
+same bank* is replayed once per extra word — each replay beyond the first is
+one bank conflict.  Accessing the *same* word from several threads is a
+broadcast and conflict-free.
+
+The module also derives the paper's padding rule: a pitch ``P`` (in FP64
+elements) makes 4×4 FP64 fragment requests conflict-free iff the four row
+starts land on disjoint bank ranges, i.e. ``P ≡ 4 or 12 (mod 16)`` — which
+is exactly why the paper pads a 266-column stencil2row matrix to 268.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "analyze_shared_request",
+    "conflict_free_pitch",
+    "fp64_word_addresses",
+    "is_pitch_conflict_free",
+]
+
+
+def fp64_word_addresses(element_offsets: np.ndarray) -> np.ndarray:
+    """Expand FP64 element offsets into their two 4-byte word addresses."""
+    offs = np.asarray(element_offsets, dtype=np.int64).reshape(-1)
+    return np.stack([2 * offs, 2 * offs + 1], axis=1).reshape(-1)
+
+
+def analyze_shared_request(
+    word_addresses: np.ndarray, banks: int = 32
+) -> tuple:
+    """Replay count and conflicts of one shared-memory request.
+
+    ``word_addresses`` are 4-byte word indices (not bytes).  Returns
+    ``(replays, conflicts)`` where ``replays >= 1`` for a non-empty request
+    and ``conflicts = replays - 1``.
+    """
+    words = np.unique(np.asarray(word_addresses, dtype=np.int64).reshape(-1))
+    if words.size == 0:
+        return 0, 0
+    bank_of = words % banks
+    # distinct words per bank; the request replays max-per-bank times
+    _, counts = np.unique(bank_of, return_counts=True)
+    replays = int(counts.max())
+    return replays, replays - 1
+
+
+def is_pitch_conflict_free(pitch: int) -> bool:
+    """Whether 4×4 FP64 fragment loads from a ``pitch``-element row layout
+    are bank-conflict-free (row starts must tile all 32 banks)."""
+    return pitch % 16 in (4, 12)
+
+
+def conflict_free_pitch(columns: int, require_dirty_slot: bool = False) -> int:
+    """Smallest conflict-free pitch ≥ ``columns`` (Figure 5's padding).
+
+    With ``require_dirty_slot`` the pitch is strictly greater than
+    ``columns`` so at least one padding element exists to absorb dirty bits
+    (§3.4 "Dirty Bits Padding").
+    """
+    if columns < 1:
+        raise ValueError(f"columns must be positive, got {columns}")
+    pitch = columns + 1 if require_dirty_slot else columns
+    while not is_pitch_conflict_free(pitch):
+        pitch += 1
+    return pitch

@@ -1,0 +1,64 @@
+"""Global-memory coalescing analysis.
+
+A warp's global access is served in 128-byte transactions (32-byte sectors
+grouped by the L1).  A fully-coalesced FP64 warp load (32 consecutive
+doubles) needs exactly ``ceil(32·8 / 128) = 2`` transactions; scattered or
+strided patterns need more.  We count a warp access as *uncoalesced* when it
+needs more transactions than the ideal packing of the same bytes — the
+quantity behind the paper's Table-5 "UGA %" metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.arrays import ceil_div
+
+__all__ = ["CoalescingStats", "transactions_for_access"]
+
+
+@dataclass(frozen=True)
+class CoalescingStats:
+    """Outcome of analysing one warp-level global access."""
+
+    transactions: int
+    ideal_transactions: int
+    bytes_accessed: int
+
+    @property
+    def is_uncoalesced(self) -> bool:
+        return self.transactions > self.ideal_transactions
+
+    @property
+    def excess_transactions(self) -> int:
+        return self.transactions - self.ideal_transactions
+
+
+def transactions_for_access(
+    byte_addresses: np.ndarray,
+    elem_bytes: int,
+    transaction_bytes: int = 128,
+) -> CoalescingStats:
+    """Analyse one warp access given per-thread starting byte addresses.
+
+    Each thread touches ``elem_bytes`` consecutive bytes from its address;
+    the access costs one transaction per distinct ``transaction_bytes``
+    segment touched.
+    """
+    addrs = np.asarray(byte_addresses, dtype=np.int64).reshape(-1)
+    if addrs.size == 0:
+        return CoalescingStats(0, 0, 0)
+    if elem_bytes < 1:
+        raise ValueError(f"elem_bytes must be positive, got {elem_bytes}")
+    first = addrs // transaction_bytes
+    last = (addrs + elem_bytes - 1) // transaction_bytes
+    spans = [np.arange(f, l + 1) for f, l in zip(first, last)]
+    segments = np.unique(np.concatenate(spans))
+    nbytes = int(addrs.size) * elem_bytes
+    return CoalescingStats(
+        transactions=int(segments.size),
+        ideal_transactions=ceil_div(nbytes, transaction_bytes),
+        bytes_accessed=nbytes,
+    )

@@ -1,0 +1,187 @@
+"""Simulated memories: shared-memory buffers with banks, global memory with
+coalescing.
+
+The simulator executes real data movement (values actually flow through
+these buffers) while tallying the hardware events the paper's model and
+Table 5 need: shared-memory requests and bank conflicts, global transactions
+and their coalescing quality, and bytes per level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpu.banks import analyze_shared_request, fp64_word_addresses
+from repro.gpu.coalescing import transactions_for_access
+from repro.gpu.counters import PerfCounters
+
+__all__ = ["GlobalMemorySim", "SharedArray2D"]
+
+#: Threads per warp.
+WARP = 32
+#: Threads per FP64 shared-memory request (32 threads × 8 B = two waves).
+FP64_REQUEST_LANES = 16
+
+
+class SharedArray2D:
+    """A pitched 2-D FP64 shared-memory buffer.
+
+    ``pitch`` is the row stride in FP64 elements; the padding columns beyond
+    ``cols`` are the (dirty-bits) padding zone of §3.4.  All accesses funnel
+    through :meth:`store_elements` / :meth:`load_fragment_a` so every bank
+    conflict is accounted.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        pitch: int,
+        counters: PerfCounters,
+        banks: int = 32,
+        trace=None,
+    ) -> None:
+        if pitch < cols:
+            raise SimulationError(f"pitch {pitch} smaller than logical columns {cols}")
+        if rows < 1 or cols < 1:
+            raise SimulationError(f"invalid shared array shape ({rows}, {cols})")
+        self.rows = rows
+        self.cols = cols
+        self.pitch = pitch
+        self.banks = banks
+        self.counters = counters
+        self.trace = trace
+        self.data = np.zeros((rows, pitch), dtype=np.float64)
+
+    @property
+    def nbytes(self) -> int:
+        """Shared-memory footprint including padding."""
+        return self.data.size * 8
+
+    def _element_offsets(self, row_idx: np.ndarray, col_idx: np.ndarray) -> np.ndarray:
+        return np.asarray(row_idx, dtype=np.int64) * self.pitch + np.asarray(
+            col_idx, dtype=np.int64
+        )
+
+    def store_elements(
+        self, row_idx: np.ndarray, col_idx: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Warp-style scatter of FP64 values, counting store requests/conflicts.
+
+        Lanes are processed :data:`FP64_REQUEST_LANES` at a time, matching
+        how the hardware splits an FP64 warp store into two requests.
+        """
+        row_idx = np.asarray(row_idx, dtype=np.int64).reshape(-1)
+        col_idx = np.asarray(col_idx, dtype=np.int64).reshape(-1)
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if not (row_idx.shape == col_idx.shape == values.shape):
+            raise SimulationError("store_elements requires equal-length index/value arrays")
+        if row_idx.size == 0:
+            return
+        if (row_idx < 0).any() or (row_idx >= self.rows).any():
+            raise SimulationError("shared store row index out of range")
+        if (col_idx < 0).any() or (col_idx >= self.pitch).any():
+            raise SimulationError("shared store column index beyond pitch")
+        offsets = self._element_offsets(row_idx, col_idx)
+        for start in range(0, offsets.size, FP64_REQUEST_LANES):
+            chunk = offsets[start : start + FP64_REQUEST_LANES]
+            words = fp64_word_addresses(chunk)
+            _, conflicts = analyze_shared_request(words, banks=self.banks)
+            self.counters.shared_store_requests += 1
+            self.counters.shared_store_conflicts += conflicts
+            self.counters.shared_write_bytes += chunk.size * 8
+            if self.trace is not None:
+                self.trace.record("shared_store", words, 4)
+        self.data.reshape(-1)[offsets] = values
+
+    def load_fragment_a(self, r0: int, c0: int) -> np.ndarray:
+        """WMMA 8×4 FP64 A-fragment load (two 4×4 requests, §3.4).
+
+        Returns the ``(8, 4)`` fragment; out-of-range rows/columns are an
+        error — the dirty-padding design guarantees in-range addresses.
+        """
+        if not (0 <= r0 and r0 + 8 <= self.rows):
+            raise SimulationError(f"fragment rows [{r0}, {r0 + 8}) out of range")
+        if not (0 <= c0 and c0 + 4 <= self.pitch):
+            raise SimulationError(f"fragment cols [{c0}, {c0 + 4}) beyond pitch")
+        frag = self.data[r0 : r0 + 8, c0 : c0 + 4]
+        for half in range(2):
+            rows = np.repeat(np.arange(r0 + 4 * half, r0 + 4 * half + 4), 4)
+            cols = np.tile(np.arange(c0, c0 + 4), 4)
+            offsets = self._element_offsets(rows, cols)
+            words = fp64_word_addresses(offsets)
+            _, conflicts = analyze_shared_request(words, banks=self.banks)
+            self.counters.shared_load_requests += 1
+            self.counters.shared_load_conflicts += conflicts
+            self.counters.shared_read_bytes += offsets.size * 8
+            if self.trace is not None:
+                self.trace.record("shared_load", words, 4)
+        return frag.copy()
+
+
+class GlobalMemorySim:
+    """Global-memory access recorder with coalescing analysis.
+
+    Holds no backing store (engines keep their own arrays); it converts
+    warp address patterns into transaction counts and byte tallies.
+    """
+
+    def __init__(
+        self, counters: PerfCounters, transaction_bytes: int = 128, trace=None
+    ) -> None:
+        self.counters = counters
+        self.transaction_bytes = transaction_bytes
+        self.trace = trace
+
+    def _record(
+        self,
+        byte_addresses: np.ndarray,
+        elem_bytes: int,
+        write: bool,
+        granularity: int = WARP,
+    ) -> None:
+        """Record accesses in ``granularity``-lane groups.
+
+        ``granularity=0`` analyses the whole address list as one streaming
+        access: consecutive warps of a streaming read share their boundary
+        transaction through the L2, so only genuinely extra segments count
+        as uncoalesced.
+        """
+        addrs = np.asarray(byte_addresses, dtype=np.int64).reshape(-1)
+        step = granularity if granularity > 0 else max(addrs.size, 1)
+        for start in range(0, addrs.size, step):
+            group = addrs[start : start + step]
+            if self.trace is not None:
+                self.trace.record(
+                    "global_write" if write else "global_read", group, elem_bytes
+                )
+            stats = transactions_for_access(
+                group, elem_bytes, self.transaction_bytes
+            )
+            self.counters.global_transactions += stats.transactions
+            self.counters.ideal_global_transactions += stats.ideal_transactions
+            if stats.is_uncoalesced:
+                self.counters.uncoalesced_transactions += stats.excess_transactions
+            if write:
+                self.counters.global_write_bytes += stats.bytes_accessed
+            else:
+                self.counters.global_read_bytes += stats.bytes_accessed
+
+    def read(self, byte_addresses: np.ndarray, elem_bytes: int = 8) -> None:
+        """Record warp-granular global reads at the given byte addresses."""
+        self._record(byte_addresses, elem_bytes, write=False)
+
+    def write(self, byte_addresses: np.ndarray, elem_bytes: int = 8) -> None:
+        """Record warp-granular global writes at the given byte addresses."""
+        self._record(byte_addresses, elem_bytes, write=True)
+
+    def read_linear(self, base_byte: int, count: int, elem_bytes: int = 8) -> None:
+        """Record a fully-contiguous streaming read of ``count`` elements."""
+        addrs = base_byte + np.arange(count, dtype=np.int64) * elem_bytes
+        self._record(addrs, elem_bytes, write=False, granularity=0)
+
+    def write_linear(self, base_byte: int, count: int, elem_bytes: int = 8) -> None:
+        """Record a fully-contiguous streaming write of ``count`` elements."""
+        addrs = base_byte + np.arange(count, dtype=np.int64) * elem_bytes
+        self._record(addrs, elem_bytes, write=True, granularity=0)

@@ -1,0 +1,117 @@
+"""SM occupancy calculation from all four hardware limits.
+
+:meth:`~repro.core.blocking.BlockPlan.blocks_per_sm` considers only shared
+memory — the binding constraint for ConvStencil's big stencil2row staging.
+This module provides the complete calculator a CUDA occupancy API performs,
+so other configurations (small tiles, register-heavy kernels) are also
+modelled correctly:
+
+* thread limit — at most 2048 resident threads per SM (A100);
+* warp limit — at most 64 resident warps;
+* block limit — at most 32 resident blocks;
+* register file — 65 536 registers per SM;
+* shared memory — the spec's per-SM capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.gpu.specs import A100, DeviceSpec
+
+__all__ = ["OccupancyLimits", "OccupancyResult", "occupancy"]
+
+#: Resident-context limits of Ampere-class SMs.
+MAX_THREADS_PER_SM = 2048
+MAX_WARPS_PER_SM = 64
+MAX_BLOCKS_PER_SM = 32
+REGISTERS_PER_SM = 65536
+WARP_SIZE = 32
+MAX_THREADS_PER_BLOCK = 1024
+
+
+@dataclass(frozen=True)
+class OccupancyLimits:
+    """Per-resource resident-block limits for one kernel configuration."""
+
+    by_threads: int
+    by_blocks: int
+    by_registers: int
+    by_shared_memory: int
+
+    @property
+    def blocks_per_sm(self) -> int:
+        return min(
+            self.by_threads, self.by_blocks, self.by_registers, self.by_shared_memory
+        )
+
+    @property
+    def binding_resource(self) -> str:
+        """Which limit binds (ties resolve in a fixed priority order)."""
+        limit = self.blocks_per_sm
+        for name, value in (
+            ("shared_memory", self.by_shared_memory),
+            ("registers", self.by_registers),
+            ("threads", self.by_threads),
+            ("blocks", self.by_blocks),
+        ):
+            if value == limit:
+                return name
+        raise AssertionError  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Occupancy of one kernel configuration on one device."""
+
+    limits: OccupancyLimits
+    threads_per_block: int
+
+    @property
+    def blocks_per_sm(self) -> int:
+        return self.limits.blocks_per_sm
+
+    @property
+    def resident_warps(self) -> int:
+        return self.blocks_per_sm * (self.threads_per_block // WARP_SIZE)
+
+    @property
+    def warp_occupancy(self) -> float:
+        """Resident warps over the SM's warp capacity (the CUDA metric)."""
+        return self.resident_warps / MAX_WARPS_PER_SM
+
+
+def occupancy(
+    threads_per_block: int,
+    smem_per_block: int,
+    regs_per_thread: int = 64,
+    spec: DeviceSpec = A100,
+) -> OccupancyResult:
+    """Compute resident blocks/SM and warp occupancy for a configuration.
+
+    ``regs_per_thread`` defaults to 64 — typical for the register-hungry
+    WMMA stencil kernels the paper describes.
+    """
+    if threads_per_block < 1 or threads_per_block > MAX_THREADS_PER_BLOCK:
+        raise SimulationError(
+            f"threads_per_block must be in [1, {MAX_THREADS_PER_BLOCK}], "
+            f"got {threads_per_block}"
+        )
+    if threads_per_block % WARP_SIZE != 0:
+        raise SimulationError(
+            f"threads_per_block must be a warp multiple, got {threads_per_block}"
+        )
+    if smem_per_block < 0 or regs_per_thread < 1:
+        raise SimulationError("invalid shared-memory or register request")
+    limits = OccupancyLimits(
+        by_threads=MAX_THREADS_PER_SM // threads_per_block,
+        by_blocks=MAX_BLOCKS_PER_SM,
+        by_registers=REGISTERS_PER_SM // (regs_per_thread * threads_per_block),
+        by_shared_memory=(
+            spec.shared_mem_per_sm // smem_per_block
+            if smem_per_block > 0
+            else 10**9  # unconstrained
+        ),
+    )
+    return OccupancyResult(limits=limits, threads_per_block=threads_per_block)

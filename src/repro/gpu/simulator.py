@@ -1,0 +1,70 @@
+"""Top-level device simulator handle.
+
+:class:`DeviceSim` owns one :class:`~repro.gpu.counters.PerfCounters`
+instance and hands out the units (Tensor Core, shared buffers, global-memory
+recorder) that write into it, so a simulated kernel's complete footprint is
+gathered in one place and can be fed to the performance model.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.counters import PerfCounters
+from repro.gpu.memory import GlobalMemorySim, SharedArray2D
+from repro.gpu.specs import A100, DeviceSpec
+from repro.gpu.tensor_core import TensorCore
+
+__all__ = ["DeviceSim"]
+
+
+class DeviceSim:
+    """A simulated device executing one kernel's worth of work.
+
+    Example::
+
+        sim = DeviceSim()
+        smem = sim.shared_array(rows=8, cols=266, pitch=268)
+        frag = smem.load_fragment_a(0, 0)
+        acc = sim.tensor_core.mma_f64(frag, weights, None)
+        print(sim.counters.bank_conflicts_per_request)
+    """
+
+    def __init__(self, spec: DeviceSpec = A100, trace: bool = False) -> None:
+        from repro.gpu.trace import AccessTrace
+
+        self.spec = spec
+        self.counters = PerfCounters()
+        self.trace = AccessTrace() if trace else None
+        self.tensor_core = TensorCore(self.counters, trace=self.trace)
+        self.global_memory = GlobalMemorySim(
+            self.counters, transaction_bytes=spec.transaction_bytes, trace=self.trace
+        )
+
+    def shared_array(self, rows: int, cols: int, pitch: int | None = None) -> SharedArray2D:
+        """Allocate a pitched shared-memory buffer tracked by this device."""
+        return SharedArray2D(
+            rows=rows,
+            cols=cols,
+            pitch=cols if pitch is None else pitch,
+            counters=self.counters,
+            banks=self.spec.banks,
+            trace=self.trace,
+        )
+
+    # -- scalar-instruction tallies ----------------------------------------
+
+    def count_divmod(self, n: int = 1) -> None:
+        """Record integer division/modulus instructions (§3.4 conflict 1)."""
+        self.counters.int_divmod += n
+
+    def count_branch(self, n: int = 1) -> None:
+        """Record conditional branches (§3.4 conflict 3)."""
+        self.counters.branches += n
+
+    def count_fma(self, n: int = 1) -> None:
+        """Record CUDA-core FP64 fused multiply-adds."""
+        self.counters.fma_fp64 += n
+
+    def reset(self) -> None:
+        """Zero all counters (units keep writing into the same object)."""
+        fresh = PerfCounters()
+        self.counters.__dict__.update(fresh.__dict__)

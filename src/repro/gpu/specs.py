@@ -1,0 +1,100 @@
+"""Device specifications (paper §5.1 platform + Table 2 latencies).
+
+The A100 numbers are the ones the paper cites: 108 SMs × 4 Tensor Cores,
+1410 MHz, 19.5 TFLOPS FP64 on Tensor Cores, 1935 GB/s HBM2e, 164 KiB shared
+memory per SM, FP64 MMA CPI of 16 cycles [Abdelkhalik et al. 2022], and
+global/shared access latencies of 290 and 23/19 cycles (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["A100", "H100", "V100", "DeviceSpec"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static hardware description consumed by the simulator and perf model."""
+
+    name: str
+    sm_count: int
+    tcu_per_sm: int
+    clock_hz: float
+    #: Peak FP64 throughput of the Tensor Cores (FLOP/s).
+    fp64_tcu_flops: float
+    #: Peak FP64 throughput of the CUDA cores (FLOP/s).
+    fp64_cuda_flops: float
+    #: Peak FP16 Tensor-Core throughput (FLOP/s).
+    fp16_tcu_flops: float
+    #: Global-memory bandwidth (bytes/s) — ``bw_G`` in Eq. 4.
+    global_bw: float
+    #: Aggregate shared-memory bandwidth (bytes/s) — ``bw_S`` in Eq. 4.
+    shared_bw: float
+    shared_mem_per_sm: int
+    banks: int = 32
+    bank_bytes: int = 4
+    transaction_bytes: int = 128
+    global_latency_cycles: int = 290
+    shared_load_latency: int = 23
+    shared_store_latency: int = 19
+    #: Cycles per FP64 m8n8k4 MMA instruction — ``CPI_tcu`` in Eq. 3.
+    #: Float so what-if studies can scale it continuously.
+    mma_cpi_fp64: float = 16.0
+
+    @property
+    def n_tcu(self) -> int:
+        """Total Tensor Core units — ``N_tcu`` in Eq. 3 (432 on A100)."""
+        return self.sm_count * self.tcu_per_sm
+
+    @property
+    def fp64_mma_flop(self) -> int:
+        """FLOPs performed by one m8n8k4 FP64 MMA (8·8·4 multiply-adds)."""
+        return 8 * 8 * 4 * 2
+
+
+#: NVIDIA A100-SXM4-80GB as used in the paper's evaluation platform.
+A100 = DeviceSpec(
+    name="A100",
+    sm_count=108,
+    tcu_per_sm=4,
+    clock_hz=1.410e9,
+    fp64_tcu_flops=19.5e12,
+    fp64_cuda_flops=9.7e12,
+    fp16_tcu_flops=312e12,
+    global_bw=1935e9,
+    # 128 B/clk/SM load bandwidth × 108 SMs × 1.41 GHz ≈ 19.5 TB/s.
+    shared_bw=128 * 108 * 1.410e9,
+    shared_mem_per_sm=164 * 1024,
+)
+
+#: V100 (no FP64 Tensor Cores — FP64 MMA falls back to CUDA-core rate).
+V100 = DeviceSpec(
+    name="V100",
+    sm_count=80,
+    tcu_per_sm=8,
+    clock_hz=1.530e9,
+    fp64_tcu_flops=7.8e12,
+    fp64_cuda_flops=7.8e12,
+    fp16_tcu_flops=125e12,
+    global_bw=900e9,
+    shared_bw=128 * 80 * 1.530e9,
+    shared_mem_per_sm=96 * 1024,
+    global_latency_cycles=400,
+    shared_load_latency=27,
+    shared_store_latency=23,
+)
+
+#: H100 SXM — provided for what-if sweeps in examples.
+H100 = DeviceSpec(
+    name="H100",
+    sm_count=132,
+    tcu_per_sm=4,
+    clock_hz=1.830e9,
+    fp64_tcu_flops=66.9e12,
+    fp64_cuda_flops=33.5e12,
+    fp16_tcu_flops=989e12,
+    global_bw=3350e9,
+    shared_bw=128 * 132 * 1.830e9,
+    shared_mem_per_sm=228 * 1024,
+)

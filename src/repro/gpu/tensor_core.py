@@ -1,0 +1,127 @@
+"""Simulated Tensor Core units (§2.2, Eq. 1).
+
+The FP64 Tensor Core of the A100 supports exactly one MMA shape,
+``m8n8k4``: ``D[8,8] = A[8,4] @ B[4,8] + C[8,8]`` — the "unique asymmetric
+small MM" the paper designs dual tessellation around.  The FP16 path used by
+TCStencil multiplies 16×16×16 fragments with FP32 accumulation.
+
+Numerics are performed exactly (FP64 matmul / emulated FP16 inputs) so the
+simulated kernels produce real results; every call also tallies instruction
+counts and fragment-column utilisation into :class:`PerfCounters`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FragmentError
+from repro.gpu.counters import PerfCounters
+
+__all__ = ["MMA_SHAPE_FP16", "MMA_SHAPE_FP64", "TensorCore"]
+
+#: m, n, k of the FP64 MMA instruction (DMMA.884 on Ampere).
+MMA_SHAPE_FP64 = (8, 8, 4)
+#: m, n, k of the FP16 WMMA fragment TCStencil uses.
+MMA_SHAPE_FP16 = (16, 16, 16)
+
+
+def _check_shape(arr: np.ndarray, shape: tuple, label: str) -> np.ndarray:
+    arr = np.asarray(arr)
+    if arr.shape != shape:
+        raise FragmentError(f"{label} fragment must be {shape}, got {arr.shape}")
+    return arr
+
+
+class TensorCore:
+    """One simulated Tensor Core unit writing into shared counters."""
+
+    def __init__(self, counters: PerfCounters | None = None, trace=None) -> None:
+        self.counters = counters if counters is not None else PerfCounters()
+        self.trace = trace
+
+    def mma_f64(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray | None = None,
+        useful_columns: int | None = None,
+    ) -> np.ndarray:
+        """One FP64 m8n8k4 MMA: returns ``a @ b + c``.
+
+        ``useful_columns`` (0–8) records how many of the 8 result columns
+        carry real stencil data, feeding the §3.3 utilisation statistic;
+        if omitted it is inferred from the nonzero columns of ``b``.
+        """
+        m, n, k = MMA_SHAPE_FP64
+        a = _check_shape(a, (m, k), "A").astype(np.float64, copy=False)
+        b = _check_shape(b, (k, n), "B").astype(np.float64, copy=False)
+        if c is None:
+            c = np.zeros((m, n), dtype=np.float64)
+        else:
+            c = _check_shape(c, (m, n), "C").astype(np.float64, copy=False)
+        if useful_columns is None:
+            useful_columns = int(np.count_nonzero(np.any(b != 0.0, axis=0)))
+        if not 0 <= useful_columns <= n:
+            raise FragmentError(f"useful_columns must be in [0, {n}], got {useful_columns}")
+        self.counters.mma_fp64 += 1
+        self.counters.fragment_columns_total += n
+        self.counters.fragment_columns_useful += useful_columns
+        if self.trace is not None:
+            self.trace.record("mma_fp64")
+        return a @ b + c
+
+    def mma_f16(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray | None = None,
+        useful_columns: int | None = None,
+    ) -> np.ndarray:
+        """One FP16 m16n16k16 WMMA with FP32 accumulation.
+
+        Inputs are rounded through float16 (reproducing TCStencil's
+        precision loss); the product accumulates in float32 as the hardware
+        does.
+        """
+        m, n, k = MMA_SHAPE_FP16
+        a = _check_shape(a, (m, k), "A").astype(np.float16)
+        b = _check_shape(b, (k, n), "B").astype(np.float16)
+        if c is None:
+            c = np.zeros((m, n), dtype=np.float32)
+        else:
+            c = _check_shape(c, (m, n), "C").astype(np.float32, copy=False)
+        if useful_columns is None:
+            useful_columns = int(np.count_nonzero(np.any(b != np.float16(0.0), axis=0)))
+        self.counters.mma_fp16 += 1
+        self.counters.fragment_columns_total += n
+        self.counters.fragment_columns_useful += int(useful_columns)
+        if self.trace is not None:
+            self.trace.record("mma_fp16")
+        return a.astype(np.float32) @ b.astype(np.float32) + c
+
+    def mma_f64_chain(
+        self,
+        a_tiles: np.ndarray,
+        b_tiles: np.ndarray,
+        c: np.ndarray | None = None,
+        useful_columns: int | None = None,
+    ) -> np.ndarray:
+        """Accumulate a chain of m8n8k4 MMAs: ``sum_i A_i @ B_i + C``.
+
+        ``a_tiles`` has shape ``(chunks, 8, 4)`` and ``b_tiles``
+        ``(chunks, 4, 8)`` — the k-dimension split of a wider product, as a
+        WMMA kernel would issue it.
+        """
+        a_tiles = np.asarray(a_tiles, dtype=np.float64)
+        b_tiles = np.asarray(b_tiles, dtype=np.float64)
+        if a_tiles.ndim != 3 or b_tiles.ndim != 3 or a_tiles.shape[0] != b_tiles.shape[0]:
+            raise FragmentError(
+                f"chain needs matching (chunks, 8, 4)/(chunks, 4, 8) stacks, "
+                f"got {a_tiles.shape} and {b_tiles.shape}"
+            )
+        acc = c
+        for at, bt in zip(a_tiles, b_tiles):
+            acc = self.mma_f64(at, bt, acc, useful_columns=useful_columns)
+        if acc is None:
+            acc = np.zeros(MMA_SHAPE_FP64[:2], dtype=np.float64)
+        return acc

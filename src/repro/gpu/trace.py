@@ -1,0 +1,140 @@
+"""Device access traces: record, inspect, and replay simulated kernels.
+
+A :class:`AccessTrace` captures the ordered stream of device events a
+simulated kernel issues — global/shared accesses (with their address
+patterns) and MMA instructions.  Traces serve two purposes:
+
+* *inspection* — the Table-5 style studies can ask "which requests
+  conflicted?" instead of only seeing aggregate counters;
+* *replay* — a recorded trace re-driven through a fresh
+  :class:`~repro.gpu.counters.PerfCounters` must reproduce the original
+  tallies exactly, which pins down the simulator's determinism (tested in
+  ``tests/gpu/test_trace.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpu.banks import analyze_shared_request
+from repro.gpu.coalescing import transactions_for_access
+from repro.gpu.counters import PerfCounters
+
+__all__ = ["AccessTrace", "TraceEvent"]
+
+_KINDS = ("global_read", "global_write", "shared_load", "shared_store", "mma_fp64", "mma_fp16")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One device event.
+
+    ``addresses`` are byte addresses for global events, 4-byte word indices
+    for shared events, and empty for MMA events.  ``elem_bytes`` is the
+    per-thread element width of memory events.
+    """
+
+    kind: str
+    addresses: Tuple[int, ...] = ()
+    elem_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise SimulationError(f"unknown trace event kind {self.kind!r}")
+
+
+@dataclass
+class AccessTrace:
+    """An ordered record of device events."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, kind: str, addresses=(), elem_bytes: int = 8) -> None:
+        """Append one event (addresses are copied to an immutable tuple)."""
+        self.events.append(
+            TraceEvent(
+                kind=kind,
+                addresses=tuple(int(a) for a in np.asarray(addresses).reshape(-1)),
+                elem_bytes=elem_bytes,
+            )
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def count(self, kind: str) -> int:
+        """Number of events of one kind."""
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def conflicted_requests(self) -> List[int]:
+        """Indices of shared events whose request replays (bank conflicts)."""
+        out = []
+        for i, e in enumerate(self.events):
+            if e.kind in ("shared_load", "shared_store") and e.addresses:
+                _, conflicts = analyze_shared_request(np.array(e.addresses))
+                if conflicts:
+                    out.append(i)
+        return out
+
+    def uncoalesced_accesses(self) -> List[int]:
+        """Indices of global events needing more transactions than ideal."""
+        out = []
+        for i, e in enumerate(self.events):
+            if e.kind in ("global_read", "global_write") and e.addresses:
+                stats = transactions_for_access(np.array(e.addresses), e.elem_bytes)
+                if stats.is_uncoalesced:
+                    out.append(i)
+        return out
+
+    # -- replay ---------------------------------------------------------------
+
+    def replay(self) -> PerfCounters:
+        """Re-drive the trace into fresh counters (deterministic tally)."""
+        c = PerfCounters()
+        for e in self.events:
+            if e.kind == "mma_fp64":
+                c.mma_fp64 += 1
+            elif e.kind == "mma_fp16":
+                c.mma_fp16 += 1
+            elif e.kind in ("global_read", "global_write"):
+                stats = transactions_for_access(np.array(e.addresses), e.elem_bytes)
+                c.global_transactions += stats.transactions
+                c.ideal_global_transactions += stats.ideal_transactions
+                if stats.is_uncoalesced:
+                    c.uncoalesced_transactions += stats.excess_transactions
+                if e.kind == "global_read":
+                    c.global_read_bytes += stats.bytes_accessed
+                else:
+                    c.global_write_bytes += stats.bytes_accessed
+            else:  # shared
+                _, conflicts = analyze_shared_request(np.array(e.addresses))
+                nbytes = len(e.addresses) * 4  # word addresses
+                if e.kind == "shared_load":
+                    c.shared_load_requests += 1
+                    c.shared_load_conflicts += conflicts
+                    c.shared_read_bytes += nbytes
+                else:
+                    c.shared_store_requests += 1
+                    c.shared_store_conflicts += conflicts
+                    c.shared_write_bytes += nbytes
+        return c
+
+    def summary(self) -> str:
+        """Human-readable one-liner per event kind."""
+        parts = [f"{k}={self.count(k)}" for k in _KINDS if self.count(k)]
+        return (
+            f"AccessTrace({', '.join(parts)}; "
+            f"{len(self.conflicted_requests())} conflicted shared requests, "
+            f"{len(self.uncoalesced_accesses())} uncoalesced global accesses)"
+        )

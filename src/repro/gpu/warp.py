@@ -1,0 +1,50 @@
+"""Warp-level address-pattern generators.
+
+These helpers build the per-thread byte addresses that characteristic GPU
+access patterns produce, for feeding into the coalescing and bank-conflict
+analysers.  They are used by the Table-5 conflict study to contrast
+ConvStencil's row-major coalesced loads with TCStencil's 16×16 tiled loads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rowmajor_tile_addresses",
+    "strided_warp_addresses",
+    "warp_partition",
+]
+
+WARP = 32
+
+
+def strided_warp_addresses(
+    base_byte: int, stride_bytes: int, lanes: int = WARP
+) -> np.ndarray:
+    """Per-lane addresses ``base + lane * stride`` (contiguous if stride=elem)."""
+    return base_byte + np.arange(lanes, dtype=np.int64) * stride_bytes
+
+
+def rowmajor_tile_addresses(
+    base_byte: int,
+    tile_rows: int,
+    tile_cols: int,
+    row_pitch_bytes: int,
+    elem_bytes: int,
+) -> np.ndarray:
+    """Flat per-element addresses of a 2-D tile laid out in a pitched array.
+
+    Element ``(r, c)`` of the tile lives at
+    ``base + r * row_pitch + c * elem_bytes``; the result enumerates the tile
+    row-major, which is the order consecutive threads claim elements.
+    """
+    r = np.repeat(np.arange(tile_rows, dtype=np.int64), tile_cols)
+    c = np.tile(np.arange(tile_cols, dtype=np.int64), tile_rows)
+    return base_byte + r * row_pitch_bytes + c * elem_bytes
+
+
+def warp_partition(addresses: np.ndarray, lanes: int = WARP) -> list:
+    """Split a flat address stream into per-warp accesses (last may be short)."""
+    addresses = np.asarray(addresses, dtype=np.int64).reshape(-1)
+    return [addresses[i : i + lanes] for i in range(0, addresses.size, lanes)]

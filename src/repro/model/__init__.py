@@ -1,0 +1,40 @@
+"""The paper's performance model (§3.1) and per-system throughput models."""
+
+from repro.model.calibration import (
+    CONVSTENCIL_EFFICIENCY,
+    SCALAR_OP_THROUGHPUT,
+    SystemCalibration,
+    get_calibration,
+)
+from repro.model.convstencil_model import (
+    convstencil_mma_count,
+    convstencil_pass_time,
+    convstencil_throughput,
+)
+from repro.model.gemm_conv_model import gemm_conv_compute_time, gemm_conv_throughput
+from repro.model.perf_model import (
+    InstructionMix,
+    MemoryTraffic,
+    core_time,
+    t_compute,
+    t_memory,
+    time_from_counters,
+)
+
+__all__ = [
+    "CONVSTENCIL_EFFICIENCY",
+    "InstructionMix",
+    "MemoryTraffic",
+    "SCALAR_OP_THROUGHPUT",
+    "SystemCalibration",
+    "convstencil_mma_count",
+    "convstencil_pass_time",
+    "convstencil_throughput",
+    "core_time",
+    "gemm_conv_compute_time",
+    "gemm_conv_throughput",
+    "get_calibration",
+    "t_compute",
+    "t_memory",
+    "time_from_counters",
+]

@@ -1,0 +1,93 @@
+"""Throughput models for every evaluated system (Figures 7 and 8).
+
+ConvStencil's own throughput comes from the structural Eq. 13/14 model
+(:mod:`repro.model.convstencil_model`).  Each baseline's large-grid plateau
+is anchored to ConvStencil's plateau through the calibrated per-kernel
+slowdown ratios (see :mod:`repro.model.calibration` for provenance), and its
+small-grid behaviour follows the same occupancy-saturation law with the
+baseline's (much smaller) half-saturation size — baselines use fine-grained
+blocks and fill the device earlier, which is what produces the Figure-8
+crossovers where DRStencil-T3 wins below ≈768²/512² (2-D) and ≈288³/128³
+(3-D).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.gpu.specs import A100, DeviceSpec
+from repro.model.calibration import (
+    KERNEL_LAUNCH_OVERHEAD,
+    get_calibration,
+)
+from repro.model.convstencil_model import (
+    ThroughputEstimate,
+    convstencil_throughput,
+)
+from repro.stencils.catalog import get_benchmark, get_kernel
+
+__all__ = ["SYSTEMS", "system_throughput", "paper_size_throughput"]
+
+#: Systems of the Figure-7 comparison, in the figure's legend order.
+SYSTEMS = ("amos", "cudnn", "brick", "drstencil", "tcstencil", "convstencil")
+
+
+def _plateau(kernel_name: str, spec: DeviceSpec) -> ThroughputEstimate:
+    """ConvStencil's saturated throughput at the Table-4 problem size."""
+    cfg = get_benchmark(kernel_name)
+    kernel = get_kernel(kernel_name)
+    return convstencil_throughput(kernel, cfg.problem_size, spec, saturated=True)
+
+
+def system_throughput(
+    system: str,
+    kernel_name: str,
+    shape: Tuple[int, ...] | None = None,
+    spec: DeviceSpec = A100,
+) -> Optional[ThroughputEstimate]:
+    """Modelled GStencils/s of ``system`` on ``kernel_name``.
+
+    ``shape`` defaults to the paper's Table-4 problem size.  Returns ``None``
+    when the system does not support the kernel (e.g. TCStencil in 3-D).
+    """
+    system = system.lower()
+    cfg = get_benchmark(kernel_name)
+    kernel = get_kernel(kernel_name)
+    if shape is None:
+        shape = cfg.problem_size
+    if len(shape) != kernel.ndim:
+        raise ModelError(f"shape {shape} does not match {kernel.ndim}-D kernel")
+    n_points = int(np.prod(shape))
+
+    if system == "convstencil":
+        return convstencil_throughput(kernel, shape, spec)
+
+    calib = get_calibration(system)
+    ratio = calib.ratios.get(kernel_name)
+    if ratio is None:
+        return None
+    plateau = _plateau(kernel_name, spec)
+    base_gst = plateau.gstencils_per_s / ratio
+    # steps amortised per pass: DRStencil-T3 fuses three time steps
+    steps = 3 if system == "drstencil-t3" else 1
+    sat = n_points / (n_points + calib.half_sat[kernel.ndim])
+    time_ideal = steps * n_points / (base_gst * 1e9)
+    time = time_ideal / sat + KERNEL_LAUNCH_OVERHEAD
+    gst = steps * n_points / time / 1e9
+    return ThroughputEstimate(
+        system=system,
+        kernel_name=kernel_name,
+        grid_points=n_points,
+        time_per_pass=time,
+        steps_per_pass=steps,
+        gstencils_per_s=gst,
+        bound="calibrated",
+    )
+
+
+def paper_size_throughput(system: str, kernel_name: str, spec: DeviceSpec = A100):
+    """Shorthand: modelled throughput at the Table-4 problem size."""
+    return system_throughput(system, kernel_name, None, spec)

@@ -1,0 +1,77 @@
+"""GEMM-based-convolution strawman model (Eq. 15 and the §3.3 analysis).
+
+The paper's quantitative comparison target: computing a stencil by im2row +
+Tensor-Core GEMM without any of ConvStencil's adaptations.  Used to verify
+the §3.3 claims — ConvStencil needs strictly less compute time (Eq. 14 vs
+15) and strictly less shared traffic (Eq. 11 write ratio, ``2/(k+1)`` read
+ratio) for every ``k ≥ 3``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.gpu.specs import A100, DeviceSpec
+from repro.model.perf_model import InstructionMix, MemoryTraffic, t_compute, t_memory
+
+__all__ = [
+    "gemm_conv_compute_time",
+    "gemm_conv_mma_count",
+    "gemm_conv_throughput",
+    "gemm_conv_traffic",
+]
+
+
+def gemm_conv_mma_count(edge: int, n_points: int) -> float:
+    """MMAs of an im2row GEMM stencil: ``k²·mn / 32`` (from Eq. 15).
+
+    Each m8n8k4 MMA advances 8 output rows by a 4-element k-chunk, and the
+    kernel vector occupies a single fragment column, so ``k²/32`` MMAs are
+    needed per output point regardless of how little of the fragment is
+    useful.
+    """
+    if edge < 1 or n_points <= 0:
+        raise ModelError("edge and n_points must be positive")
+    return edge * edge * n_points / 32.0
+
+
+def gemm_conv_compute_time(
+    edge: int, n_points: int, spec: DeviceSpec = A100
+) -> float:
+    """Eq. 15: ``(k²·mn/32) · CPI_tcu / (f · N_tcu)``."""
+    return (
+        gemm_conv_mma_count(edge, n_points)
+        * spec.mma_cpi_fp64
+        / (spec.clock_hz * spec.n_tcu)
+    )
+
+
+def gemm_conv_traffic(edge: int, n_points: int) -> MemoryTraffic:
+    """Per-pass traffic of implicit GEMM-based convolution.
+
+    Global traffic matches ConvStencil (one read + one write — the §3.3
+    analysis assumes an implicit implementation); shared traffic stores the
+    full im2row expansion (``k²`` elements per point) and reads it all back.
+    """
+    k2 = float(edge * edge)
+    return MemoryTraffic(
+        global_read=8.0 * n_points,
+        global_write=8.0 * n_points,
+        shared_write=k2 * 8.0 * n_points,
+        shared_read=k2 * 8.0 * n_points,
+    )
+
+
+def gemm_conv_throughput(
+    edge: int, shape: Tuple[int, ...], spec: DeviceSpec = A100
+) -> float:
+    """Modelled GStencils/s of the GEMM-based-convolution strawman."""
+    n_points = int(np.prod(shape))
+    mix = InstructionMix(mma_fp64=int(round(gemm_conv_mma_count(edge, n_points))))
+    time = max(
+        t_compute(mix, spec), t_memory(gemm_conv_traffic(edge, n_points), spec)
+    )
+    return n_points / time / 1e9

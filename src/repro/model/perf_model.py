@@ -1,0 +1,147 @@
+"""The paper's performance model: Eq. 2–4 of §3.1.
+
+The overall core time is the maximum of compute time and memory time
+(Eq. 2).  Compute time sums instruction counts weighted by their CPI over
+the Tensor-Core array (Eq. 3); memory time is the larger of the global-
+memory and shared-memory phases, each a read+write bandwidth quotient
+(Eq. 4).
+
+:func:`time_from_counters` applies the model to measured simulator counters,
+which is how the Figure-6 breakdown converts hardware-event tallies into
+per-variant times.  Bank conflicts inflate the shared phase by the replay
+ratio; div/mod and branch instructions charge the scalar pipeline (see
+:mod:`repro.model.calibration` for the throughput constants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.gpu.counters import PerfCounters
+from repro.gpu.specs import A100, DeviceSpec
+from repro.model.calibration import (
+    ADDRESS_OPS_PER_FMA,
+    BRANCH_OP_COST,
+    CUDA_CORE_EFFICIENCY,
+    DIVMOD_OP_COST,
+    SCALAR_OP_THROUGHPUT,
+)
+
+__all__ = [
+    "InstructionMix",
+    "MemoryTraffic",
+    "core_time",
+    "t_compute",
+    "t_memory",
+    "time_from_counters",
+]
+
+
+@dataclass(frozen=True)
+class MemoryTraffic:
+    """Byte volumes per memory level (the ``data_*`` symbols of Table 1)."""
+
+    global_read: float = 0.0
+    global_write: float = 0.0
+    shared_write: float = 0.0
+    shared_read: float = 0.0
+
+    def scaled_shared(self, factor: float) -> "MemoryTraffic":
+        """Shared-phase traffic inflated by ``factor`` (bank-conflict replays)."""
+        return MemoryTraffic(
+            global_read=self.global_read,
+            global_write=self.global_write,
+            shared_write=self.shared_write * factor,
+            shared_read=self.shared_read * factor,
+        )
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Instruction counts feeding Eq. 3 plus CUDA-core/scalar side pipes."""
+
+    mma_fp64: int = 0
+    fma_fp64: int = 0
+    int_divmod: int = 0
+    branches: int = 0
+
+
+def t_memory(traffic: MemoryTraffic, spec: DeviceSpec = A100) -> float:
+    """Eq. 4: ``max(GM read+write time, SM write+read time)`` in seconds."""
+    if min(
+        traffic.global_read, traffic.global_write, traffic.shared_read, traffic.shared_write
+    ) < 0:
+        raise ModelError("traffic volumes must be non-negative")
+    t_global = (traffic.global_read + traffic.global_write) / spec.global_bw
+    t_shared = (traffic.shared_write + traffic.shared_read) / spec.shared_bw
+    return max(t_global, t_shared)
+
+
+def t_compute(mix: InstructionMix, spec: DeviceSpec = A100) -> float:
+    """Eq. 3 extended to the three issue pipes of the simulated kernels.
+
+    Tensor-Core time follows Eq. 3 verbatim
+    (``sum_i k_i * CPI_i / (f * N_tcu)`` with the single FP64 MMA type, CPI
+    16).  CUDA-core FMA time uses the device's FP64 CUDA throughput; scalar
+    div/mod and branch instructions use the calibrated INT-pipe throughput.
+    The Tensor-Core and CUDA pipes overlap (different units); the scalar
+    work serialises with whichever pipe issues it.
+    """
+    t_tcu = mix.mma_fp64 * spec.mma_cpi_fp64 / (spec.clock_hz * spec.n_tcu)
+    t_cuda = mix.fma_fp64 * 2.0 / (spec.fp64_cuda_flops * CUDA_CORE_EFFICIENCY)
+    scalar_ops = (
+        mix.int_divmod * DIVMOD_OP_COST
+        + mix.branches * BRANCH_OP_COST
+        + mix.fma_fp64 * ADDRESS_OPS_PER_FMA
+    )
+    t_scalar = scalar_ops / SCALAR_OP_THROUGHPUT(spec)
+    return max(t_tcu, t_cuda) + t_scalar
+
+
+def core_time(mix: InstructionMix, traffic: MemoryTraffic, spec: DeviceSpec = A100) -> float:
+    """Eq. 2: ``max(T_compute, T_memory)``."""
+    return max(t_compute(mix, spec), t_memory(traffic, spec))
+
+
+def time_from_counters(
+    counters: PerfCounters, spec: DeviceSpec = A100, overlap: float = 2.0
+) -> float:
+    """Apply Eq. 2–4 to measured simulator counters.
+
+    Shared-memory time is inflated by the measured replay ratio
+    ``1 + conflicts/requests`` — the §3.4 mechanism by which bank conflicts
+    shrink effective shared bandwidth.
+
+    ``overlap`` softens Eq. 2's ``max`` into an L-p norm
+    (``(Tc^p + Tg^p + Ts^p)^(1/p)``): real kernels overlap their compute and
+    memory phases imperfectly, so secondary resources still cost time — the
+    effect the Figure-6 breakdown measures.  ``overlap=inf`` recovers the
+    paper's exact Eq. 2.
+    """
+    mix = InstructionMix(
+        mma_fp64=counters.mma_fp64,
+        fma_fp64=counters.fma_fp64,
+        int_divmod=counters.int_divmod,
+        branches=counters.branches,
+    )
+    replay_factor = 1.0 + counters.bank_conflicts_per_request
+    # uncoalesced accesses replay global transactions: inflate GM time
+    gm_factor = 1.0
+    if counters.ideal_global_transactions > 0:
+        gm_factor = counters.global_transactions / counters.ideal_global_transactions
+    tc = t_compute(mix, spec)
+    tg = (
+        (counters.global_read_bytes + counters.global_write_bytes)
+        * gm_factor
+        / spec.global_bw
+    )
+    ts = (
+        (counters.shared_write_bytes + counters.shared_read_bytes)
+        * replay_factor
+        / spec.shared_bw
+    )
+    if overlap == float("inf"):
+        return max(tc, max(tg, ts))
+    p = float(overlap)
+    return (tc**p + tg**p + ts**p) ** (1.0 / p)

@@ -1,0 +1,143 @@
+"""Roofline analysis: arithmetic intensity and machine balance.
+
+Places every benchmark kernel on the A100's FP64 Tensor-Core roofline —
+useful-FLOPs per byte of global traffic against the machine balance
+``peak_flops / bandwidth`` — explaining *why* each Figure-7 kernel is
+compute- or memory-bound and what fusion changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.fusion import plan_fusion
+from repro.gpu.specs import A100, DeviceSpec
+from repro.stencils.catalog import get_kernel
+from repro.utils.tables import format_table
+
+__all__ = [
+    "RooflinePoint",
+    "arithmetic_intensity",
+    "issued_intensity",
+    "machine_balance",
+    "roofline_points",
+    "roofline_table",
+]
+
+
+def machine_balance(spec: DeviceSpec = A100, unit: str = "tcu") -> float:
+    """FLOP/byte at which compute and memory time are equal.
+
+    A100 FP64 Tensor Cores: 19.5e12 / 1935e9 ≈ 10.1 FLOP/byte.
+    """
+    peak = spec.fp64_tcu_flops if unit == "tcu" else spec.fp64_cuda_flops
+    return peak / spec.global_bw
+
+
+def arithmetic_intensity(points: int, fusion_depth: int = 1) -> float:
+    """*Useful* FLOPs per byte of global traffic for a fused stencil pass.
+
+    One pass moves 16 bytes per grid point (read + write) and performs
+    ``2 · points`` FLOPs per time step, ``fusion_depth`` steps per pass.
+    """
+    return fusion_depth * 2.0 * points / 16.0
+
+
+def issued_intensity(edge: int, ndim: int = 2) -> float:
+    """*Issued* Tensor-Core FLOPs per byte for a fused pass.
+
+    Dual tessellation issues its Eq.-13 MMA count per point (512 FLOP each)
+    regardless of kernel sparsity — the §3.3 cost of computing a star as
+    its bounding box plus fragment padding.  It is this *issued* intensity
+    that decides the binding resource.  1-D kernels use the 8×k tile
+    variant of the formula.
+    """
+    from repro.model.convstencil_model import _mma_per_point_1d, mma_per_point_2d
+
+    per_point = _mma_per_point_1d(edge) if ndim == 1 else mma_per_point_2d(edge)
+    return per_point * 512.0 / 16.0
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on the device roofline.
+
+    ``intensity`` counts useful stencil FLOPs; ``issued`` counts the FLOPs
+    the Tensor Cores actually execute (dense-box MMAs).  The gap between
+    them is the §3.3 utilisation overhead; the *issued* intensity decides
+    which resource binds.
+    """
+
+    kernel_name: str
+    fusion_depth: int
+    intensity: float
+    issued: float
+    balance: float
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.issued >= self.balance else "memory"
+
+    @property
+    def attainable_fraction(self) -> float:
+        """Fraction of peak *useful* FLOPs the memory system can sustain."""
+        return min(1.0, self.intensity / self.balance)
+
+    @property
+    def flop_efficiency(self) -> float:
+        """Useful / issued FLOPs (the MMA sparsity overhead)."""
+        return self.intensity / self.issued
+
+
+def roofline_points(
+    kernel_names: Sequence[str] = (
+        "heat-1d",
+        "1d5p",
+        "heat-2d",
+        "box-2d9p",
+        "star-2d13p",
+        "box-2d49p",
+        "heat-3d",
+        "box-3d27p",
+    ),
+    spec: DeviceSpec = A100,
+    fusion: str | int = "auto",
+) -> List[RooflinePoint]:
+    """Roofline coordinates of the catalogued kernels (auto-fused)."""
+    balance = machine_balance(spec)
+    out = []
+    for name in kernel_names:
+        kernel = get_kernel(name)
+        plan = plan_fusion(kernel, fusion)
+        out.append(
+            RooflinePoint(
+                kernel_name=name,
+                fusion_depth=plan.depth,
+                intensity=arithmetic_intensity(kernel.points, plan.depth),
+                issued=issued_intensity(plan.fused.edge, min(kernel.ndim, 2)),
+                balance=balance,
+            )
+        )
+    return out
+
+
+def roofline_table(spec: DeviceSpec = A100) -> str:
+    """Render the roofline placement of every benchmark kernel."""
+    rows = [
+        (
+            p.kernel_name,
+            p.fusion_depth,
+            round(p.intensity, 2),
+            round(p.issued, 2),
+            round(p.balance, 2),
+            p.bound,
+            f"{100 * p.flop_efficiency:.0f}%",
+        )
+        for p in roofline_points(spec=spec)
+    ]
+    return format_table(
+        ["kernel", "fusion", "useful F/B", "issued F/B", "balance", "bound", "FLOP eff."],
+        rows,
+        title=f"Roofline placement on {spec.name} (FP64 Tensor Cores)",
+    )

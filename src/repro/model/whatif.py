@@ -1,0 +1,90 @@
+"""Sensitivity analysis: which hardware parameter buys ConvStencil speed?
+
+Perturbs one device parameter at a time (±factor) and reports the elasticity
+of modelled throughput — ``d log(GStencils/s) / d log(parameter)`` — per
+benchmark kernel.  Compute-bound kernels respond to Tensor-Core throughput
+(CPI, unit count, clock); memory-bound kernels to HBM bandwidth; none should
+respond to parameters the roofline says are slack.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.gpu.specs import A100, DeviceSpec
+from repro.model.convstencil_model import convstencil_throughput
+from repro.stencils.catalog import BENCHMARKS, get_kernel
+from repro.utils.tables import format_table
+
+__all__ = ["Elasticity", "sensitivity_study", "sensitivity_table"]
+
+#: Parameters perturbed: DeviceSpec fields with the exponent each scales by.
+#: Tensor-Core throughput is controlled by the MMA CPI in Eq. 3, so raising
+#: throughput means lowering CPI (exponent -1) alongside the headline FLOPS.
+PARAMETERS: Dict[str, Sequence] = {
+    "tcu_throughput": (("mma_cpi_fp64", -1), ("fp64_tcu_flops", 1)),
+    "global_bandwidth": (("global_bw", 1),),
+    "shared_bandwidth": (("shared_bw", 1),),
+    "cuda_throughput": (("fp64_cuda_flops", 1),),
+}
+
+
+@dataclass(frozen=True)
+class Elasticity:
+    """Throughput elasticity of one kernel to one parameter."""
+
+    kernel_name: str
+    parameter: str
+    elasticity: float
+
+
+def _scaled(spec: DeviceSpec, fields: Sequence, factor: float) -> DeviceSpec:
+    changes = {f: getattr(spec, f) * factor**exp for f, exp in fields}
+    return dataclasses.replace(spec, **changes)
+
+
+def sensitivity_study(
+    kernel_names: Sequence[str] | None = None,
+    spec: DeviceSpec = A100,
+    factor: float = 1.25,
+) -> List[Elasticity]:
+    """Central-difference elasticities for every (kernel, parameter) pair.
+
+    Saturation and launch effects are excluded (``saturated=True``) so the
+    numbers isolate the Eq. 2–4 core model.
+    """
+    names = list(kernel_names) if kernel_names else list(BENCHMARKS)
+    out = []
+    import numpy as np
+
+    for name in names:
+        kernel = get_kernel(name)
+        shape = BENCHMARKS[name].problem_size
+        for param, fields in PARAMETERS.items():
+            hi = convstencil_throughput(
+                kernel, shape, spec=_scaled(spec, fields, factor), saturated=True
+            ).gstencils_per_s
+            lo = convstencil_throughput(
+                kernel, shape, spec=_scaled(spec, fields, 1.0 / factor), saturated=True
+            ).gstencils_per_s
+            ela = float(np.log(hi / lo) / (2.0 * np.log(factor)))
+            out.append(Elasticity(kernel_name=name, parameter=param, elasticity=ela))
+    return out
+
+
+def sensitivity_table(kernel_names: Sequence[str] | None = None) -> str:
+    """Render the elasticity matrix (kernels × parameters)."""
+    results = sensitivity_study(kernel_names)
+    kernels = list(dict.fromkeys(r.kernel_name for r in results))
+    params = list(PARAMETERS)
+    grid = {(r.kernel_name, r.parameter): r.elasticity for r in results}
+    rows = [
+        [k] + [round(grid[(k, p)], 2) for p in params] for k in kernels
+    ]
+    return format_table(
+        ["kernel", *params],
+        rows,
+        title="Throughput elasticity to device parameters (1.0 = proportional)",
+    )

@@ -1,0 +1,27 @@
+"""PDE solvers built on the ConvStencil engines.
+
+The paper motivates ConvStencil with scientific applications (§1); this
+layer provides the solver patterns those applications actually use, each
+driving its inner stencil sweeps through
+:class:`~repro.core.api.ConvStencil`:
+
+* :class:`JacobiPoisson` — iterative relaxation for elliptic problems
+  (steady-state heat, pressure projection);
+* :class:`LeapfrogWave` — second-order-in-time explicit wave propagation;
+* :class:`HeatSolver` — forward-Euler diffusion with an explicit CFL-style
+  stability check.
+"""
+
+from repro.solvers.heat import HeatSolver
+from repro.solvers.jacobi import JacobiPoisson, JacobiResult
+from repro.solvers.multigrid import MultigridPoisson, MultigridResult
+from repro.solvers.wave import LeapfrogWave
+
+__all__ = [
+    "HeatSolver",
+    "JacobiPoisson",
+    "JacobiResult",
+    "LeapfrogWave",
+    "MultigridPoisson",
+    "MultigridResult",
+]

@@ -1,0 +1,31 @@
+"""Stencil substrate: kernel definitions, grids, and reference executors."""
+
+from repro.stencils.catalog import (
+    BENCHMARKS,
+    BenchmarkConfig,
+    get_benchmark,
+    get_kernel,
+    list_kernels,
+)
+from repro.stencils.grid import BoundaryCondition, Grid, pad_halo
+from repro.stencils.kernel import StencilKernel
+from repro.stencils.reference import (
+    apply_stencil_reference,
+    apply_stencil_scipy,
+    run_reference,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkConfig",
+    "BoundaryCondition",
+    "Grid",
+    "StencilKernel",
+    "apply_stencil_reference",
+    "apply_stencil_scipy",
+    "get_benchmark",
+    "get_kernel",
+    "list_kernels",
+    "pad_halo",
+    "run_reference",
+]

@@ -1,0 +1,157 @@
+"""Named benchmark kernels and configurations (paper Tables 3 and 4).
+
+The catalog provides every stencil shape the paper evaluates:
+
+========== ======= ====== =====================================
+name        shape  points paper usage
+========== ======= ====== =====================================
+heat-1d     star       3  Fig. 6/7 (1D), Table 4
+1d5p        star       5  Fig. 7, Table 4
+heat-2d     star       5  Tables 3/4/5, Figs. 7/8
+box-2d9p    box        9  Tables 3/4/5, Figs. 6/7/8
+star-2d9p   star       9  Table 3
+box-2d25p   box       25  Table 3
+star-2d13p  star      13  Tables 3/4, Fig. 7
+box-2d49p   box       49  Tables 3/4, Figs. 2/3/7
+heat-3d     star       7  Table 4, Figs. 7/8
+box-3d27p   box       27  Table 4, Figs. 6/7/8
+========== ======= ====== =====================================
+
+Heat kernels carry physically standard diffusion weights; the remaining
+kernels use deterministic distinct weights (see ``kernel._default_weights``)
+so layout bugs cannot hide behind symmetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.errors import KernelError
+from repro.stencils.kernel import StencilKernel
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkConfig",
+    "get_benchmark",
+    "get_kernel",
+    "list_kernels",
+]
+
+
+def _heat_1d() -> StencilKernel:
+    # u_t+1 = alpha*u[x-1] + (1-2*alpha)*u[x] + alpha*u[x+1], alpha = 1/4
+    return StencilKernel.star(1, 1, weights=[0.25, 0.5, 0.25], name="heat-1d")
+
+
+def _1d5p() -> StencilKernel:
+    return StencilKernel.star(
+        1, 2, weights=[0.0625, 0.25, 0.375, 0.25, 0.0625], name="1d5p"
+    )
+
+
+def _heat_2d() -> StencilKernel:
+    # star order: (-y, then -x ... per axis) — see StencilKernel.star docstring.
+    return StencilKernel.star(
+        2, 1, weights=[0.125, 0.125, 0.5, 0.125, 0.125], name="heat-2d"
+    )
+
+
+def _heat_3d() -> StencilKernel:
+    return StencilKernel.star(
+        3, 1, weights=[0.1, 0.1, 0.1, 0.4, 0.1, 0.1, 0.1], name="heat-3d"
+    )
+
+
+_FACTORIES: Dict[str, Callable[[], StencilKernel]] = {
+    "heat-1d": _heat_1d,
+    "1d5p": _1d5p,
+    "heat-2d": _heat_2d,
+    "box-2d9p": lambda: StencilKernel.box(2, 1, name="box-2d9p"),
+    "star-2d9p": lambda: StencilKernel.star(2, 2, name="star-2d9p"),
+    "box-2d25p": lambda: StencilKernel.box(2, 2, name="box-2d25p"),
+    "star-2d13p": lambda: StencilKernel.star(2, 3, name="star-2d13p"),
+    "box-2d49p": lambda: StencilKernel.box(2, 3, name="box-2d49p"),
+    "heat-3d": _heat_3d,
+    "box-3d27p": lambda: StencilKernel.box(3, 1, name="box-3d27p"),
+}
+
+
+#: The paper artifact's shape names (§A.4) mapped onto catalog kernels:
+#: ``convstencil_2d box2d1r …`` etc.
+ARTIFACT_ALIASES: Dict[str, str] = {
+    "1d1r": "heat-1d",
+    "1d2r": "1d5p",
+    "star2d1r": "heat-2d",
+    "box2d1r": "box-2d9p",
+    "star2d2r": "star-2d9p",
+    "box2d2r": "box-2d25p",
+    "star2d3r": "star-2d13p",
+    "box2d3r": "box-2d49p",
+    "star3d1r": "heat-3d",
+    "box3d1r": "box-3d27p",
+}
+
+
+def list_kernels() -> Tuple[str, ...]:
+    """Names of all catalogued kernels."""
+    return tuple(_FACTORIES)
+
+
+def get_kernel(name: str) -> StencilKernel:
+    """Instantiate a catalogued kernel by name or artifact alias
+    (case-insensitive)."""
+    key = name.lower()
+    key = ARTIFACT_ALIASES.get(key, key)
+    if key not in _FACTORIES:
+        raise KernelError(
+            f"unknown kernel {name!r}; available: {', '.join(_FACTORIES)} "
+            f"(or artifact aliases {', '.join(ARTIFACT_ALIASES)})"
+        )
+    return _FACTORIES[key]()
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """One row of the paper's Table 4 (benchmark configuration).
+
+    ``problem_size`` is the paper's spatial grid; ``iterations`` its time
+    loop; ``block_size`` the CUDA thread-block tile.  ``sim_size`` is the
+    scaled-down grid this reproduction actually executes functionally (the
+    analytical model still evaluates the full paper size).
+    """
+
+    kernel_name: str
+    points: int
+    problem_size: Tuple[int, ...]
+    iterations: int
+    block_size: Tuple[int, ...]
+    sim_size: Tuple[int, ...]
+
+
+BENCHMARKS: Dict[str, BenchmarkConfig] = {
+    "heat-1d": BenchmarkConfig("heat-1d", 3, (10_240_000,), 100_000, (1024,), (65_536,)),
+    "1d5p": BenchmarkConfig("1d5p", 5, (10_240_000,), 100_000, (1024,), (65_536,)),
+    "heat-2d": BenchmarkConfig("heat-2d", 5, (10240, 10240), 10240, (32, 64), (512, 512)),
+    "box-2d9p": BenchmarkConfig("box-2d9p", 9, (10240, 10240), 10240, (32, 64), (512, 512)),
+    "star-2d13p": BenchmarkConfig(
+        "star-2d13p", 13, (10240, 10240), 10240, (32, 64), (512, 512)
+    ),
+    "box-2d49p": BenchmarkConfig(
+        "box-2d49p", 49, (10240, 10240), 10240, (32, 64), (512, 512)
+    ),
+    "heat-3d": BenchmarkConfig("heat-3d", 7, (1024, 1024, 1024), 1024, (8, 64), (64, 64, 64)),
+    "box-3d27p": BenchmarkConfig(
+        "box-3d27p", 27, (1024, 1024, 1024), 1024, (8, 64), (64, 64, 64)
+    ),
+}
+
+
+def get_benchmark(name: str) -> BenchmarkConfig:
+    """Look up a Table-4 benchmark configuration by kernel name."""
+    key = name.lower()
+    if key not in BENCHMARKS:
+        raise KernelError(
+            f"unknown benchmark {name!r}; available: {', '.join(BENCHMARKS)}"
+        )
+    return BENCHMARKS[key]

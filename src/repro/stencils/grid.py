@@ -1,0 +1,108 @@
+"""Grids, halos, and boundary conditions.
+
+Stencil engines in this package compute *valid* outputs of a halo-padded
+input; :func:`pad_halo` centralises how halos are synthesised from a boundary
+condition so every engine (ConvStencil and all baselines) agrees on semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GridError
+
+__all__ = ["BoundaryCondition", "Grid", "pad_halo"]
+
+
+class BoundaryCondition(enum.Enum):
+    """How values outside the grid are synthesised.
+
+    ``CONSTANT`` pads with a fixed fill value (Dirichlet-style ghost zone),
+    ``PERIODIC`` wraps around (makes temporal kernel fusion exact everywhere),
+    ``REFLECT`` mirrors the interior (Neumann-style).
+    """
+
+    CONSTANT = "constant"
+    PERIODIC = "periodic"
+    REFLECT = "reflect"
+
+
+_NUMPY_PAD_MODE = {
+    BoundaryCondition.CONSTANT: "constant",
+    BoundaryCondition.PERIODIC: "wrap",
+    BoundaryCondition.REFLECT: "symmetric",
+}
+
+
+def pad_halo(
+    data: np.ndarray,
+    halo: int,
+    boundary: BoundaryCondition = BoundaryCondition.CONSTANT,
+    fill_value: float = 0.0,
+) -> np.ndarray:
+    """Return ``data`` surrounded by a halo of width ``halo`` on every side."""
+    if halo < 0:
+        raise GridError(f"halo width must be non-negative, got {halo}")
+    if halo == 0:
+        return np.asarray(data, dtype=np.float64)
+    mode = _NUMPY_PAD_MODE[BoundaryCondition(boundary)]
+    if mode == "constant":
+        return np.pad(data, halo, mode=mode, constant_values=fill_value)
+    if boundary is BoundaryCondition.PERIODIC:
+        if any(halo > s for s in data.shape):
+            raise GridError(
+                f"periodic halo {halo} exceeds grid extent {data.shape}; "
+                "shrink the halo or enlarge the grid"
+            )
+    return np.pad(data, halo, mode=mode)
+
+
+@dataclass
+class Grid:
+    """A ``d``-dimensional FP64 grid with an attached boundary condition.
+
+    This is the user-facing container the public API operates on; engines
+    receive the raw array plus boundary metadata.
+    """
+
+    data: np.ndarray
+    boundary: BoundaryCondition = BoundaryCondition.CONSTANT
+    fill_value: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=np.float64)
+        self.boundary = BoundaryCondition(self.boundary)
+        if self.data.ndim not in (1, 2, 3):
+            raise GridError(f"grids must be 1-, 2-, or 3-dimensional, got {self.data.ndim}D")
+        if any(s < 1 for s in self.data.shape):
+            raise GridError(f"grid extents must be positive, got {self.data.shape}")
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    def padded(self, halo: int) -> np.ndarray:
+        """Halo-padded copy of the grid data (see :func:`pad_halo`)."""
+        return pad_halo(self.data, halo, self.boundary, self.fill_value)
+
+    def with_data(self, data: np.ndarray) -> "Grid":
+        """A new grid with the same boundary metadata but different values."""
+        return Grid(data=data, boundary=self.boundary, fill_value=self.fill_value)
+
+    @staticmethod
+    def random(
+        shape: tuple,
+        boundary: BoundaryCondition = BoundaryCondition.CONSTANT,
+        seed: int | None = None,
+    ) -> "Grid":
+        """A grid of uniform random values in [0, 1) with deterministic seeding."""
+        from repro.utils.rng import default_rng
+
+        return Grid(default_rng(seed).random(shape), boundary=boundary)

@@ -1,0 +1,66 @@
+"""Structured result serialization.
+
+Benchmark drivers persist their regenerated rows as JSON alongside the
+plain-text tables so EXPERIMENTS.md numbers can be re-derived (and diffed)
+mechanically.  The encoder handles NumPy scalars/arrays and dataclasses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro._version import __version__
+
+__all__ = ["dump_json", "experiment_record", "load_json", "to_jsonable"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert dataclasses/NumPy values into JSON-native data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, float) and (obj != obj or obj in (float("inf"), float("-inf"))):
+        return None  # JSON has no NaN/Inf; record as null
+    return obj
+
+
+def experiment_record(name: str, rows: Any, **metadata: Any) -> dict:
+    """Standard envelope for one experiment's regenerated data."""
+    return {
+        "experiment": name,
+        "repro_version": __version__,
+        "metadata": to_jsonable(metadata),
+        "rows": to_jsonable(rows),
+    }
+
+
+def dump_json(path: "str | Path", payload: Any) -> Path:
+    """Write ``payload`` (JSON-able after conversion) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(payload), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_json(path: "str | Path") -> Any:
+    """Read a JSON payload previously written with :func:`dump_json`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,93 @@
+"""Terminal visualisation: ASCII bar charts and speedup series.
+
+The paper's Figures 7 and 8 are bar/line charts; this module renders their
+regenerated data as deterministic monospace graphics so the benchmark
+harness output is readable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = ["bar_chart", "series_chart"]
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(
+    values: Dict[str, Optional[float]],
+    width: int = 40,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; ``None`` values render as unsupported (``--``).
+
+    Bars are scaled to the maximum value; labels are right-aligned.
+    """
+    if not values:
+        raise ValueError("bar_chart needs at least one entry")
+    numeric = [v for v in values.values() if v is not None]
+    if not numeric:
+        raise ValueError("bar_chart needs at least one numeric value")
+    peak = max(numeric)
+    if peak <= 0:
+        raise ValueError("bar values must be positive")
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        if value is None:
+            lines.append(f"{label.rjust(label_w)} | --")
+            continue
+        frac = value / peak
+        full = int(frac * width)
+        half = _HALF if (frac * width - full) >= 0.5 else ""
+        lines.append(
+            f"{label.rjust(label_w)} | {_BAR * full}{half} {value:.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def series_chart(
+    points: Sequence[Tuple[float, float]],
+    height: int = 10,
+    width: int = 60,
+    title: str | None = None,
+    marker: str = "*",
+    baseline: float | None = None,
+) -> str:
+    """Scatter/line chart of (x, y) points on a character grid.
+
+    ``baseline`` draws a horizontal reference (e.g. speedup = 1.0) with
+    ``-`` so crossovers are visible at a glance.
+    """
+    if len(points) < 2:
+        raise ValueError("series_chart needs at least two points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    y_all = ys + ([baseline] if baseline is not None else [])
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(y_all), max(y_all)
+    if x_hi == x_lo or y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> Tuple[int, int]:
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        return height - 1 - row, col
+
+    if baseline is not None and y_lo <= baseline <= y_hi:
+        r, _ = cell(x_lo, baseline)
+        for c in range(width):
+            grid[r][c] = "-"
+    for x, y in points:
+        r, c = cell(x, y)
+        grid[r][c] = marker
+    lines = [title] if title else []
+    lines.append(f"{y_hi:10.2f} ┐")
+    for row in grid:
+        lines.append(" " * 11 + "│" + "".join(row))
+    lines.append(f"{y_lo:10.2f} ┘")
+    lines.append(" " * 12 + f"{x_lo:g} … {x_hi:g}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Figure 6: optimisation ladder shape."""
+
+import pytest
+
+from repro.analysis.breakdown import FIG6_KERNELS, VARIANTS, run_breakdown
+
+
+@pytest.fixture(scope="module")
+def all_rows():
+    # modest shapes keep the tile-level simulation fast; extents chosen so
+    # the *unpadded* variant-III pitch is not accidentally conflict-free
+    # (bank geometry is genuinely size-dependent, see gpu.banks)
+    shapes = {"heat-1d": (2048,), "box-2d9p": (48, 48), "box-3d27p": (16, 16, 16)}
+    return {name: run_breakdown(name, shape=shapes[name]) for name in FIG6_KERNELS}
+
+
+def test_variant_order(all_rows):
+    for rows in all_rows.values():
+        assert tuple(r.variant for r in rows) == VARIANTS
+
+
+def test_every_stage_improves_or_holds(all_rows):
+    """No optimisation stage may regress performance."""
+    for name, rows in all_rows.items():
+        for r in rows[1:]:
+            assert r.speedup_vs_prev >= 0.99, (name, r.variant)
+
+
+def test_total_speedup_substantial(all_rows):
+    for name, rows in all_rows.items():
+        assert rows[-1].speedup_vs_variant_i > 1.5, name
+
+
+def test_tensor_core_stage_is_largest_gain_2d(all_rows):
+    """For Box-2D9P the paper's biggest single-stage gains come from the
+    layout/TC stages; padding and dirty bits are secondary."""
+    rows = {r.variant: r for r in all_rows["box-2d9p"]}
+    assert rows["III"].speedup_vs_prev > rows["IV"].speedup_vs_prev
+    assert rows["III"].speedup_vs_prev > rows["V"].speedup_vs_prev
+
+
+def test_padding_gain_small_on_1d(all_rows):
+    """§5.2: Heat-1D's padding benefit is 'relatively inconspicuous'."""
+    rows = {r.variant: r for r in all_rows["heat-1d"]}
+    assert rows["IV"].speedup_vs_prev - 1.0 < 0.10
+
+
+def test_dirty_bits_and_padding_positive_on_3d(all_rows):
+    rows = {r.variant: r for r in all_rows["box-3d27p"]}
+    assert rows["IV"].speedup_vs_prev >= 1.0
+    assert rows["V"].speedup_vs_prev > 1.0

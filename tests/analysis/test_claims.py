@@ -1,0 +1,40 @@
+"""The paper-claims ledger must pass in full."""
+
+import pytest
+
+from repro.analysis.claims import all_claims, claims_table, verify_claims
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return verify_claims()
+
+
+def test_ledger_covers_the_paper(outcomes):
+    ids = {c.claim_id for c, _ in outcomes}
+    # one claim per quantitative statement of the evaluation narrative
+    assert ids >= {
+        "table3-range", "table3-exact", "fig5-padding", "utilisation",
+        "eq14-lt-eq15", "fp64-needed", "artifact-gst", "brick-avg",
+        "drstencil-avg", "cudnn-range", "tcstencil-order", "table5-order",
+        "fig8-plateaus", "fig8-crossovers",
+    }
+    assert len(ids) == len(all_claims())  # no duplicate ids
+
+
+@pytest.mark.parametrize("claim_id", [c.claim_id for c in all_claims()])
+def test_every_claim_passes(outcomes, claim_id):
+    result = next(r for c, r in outcomes if c.claim_id == claim_id)
+    assert result.passed, f"{claim_id}: expected {result.expected}, got {result.measured}"
+
+
+def test_claims_have_sources(outcomes):
+    for claim, _ in outcomes:
+        assert claim.source
+        assert claim.statement
+
+
+def test_table_renders_all_pass():
+    text = claims_table()
+    assert "FAIL" not in text
+    assert text.count("PASS") == len(all_claims())

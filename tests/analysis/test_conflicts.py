@@ -1,0 +1,46 @@
+"""Table 5: ConvStencil must dominate TCStencil on both conflict metrics."""
+
+import pytest
+
+from repro.analysis.conflicts import TABLE5_KERNELS, conflicts_table, measure_conflicts
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {name: measure_conflicts(name, shape=(48, 232)) for name in TABLE5_KERNELS}
+
+
+def test_convstencil_fewer_uncoalesced(rows):
+    for name, (tc, conv) in rows.items():
+        assert conv.uncoalesced_fraction < tc.uncoalesced_fraction / 2, name
+
+
+def test_convstencil_fewer_bank_conflicts(rows):
+    for name, (tc, conv) in rows.items():
+        assert (
+            conv.bank_conflicts_per_request < tc.bank_conflicts_per_request / 2
+        ), name
+
+
+def test_convstencil_uga_small(rows):
+    # paper: 3.42 %; accept single-digit percent at simulated sizes
+    for name, (_, conv) in rows.items():
+        assert conv.uncoalesced_fraction < 0.10, name
+
+
+def test_tcstencil_uga_large(rows):
+    # paper: 45–50 %
+    for name, (tc, _) in rows.items():
+        assert 0.35 < tc.uncoalesced_fraction < 0.65, name
+
+
+def test_system_labels(rows):
+    for tc, conv in rows.values():
+        assert tc.system == "tcstencil"
+        assert conv.system == "convstencil"
+
+
+def test_table_renders():
+    text = conflicts_table(shape=(48, 128))
+    assert "Table 5" in text
+    assert "tcstencil" in text and "convstencil" in text

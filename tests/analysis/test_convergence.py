@@ -1,0 +1,36 @@
+"""Order-of-accuracy verification."""
+
+import pytest
+
+from repro.analysis.convergence import convergence_study, convergence_table, observed_order
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return convergence_study(coarse_sizes=(32,))
+
+
+def test_observed_matches_formal_order(rows):
+    for r in rows:
+        assert r.observed == pytest.approx(r.formal_order, abs=0.15), r.operator
+
+
+def test_errors_shrink_under_refinement(rows):
+    for r in rows:
+        assert r.fine_error < r.coarse_error
+
+
+def test_fourth_order_beats_second_order(rows):
+    errs = {r.operator: r.fine_error for r in rows}
+    assert errs["laplace-2d-13p"] < errs["laplace-2d-5p"] / 10
+
+
+def test_single_operator_api():
+    r = observed_order("laplace-2d-5p", coarse_n=24)
+    assert r.fine_n == 48
+    assert r.observed == pytest.approx(2.0, abs=0.2)
+
+
+def test_table_renders():
+    text = convergence_table(coarse_sizes=(32,))
+    assert "observed" in text and "laplace-2d-13p" in text

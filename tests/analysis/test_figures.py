@@ -1,0 +1,41 @@
+"""ASCII figure renderings."""
+
+import pytest
+
+from repro.analysis.figures import fig6_ascii, fig7_ascii, fig8_ascii, figure_bundle
+
+
+def test_fig7_panels_cover_all_kernels():
+    text = fig7_ascii()
+    for name in ("heat-1d", "box-2d49p", "heat-3d"):
+        assert name in text
+    # TCStencil's unsupported 3-D cells render as '--'
+    assert "--" in text
+
+
+def test_fig7_convstencil_bar_is_longest():
+    text = fig7_ascii()
+    panel = text.split("\n\n")[2]  # heat-2d panel
+    bars = {ln.split("|")[0].strip(): ln.count("█") for ln in panel.splitlines()[1:]}
+    assert bars["convstencil"] == max(bars.values())
+
+
+def test_fig8_panels_show_crossovers():
+    text = fig8_ascii()
+    assert text.count("crossover @") == 4
+    assert "-" in text  # baseline drawn
+
+
+def test_fig6_ladder_is_monotone():
+    text = fig6_ascii(shapes={"heat-1d": (1024,), "box-2d9p": (32, 32), "box-3d27p": (12, 12, 12)})
+    assert "variant V" in text
+    # the cumulative-speedup bar of V must exceed I in every panel
+    for panel in text.split("\n\n"):
+        lines = [ln for ln in panel.splitlines() if "variant" in ln]
+        assert lines[-1].count("█") >= lines[0].count("█")
+
+
+def test_bundle_shapes():
+    bundle = figure_bundle()
+    assert len(bundle) == 2
+    assert all(isinstance(b, str) and b for b in bundle)

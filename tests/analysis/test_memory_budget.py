@@ -1,0 +1,41 @@
+"""Shared-memory budget: §2.3's argument, quantified."""
+
+import pytest
+
+from repro.analysis.memory_budget import memory_budget_rows, memory_budget_table
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return memory_budget_rows()
+
+
+def test_paper_block_fits_for_every_kernel(rows):
+    for r in rows:
+        if r.block == (32, 64):
+            assert r.fits, r.kernel_name
+            assert r.blocks_per_sm == 2
+
+
+def test_im2row_would_blow_the_budget(rows):
+    """§2.3: the im2row expansion cannot live in 164 KiB for the paper's
+    block and fused kernels — stencil2row can."""
+    for r in rows:
+        if r.block == (32, 64) and r.fused_edge == 7:
+            assert r.im2row_bytes > 164 * 1024
+            assert r.stencil2row_bytes < 164 * 1024
+
+
+def test_savings_match_table3_scale(rows):
+    for r in rows:
+        assert r.saving > 0.70  # "over 70% across all shapes"
+
+
+def test_oversized_blocks_rejected(rows):
+    big = [r for r in rows if r.block == (64, 128)]
+    assert big and all(not r.fits for r in big)
+
+
+def test_table_renders():
+    text = memory_budget_table()
+    assert "164KiB" in text and "blocks/SM" in text

@@ -1,0 +1,51 @@
+"""Table 3 must reproduce exactly."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.memory_footprint import TABLE3_KERNELS, footprint_rows, footprint_table
+
+#: Paper Table 3, verbatim.
+PAPER_TABLE3 = {
+    "heat-2d": (5, 1.5, 0.7000),
+    "box-2d9p": (9, 1.5, 0.8333),
+    "star-2d9p": (9, 5 / 3, 0.8149),
+    "box-2d25p": (25, 5 / 3, 0.9333),
+    "star-2d13p": (13, 1.75, 0.8654),
+    "box-2d49p": (49, 1.75, 0.9643),
+}
+
+
+def test_row_order_matches_paper():
+    assert tuple(r.kernel_name for r in footprint_rows()) == TABLE3_KERNELS
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_TABLE3))
+def test_analytical_values(name):
+    row = next(r for r in footprint_rows() if r.kernel_name == name)
+    im2row, s2r, saving = PAPER_TABLE3[name]
+    assert row.im2row_factor == im2row
+    assert np.isclose(row.stencil2row_factor, s2r, atol=0.01)
+    assert np.isclose(row.memory_saving, saving, atol=5e-4)
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_TABLE3))
+def test_empirical_confirms_analytical(name):
+    """Materialised layouts at 512² must agree with the closed forms."""
+    row = next(r for r in footprint_rows((512, 512)) if r.kernel_name == name)
+    assert row.empirical_im2row_factor == pytest.approx(row.im2row_factor, rel=0.03)
+    assert row.empirical_stencil2row_factor == pytest.approx(
+        row.stencil2row_factor, rel=0.03
+    )
+
+
+def test_saving_always_above_70_percent():
+    # §3.2: "reduces memory usage by over 70% across all shapes"
+    assert all(r.memory_saving >= 0.70 for r in footprint_rows())
+
+
+def test_table_renders():
+    text = footprint_table()
+    assert "Table 3" in text
+    assert "96.43%" in text
+    assert "70.00%" in text

@@ -1,0 +1,45 @@
+"""Precision study and the consolidated report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.precision import precision_study, precision_table
+from repro.analysis.report import build_report, write_report
+
+
+class TestPrecisionStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return precision_study("heat-2d", steps_list=(1, 4, 16), shape=(48, 48))
+
+    def test_fp64_stays_at_noise_level(self, rows):
+        assert all(r.fp64_rel_error < 1e-12 for r in rows)
+
+    def test_fp16_visibly_worse(self, rows):
+        # §1: most stencils necessitate FP64 — FP16 loses ~12 orders
+        assert all(r.fp16_rel_error > 1e-5 for r in rows)
+        assert all(r.fp16_penalty > 8 for r in rows)
+
+    def test_fp16_error_compounds_with_steps(self, rows):
+        errs = [r.fp16_rel_error for r in rows]
+        assert errs[-1] > errs[0]
+
+    def test_steps_recorded(self, rows):
+        assert [r.steps for r in rows] == [1, 4, 16]
+
+    def test_table_renders(self):
+        text = precision_table(kernel_names=("heat-2d",), steps_list=(1, 4))
+        assert "FP64 rel err" in text and "heat-2d" in text
+
+
+class TestReport:
+    def test_build_report_contains_every_section(self):
+        report = build_report(include_breakdown=False)
+        for token in ("Table 3", "Table 5", "Figure 7", "Figure 8", "Precision"):
+            assert token in report, token
+        assert "96.43%" in report  # Table 3 content made it in
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "REPORT.md", include_breakdown=False)
+        assert path.exists()
+        assert path.read_text().startswith("# ConvStencil reproduction report")

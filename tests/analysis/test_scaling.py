@@ -1,0 +1,62 @@
+"""Distributed scaling model."""
+
+import pytest
+
+from repro.analysis.scaling import (
+    NVLINK3,
+    PCIE4,
+    scaling_table,
+    strong_scaling,
+    weak_scaling,
+)
+from repro.errors import ModelError
+
+
+class TestStrongScaling:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return strong_scaling("heat-2d", rank_counts=(1, 2, 4, 8))
+
+    def test_throughput_grows_with_ranks(self, points):
+        speeds = [p.gstencils_per_s for p in points]
+        assert speeds == sorted(speeds)
+
+    def test_efficiency_degrades_monotonically(self, points):
+        effs = [p.parallel_efficiency for p in points]
+        assert effs[0] == 1.0
+        assert all(b <= a + 1e-12 for a, b in zip(effs, effs[1:]))
+        assert effs[-1] > 0.7  # NVLink keeps strong scaling healthy
+
+    def test_comm_share_grows(self, points):
+        shares = [p.comm_fraction for p in points]
+        assert shares[0] == 0.0
+        assert shares[-1] > shares[1]
+
+
+class TestWeakScaling:
+    def test_near_constant_efficiency(self):
+        points = weak_scaling("heat-2d", rank_counts=(1, 2, 4, 8))
+        for p in points[1:]:
+            assert p.parallel_efficiency > 0.9
+
+    def test_grid_grows_with_ranks(self):
+        points = weak_scaling("heat-2d", per_rank_rows=1024, rank_counts=(1, 4))
+        assert points[0].global_shape == (1024, 10240)
+        assert points[1].global_shape == (4096, 10240)
+
+
+class TestInterconnects:
+    def test_pcie_hurts_strong_scaling(self):
+        nvlink = strong_scaling("heat-2d", rank_counts=(8,), link=NVLINK3)[0]
+        pcie = strong_scaling("heat-2d", rank_counts=(8,), link=PCIE4)[0]
+        assert pcie.gstencils_per_s < nvlink.gstencils_per_s
+        assert pcie.comm_fraction > nvlink.comm_fraction
+
+    def test_too_many_ranks_rejected(self):
+        with pytest.raises(ModelError, match="halo"):
+            strong_scaling("heat-2d", global_shape=(16, 10240), rank_counts=(16,))
+
+
+def test_table_renders():
+    text = scaling_table()
+    assert "strong" in text and "weak" in text and "efficiency" in text

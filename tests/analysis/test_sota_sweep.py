@@ -1,0 +1,70 @@
+"""Figures 7 and 8: driver-level checks (model-level claims live in
+tests/model/test_baseline_models.py)."""
+
+import pytest
+
+from repro.analysis.fusion_sweep import FIG8_KERNELS, fig8_sweep, find_crossover, sweep_table
+from repro.analysis.sota import fig7_rows, fig7_table
+from repro.stencils.catalog import BENCHMARKS
+
+
+class TestFig7Driver:
+    def test_covers_all_benchmarks(self):
+        rows = fig7_rows()
+        assert {r.kernel_name for r in rows} == set(BENCHMARKS)
+
+    def test_speedup_over_all_supported_systems(self):
+        for row in fig7_rows():
+            for system, gst in row.gstencils.items():
+                if system == "convstencil" or gst is None:
+                    continue
+                assert row.speedup_over(system) > 1.0, (row.kernel_name, system)
+
+    def test_speedup_none_for_unsupported(self):
+        row = next(r for r in fig7_rows() if r.kernel_name == "heat-3d")
+        assert row.speedup_over("tcstencil") is None
+
+    def test_table_renders(self):
+        text = fig7_table()
+        assert "Figure 7" in text
+        assert "convstencil" in text
+
+
+class TestFig8Crossovers:
+    """Crossover sizes from §5.4: 768², 512², 288³, 128³ (±1 sweep step
+    band, since the modelled curves are smooth)."""
+
+    @pytest.mark.parametrize(
+        "kernel,ndim,lo,hi",
+        [
+            ("heat-2d", 2, 512, 1024),
+            ("box-2d9p", 2, 256, 768),
+            ("heat-3d", 3, 224, 352),
+            ("box-3d27p", 3, 96, 224),
+        ],
+    )
+    def test_crossover_location(self, kernel, ndim, lo, hi):
+        cfg = next(c for c in FIG8_KERNELS if c[0] == kernel)
+        pts = fig8_sweep(*cfg)
+        cross = find_crossover(pts)
+        assert cross is not None
+        assert lo <= cross <= hi, cross
+
+    @pytest.mark.parametrize(
+        "kernel,plateau",
+        [("heat-2d", 1.42), ("box-2d9p", 2.13), ("heat-3d", 1.63), ("box-3d27p", 5.22)],
+    )
+    def test_plateau_speedups(self, kernel, plateau):
+        cfg = next(c for c in FIG8_KERNELS if c[0] == kernel)
+        pts = fig8_sweep(*cfg)
+        assert pts[-1].speedup == pytest.approx(plateau, rel=0.1)
+
+    def test_drstencil_wins_small_sizes(self):
+        for cfg in FIG8_KERNELS:
+            pts = fig8_sweep(*cfg)
+            assert pts[0].speedup < 1.0, cfg[0]
+
+    def test_table_renders(self):
+        text = sweep_table()
+        assert "Figure 8" in text
+        assert "crossover" in text

@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stencils.catalog import list_kernels
+from repro.utils.rng import default_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator, fresh per test."""
+    return default_rng(1234)
+
+
+def pytest_generate_tests(metafunc):
+    """Parametrise any test requesting ``kernel_name`` over the catalog."""
+    if "kernel_name" in metafunc.fixturenames:
+        metafunc.parametrize("kernel_name", list(list_kernels()))

@@ -1,0 +1,55 @@
+"""Batched public API."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import ConvStencil
+from repro.errors import KernelError
+from repro.stencils.catalog import get_kernel
+from repro.stencils.reference import run_reference
+
+
+class TestRunBatch:
+    def test_matches_per_grid_runs_2d(self, rng):
+        kernel = get_kernel("box-2d9p")
+        cs = ConvStencil(kernel)
+        batch = rng.random((5, 18, 20))
+        got = cs.run_batch(batch, 3)
+        for i in range(5):
+            np.testing.assert_allclose(
+                got[i], run_reference(batch[i], kernel, 3), rtol=1e-12, atol=1e-13
+            )
+
+    def test_fused_batch(self, rng):
+        kernel = get_kernel("box-2d9p")
+        cs = ConvStencil(kernel, fusion="auto")
+        batch = rng.random((3, 24, 24))
+        got = cs.run_batch(batch, 6, boundary="periodic")
+        for i in range(3):
+            np.testing.assert_allclose(
+                got[i],
+                run_reference(batch[i], kernel, 6, "periodic"),
+                rtol=1e-11,
+            )
+
+    def test_1d_and_3d_fallback(self, rng):
+        for name, shape in [("heat-1d", (4, 40)), ("heat-3d", (2, 8, 9, 10))]:
+            kernel = get_kernel(name)
+            batch = rng.random(shape)
+            got = ConvStencil(kernel).run_batch(batch, 2)
+            for i in range(shape[0]):
+                np.testing.assert_allclose(
+                    got[i], run_reference(batch[i], kernel, 2), rtol=1e-12
+                )
+
+    def test_zero_steps(self, rng):
+        batch = rng.random((2, 10, 10))
+        out = ConvStencil(get_kernel("heat-2d")).run_batch(batch, 0)
+        np.testing.assert_array_equal(out, batch)
+
+    def test_shape_validation(self, rng):
+        cs = ConvStencil(get_kernel("heat-2d"))
+        with pytest.raises(KernelError, match="run_batch"):
+            cs.run_batch(rng.random((10, 10)), 1)
+        with pytest.raises(ValueError):
+            cs.run_batch(rng.random((2, 10, 10)), -1)

@@ -1,0 +1,132 @@
+"""Blocked simulated execution: numerics, halo amplification, geometry."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocked import (
+    block_plan_for,
+    halo_read_amplification,
+    run_simulated_2d_blocked,
+)
+from repro.core.simulated import ExecutionConfig, run_simulated_2d
+from repro.errors import TessellationError
+from repro.stencils.catalog import get_kernel
+from repro.stencils.grid import pad_halo
+from repro.stencils.reference import apply_stencil_reference
+from repro.utils.rng import default_rng
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("name", ["heat-2d", "box-2d9p", "box-2d49p"])
+    def test_blocked_equals_reference(self, name, rng):
+        kernel = get_kernel(name)
+        x = rng.random((40, 52))
+        padded = pad_halo(x, kernel.radius)
+        run = run_simulated_2d_blocked(padded, kernel, block=(16, 24))
+        np.testing.assert_allclose(
+            run.output, apply_stencil_reference(x, kernel), rtol=1e-12, atol=1e-14
+        )
+
+    def test_blocked_equals_unblocked(self, rng):
+        kernel = get_kernel("box-2d9p")
+        padded = pad_halo(rng.random((30, 34)), kernel.radius)
+        blocked = run_simulated_2d_blocked(padded, kernel, block=(8, 16))
+        unblocked = run_simulated_2d(padded, kernel)
+        np.testing.assert_array_equal(blocked.output, unblocked.output)
+
+    def test_ragged_blocks(self, rng):
+        # grid extents that do not divide the block tile
+        kernel = get_kernel("heat-2d")
+        x = rng.random((37, 41))
+        padded = pad_halo(x, kernel.radius)
+        run = run_simulated_2d_blocked(padded, kernel, block=(16, 16))
+        np.testing.assert_allclose(
+            run.output, apply_stencil_reference(x, kernel), rtol=1e-12
+        )
+
+
+class TestTrafficAndGeometry:
+    def test_halo_amplification_formula(self):
+        assert halo_read_amplification((32, 64), 7) == (38 * 70) / (32 * 64)
+        assert halo_read_amplification((8, 8), 3) == (10 * 10) / 64
+
+    def test_blocked_reads_more_global_memory(self, rng):
+        """Halo re-reads must show up in the global-read tally."""
+        kernel = get_kernel("box-2d9p")
+        padded = pad_halo(rng.random((32, 32)), kernel.radius)
+        blocked = run_simulated_2d_blocked(padded, kernel, block=(8, 8))
+        unblocked = run_simulated_2d(padded, kernel)
+        assert blocked.counters.global_read_bytes > unblocked.counters.global_read_bytes
+        # ... by roughly the amplification factor
+        ratio = blocked.counters.global_read_bytes / unblocked.counters.global_read_bytes
+        assert ratio == pytest.approx(halo_read_amplification((8, 8), 3), rel=0.25)
+
+    def test_smaller_blocks_use_less_shared_memory(self, rng):
+        kernel = get_kernel("box-2d9p")
+        padded = pad_halo(rng.random((40, 40)), kernel.radius)
+        small = run_simulated_2d_blocked(padded, kernel, block=(8, 8))
+        big = run_simulated_2d_blocked(padded, kernel, block=(32, 32))
+        assert small.shared_bytes < big.shared_bytes
+
+    def test_plan_matches_execution_geometry(self, rng):
+        kernel = get_kernel("box-2d49p")
+        x = rng.random((64, 128))
+        padded = pad_halo(x, kernel.radius)
+        plan = block_plan_for(padded.shape, kernel, block=(32, 64))
+        run = run_simulated_2d_blocked(padded, kernel, block=(32, 64))
+        # the dominant (full-size) block's allocation matches the plan
+        assert run.shared_bytes == plan.shared_bytes
+
+    def test_identical_write_traffic(self, rng):
+        kernel = get_kernel("heat-2d")
+        padded = pad_halo(rng.random((24, 24)), kernel.radius)
+        blocked = run_simulated_2d_blocked(padded, kernel, block=(8, 8))
+        unblocked = run_simulated_2d(padded, kernel)
+        assert blocked.counters.global_write_bytes == unblocked.counters.global_write_bytes
+
+
+class TestValidation:
+    def test_bad_block(self, rng):
+        kernel = get_kernel("heat-2d")
+        padded = pad_halo(rng.random((16, 16)), 1)
+        with pytest.raises(TessellationError):
+            run_simulated_2d_blocked(padded, kernel, block=(0, 8))
+        with pytest.raises(TessellationError):
+            halo_read_amplification((0, 8), 3)
+
+    def test_dim_checks(self, rng):
+        with pytest.raises(TessellationError):
+            run_simulated_2d_blocked(rng.random(30), get_kernel("heat-2d"))
+        with pytest.raises(TessellationError):
+            run_simulated_2d_blocked(rng.random((8, 8)), get_kernel("heat-1d"))
+
+
+class TestOneDBlocked:
+    def test_matches_reference(self, rng):
+        from repro.core.blocked import run_simulated_1d_blocked
+
+        kernel = get_kernel("1d5p")
+        x = rng.random(500)
+        padded = pad_halo(x, kernel.radius)
+        run = run_simulated_1d_blocked(padded, kernel, block=128)
+        np.testing.assert_allclose(
+            run.output, apply_stencil_reference(x, kernel), rtol=1e-12
+        )
+
+    def test_halo_rereads_counted(self, rng):
+        from repro.core.blocked import run_simulated_1d_blocked
+        from repro.core.simulated import run_simulated_1d
+
+        kernel = get_kernel("heat-1d")
+        padded = pad_halo(rng.random(512), kernel.radius)
+        blocked = run_simulated_1d_blocked(padded, kernel, block=64)
+        unblocked = run_simulated_1d(padded, kernel)
+        assert blocked.counters.global_read_bytes > unblocked.counters.global_read_bytes
+
+    def test_validation(self, rng):
+        from repro.core.blocked import run_simulated_1d_blocked
+
+        with pytest.raises(TessellationError):
+            run_simulated_1d_blocked(rng.random(50), get_kernel("heat-2d"))
+        with pytest.raises(TessellationError):
+            run_simulated_1d_blocked(rng.random(50), get_kernel("heat-1d"), block=0)

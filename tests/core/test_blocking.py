@@ -1,0 +1,92 @@
+"""Block planning: the Figure-5 geometry, shared-memory budget, occupancy."""
+
+import pytest
+
+from repro.core.blocking import plan_blocks_1d, plan_blocks_2d
+from repro.errors import TessellationError
+from repro.gpu.specs import A100
+from repro.stencils.catalog import get_kernel
+
+
+class TestFigure5Geometry:
+    def test_paper_266_column_example(self):
+        """Table 4's 32×64 block with a 7-edge kernel produces *exactly* the
+        stencil2row matrix Figure 5 uses as its example: 266 FP64 elements
+        per row, padded to 268."""
+        plan = plan_blocks_2d((10240, 10240), get_kernel("box-2d49p"))
+        assert plan.input_tile == (38, 70)
+        assert plan.s2r_cols == 266  # 7 * 38
+        assert plan.pitch == 268
+        assert plan.padding.conflict_free
+
+    def test_dirty_slot_lives_in_padding(self):
+        plan = plan_blocks_2d((1024, 1024), get_kernel("box-2d49p"))
+        assert plan.padding.dirty_col == 267
+        assert plan.padding.dirty_col >= plan.s2r_cols
+
+    def test_no_padding_keeps_live_width(self):
+        plan = plan_blocks_2d(
+            (1024, 1024), get_kernel("box-2d49p"), padding=False, dirty_bits=False
+        )
+        assert plan.pitch == 266
+
+
+class TestSharedBudget:
+    def test_fits_a100(self):
+        # §2.3: "each SM has only 164KB of shared memory" — the paper's
+        # default block must fit with room for two blocks
+        plan = plan_blocks_2d((10240, 10240), get_kernel("box-2d49p"))
+        assert plan.fits(A100)
+        assert plan.blocks_per_sm(A100) == 2
+
+    def test_oversized_block_rejected_at_waves(self):
+        plan = plan_blocks_2d((4096, 4096), get_kernel("box-2d49p"), block=(32, 1024))
+        assert not plan.fits(A100)
+        assert plan.blocks_per_sm(A100) == 0
+        with pytest.raises(TessellationError, match="shared memory"):
+            plan.waves(A100)
+
+    def test_shared_bytes_formula(self):
+        plan = plan_blocks_2d((512, 512), get_kernel("heat-2d"))
+        assert plan.shared_bytes == 2 * plan.s2r_rows * plan.pitch * 8
+
+
+class TestOccupancy:
+    def test_paper_grid_nearly_saturates(self):
+        plan = plan_blocks_2d((10240, 10240), get_kernel("box-2d49p"))
+        assert plan.blocks == 320 * 160
+        assert plan.occupancy(A100) > 0.9
+
+    def test_small_grid_underfills(self):
+        plan = plan_blocks_2d((256, 256), get_kernel("box-2d49p"))
+        assert plan.waves(A100) == 1
+        assert plan.occupancy(A100) < 0.25
+
+    def test_occupancy_increases_with_size(self):
+        kernel = get_kernel("heat-2d")
+        occs = [
+            plan_blocks_2d((s, s), kernel).occupancy(A100)
+            for s in (128, 512, 2048, 8192)
+        ]
+        assert occs == sorted(occs)
+
+
+class TestOneD:
+    def test_table4_block(self):
+        plan = plan_blocks_1d(10_240_000, get_kernel("heat-1d"))
+        assert plan.block_shape == (1024,)
+        assert plan.blocks == 10_000
+        assert plan.fits(A100)
+
+    def test_small_kernel_overshoot(self):
+        # k=3 < one fragment chunk: one overshoot element is unavoidable
+        plan = plan_blocks_1d(4096, get_kernel("heat-1d"))
+        assert plan.pitch >= 4
+
+    def test_validation(self):
+        with pytest.raises(TessellationError):
+            plan_blocks_1d(100, get_kernel("heat-2d"))
+        with pytest.raises(TessellationError):
+            plan_blocks_2d((64, 64), get_kernel("heat-2d"), block=(0, 64))
+        with pytest.raises(TessellationError):
+            plan_blocks_2d((64,), get_kernel("heat-1d"))  # wrong ndim

@@ -1,0 +1,130 @@
+"""Dual-tessellation engines vs the reference executor, all dimensions."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine1d import convstencil_valid_1d
+from repro.core.engine2d import convstencil_valid_2d
+from repro.core.engine3d import convstencil_valid_3d, plane_decomposition
+from repro.errors import TessellationError
+from repro.stencils.catalog import get_kernel
+from repro.stencils.grid import pad_halo
+from repro.stencils.kernel import StencilKernel
+from repro.stencils.reference import apply_stencil_reference
+
+SHAPES = {1: (97,), 2: (26, 41), 3: (10, 13, 15)}
+ENGINES = {1: convstencil_valid_1d, 2: convstencil_valid_2d, 3: convstencil_valid_3d}
+
+
+def test_engine_matches_reference(kernel_name, rng):
+    kernel = get_kernel(kernel_name)
+    x = rng.random(SHAPES[kernel.ndim])
+    padded = pad_halo(x, kernel.radius)
+    got = ENGINES[kernel.ndim](padded, kernel)
+    np.testing.assert_allclose(
+        got, apply_stencil_reference(x, kernel), rtol=1e-12, atol=1e-14
+    )
+
+
+class TestEngine1D:
+    @pytest.mark.parametrize("n", [3, 4, 7, 8, 9, 31, 32, 33, 100])
+    def test_awkward_lengths(self, n, rng):
+        kernel = get_kernel("heat-1d")
+        padded = rng.random(n)
+        got = convstencil_valid_1d(padded, kernel)
+        expect = np.correlate(padded, kernel.weights, mode="valid")
+        np.testing.assert_allclose(got, expect, rtol=1e-12)
+
+    def test_wide_fused_kernel(self, rng):
+        # edge 13 exceeds one fragment column block; the engine must not care
+        kernel = get_kernel("1d5p").fuse(3)
+        assert kernel.edge == 13
+        padded = rng.random(200)
+        got = convstencil_valid_1d(padded, kernel)
+        expect = np.correlate(padded, kernel.weights.reshape(-1), mode="valid")
+        np.testing.assert_allclose(got, expect, rtol=1e-12)
+
+    def test_too_short_input(self, rng):
+        with pytest.raises(TessellationError, match="input length"):
+            convstencil_valid_1d(rng.random(2), get_kernel("heat-1d"))
+
+    def test_dim_mismatch(self, rng):
+        with pytest.raises(TessellationError):
+            convstencil_valid_1d(rng.random(20), get_kernel("heat-2d"))
+        with pytest.raises(TessellationError):
+            convstencil_valid_1d(rng.random((4, 5)), get_kernel("heat-1d"))
+
+
+class TestEngine2D:
+    @pytest.mark.parametrize(
+        "shape", [(3, 3), (3, 10), (10, 3), (8, 8), (9, 17), (16, 31), (33, 64)]
+    )
+    def test_awkward_shapes(self, shape, rng):
+        kernel = get_kernel("box-2d9p")
+        if min(shape) < kernel.edge:
+            pytest.skip("kernel does not fit")
+        padded = rng.random(shape)
+        got = convstencil_valid_2d(padded, kernel)
+        x = padded[1:-1, 1:-1]
+        expect = apply_stencil_reference(padded, kernel)[1:-1, 1:-1]
+        np.testing.assert_allclose(got, expect, rtol=1e-12)
+
+    def test_chunking_invariance(self, rng):
+        kernel = get_kernel("box-2d49p")
+        padded = rng.random((40, 40))
+        full = convstencil_valid_2d(padded, kernel, chunk=1024)
+        small = convstencil_valid_2d(padded, kernel, chunk=3)
+        np.testing.assert_array_equal(full, small)
+
+    def test_bad_chunk(self, rng):
+        with pytest.raises(TessellationError, match="chunk"):
+            convstencil_valid_2d(rng.random((10, 10)), get_kernel("heat-2d"), chunk=0)
+
+    def test_kernel_does_not_fit(self, rng):
+        with pytest.raises(TessellationError, match="does not fit"):
+            convstencil_valid_2d(rng.random((4, 20)), get_kernel("box-2d49p"))
+
+    def test_asymmetric_random_kernel(self, rng):
+        kernel = StencilKernel(name="rand", weights=rng.random((5, 5)))
+        padded = rng.random((19, 23))
+        got = convstencil_valid_2d(padded, kernel)
+        expect = apply_stencil_reference(padded, kernel)[2:-2, 2:-2]
+        np.testing.assert_allclose(got, expect, rtol=1e-12)
+
+
+class TestEngine3D:
+    def test_plane_decomposition_heat3d(self):
+        items = plane_decomposition(get_kernel("heat-3d"))
+        kinds = [kind for _, kind, _ in items]
+        assert kinds == ["axpy", "conv2d", "axpy"]
+
+    def test_plane_decomposition_box(self):
+        items = plane_decomposition(get_kernel("box-3d27p"))
+        assert all(kind == "conv2d" for _, kind, _ in items)
+
+    def test_plane_decomposition_skips_zero_planes(self, rng):
+        w = np.zeros((3, 3, 3))
+        w[1] = rng.random((3, 3))
+        kernel = StencilKernel(name="slab", weights=w)
+        items = plane_decomposition(kernel)
+        assert [kind for _, kind, _ in items] == ["skip", "conv2d", "skip"]
+
+    def test_axpy_payload_offsets(self):
+        items = plane_decomposition(get_kernel("heat-3d"))
+        dz, kind, (dx, dy, w) = items[0]
+        assert (dz, kind, dx, dy) == (0, "axpy", 1, 1)
+        assert w == get_kernel("heat-3d").weights[0, 1, 1]
+
+    def test_requires_3d(self):
+        with pytest.raises(TessellationError):
+            plane_decomposition(get_kernel("heat-2d"))
+        with pytest.raises(TessellationError):
+            convstencil_valid_3d(np.zeros((4, 4, 4)), get_kernel("heat-2d"))
+
+    def test_fused_3d_kernel(self, rng):
+        kernel = get_kernel("heat-3d").fuse(2)
+        assert kernel.edge == 5
+        padded = rng.random((9, 11, 12))
+        got = convstencil_valid_3d(padded, kernel)
+        expect = apply_stencil_reference(padded, kernel)[2:-2, 2:-2, 2:-2]
+        np.testing.assert_allclose(got, expect, rtol=1e-12)

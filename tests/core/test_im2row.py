@@ -1,0 +1,95 @@
+"""im2row transform: shapes, values, and the stencil-as-GEMM identity."""
+
+import numpy as np
+import pytest
+
+from repro.core.im2row import (
+    im2row_expansion_factor,
+    im2row_matrix_1d,
+    im2row_matrix_2d,
+    im2row_shape,
+    im2row_stencil_1d,
+    im2row_stencil_2d,
+)
+from repro.errors import LayoutError
+from repro.stencils.catalog import get_kernel
+from repro.stencils.grid import pad_halo
+from repro.stencils.reference import apply_stencil_reference
+
+
+class TestShapes:
+    def test_paper_example(self):
+        # §2.3: a 10×10 input with a 3×3 kernel → a (8·8)×9 valid matrix;
+        # the paper quotes the 100×9 all-positions approximation
+        rows, cols = im2row_shape((10, 10), 3)
+        assert cols == 9
+        assert rows == 64
+
+    def test_kernel_too_large(self):
+        with pytest.raises(LayoutError, match="does not fit"):
+            im2row_shape((4, 10), 5)
+
+    def test_1d_matrix_rows_are_windows(self, rng):
+        x = rng.random(10)
+        mat = im2row_matrix_1d(x, 3)
+        assert mat.shape == (8, 3)
+        np.testing.assert_array_equal(mat[0], x[:3])
+        np.testing.assert_array_equal(mat[-1], x[-3:])
+
+    def test_2d_matrix_first_row_is_first_patch(self, rng):
+        x = rng.random((6, 7))
+        mat = im2row_matrix_2d(x, 3)
+        assert mat.shape == (20, 9)
+        np.testing.assert_array_equal(mat[0], x[:3, :3].reshape(-1))
+
+    def test_2d_row_ordering_is_row_major(self, rng):
+        x = rng.random((5, 6))
+        mat = im2row_matrix_2d(x, 3)
+        np.testing.assert_array_equal(mat[1], x[0:3, 1:4].reshape(-1))
+        np.testing.assert_array_equal(mat[4], x[1:4, 0:3].reshape(-1))
+
+    def test_rejects_wrong_ndim(self, rng):
+        with pytest.raises(LayoutError):
+            im2row_matrix_1d(rng.random((3, 3)), 3)
+        with pytest.raises(LayoutError):
+            im2row_matrix_2d(rng.random(9), 3)
+
+
+class TestStencilIdentity:
+    @pytest.mark.parametrize("name", ["heat-1d", "1d5p"])
+    def test_1d_equals_reference(self, name, rng):
+        kernel = get_kernel(name)
+        x = rng.random(64)
+        padded = pad_halo(x, kernel.radius)
+        got = im2row_stencil_1d(padded, kernel)
+        np.testing.assert_allclose(got, apply_stencil_reference(x, kernel), rtol=1e-13)
+
+    @pytest.mark.parametrize("name", ["heat-2d", "box-2d9p", "box-2d49p", "star-2d13p"])
+    def test_2d_equals_reference(self, name, rng):
+        kernel = get_kernel(name)
+        x = rng.random((21, 27))
+        padded = pad_halo(x, kernel.radius)
+        got = im2row_stencil_2d(padded, kernel)
+        np.testing.assert_allclose(got, apply_stencil_reference(x, kernel), rtol=1e-13)
+
+    def test_dimension_check(self, rng):
+        with pytest.raises(LayoutError):
+            im2row_stencil_1d(rng.random(10), get_kernel("heat-2d"))
+        with pytest.raises(LayoutError):
+            im2row_stencil_2d(rng.random((10, 10)), get_kernel("heat-1d"))
+
+
+class TestExpansion:
+    @pytest.mark.parametrize(
+        "name,factor",
+        [
+            ("heat-2d", 5),
+            ("box-2d9p", 9),
+            ("star-2d9p", 9),
+            ("box-2d25p", 25),
+            ("star-2d13p", 13),
+            ("box-2d49p", 49),
+        ],
+    )
+    def test_table3_im2row_column(self, name, factor):
+        assert im2row_expansion_factor(get_kernel(name)) == factor

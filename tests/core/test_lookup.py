@@ -1,0 +1,63 @@
+"""Lookup-table precomputation vs the Eq. 5/6 mapping functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.lookup import build_column_lookup
+from repro.core.stencil2row import stencil2row_a_index, stencil2row_b_index
+from repro.errors import LayoutError
+
+
+@pytest.mark.parametrize("edge", [3, 5, 7])
+@pytest.mark.parametrize("n", [10, 33, 64])
+def test_lookup_matches_eq5(edge, n):
+    lk = build_column_lookup(n, edge)
+    for y in range(n):
+        if lk.a_valid[y]:
+            row, col = stencil2row_a_index(5, y, edge)
+            assert lk.a_row[y] == row
+            assert edge * 5 + lk.a_off[y] == col
+
+
+@pytest.mark.parametrize("edge", [3, 5, 7])
+@pytest.mark.parametrize("n", [10, 33, 64])
+def test_lookup_matches_eq6(edge, n):
+    lk = build_column_lookup(n, edge)
+    for y in range(n):
+        if lk.b_valid[y]:
+            row, col = stencil2row_b_index(2, y, edge)
+            assert lk.b_row[y] == row
+            assert edge * 2 + lk.b_off[y] == col
+
+
+def test_invalid_a_offsets_are_out_of_live_range():
+    # the skipped residue lands at offset == edge, naturally outside [0, edge)
+    lk = build_column_lookup(32, 3)
+    assert np.all(lk.a_off[~lk.a_valid] == 3)
+
+
+def test_validity_pattern():
+    lk = build_column_lookup(16, 3)
+    # A skips y % 4 == 3; B skips y < 3 and y % 4 == 2
+    np.testing.assert_array_equal(lk.a_valid, (np.arange(16) + 1) % 4 != 0)
+    expected_b = (np.arange(16) >= 3) & ((np.arange(16) - 2) % 4 != 0)
+    np.testing.assert_array_equal(lk.b_valid, expected_b)
+
+
+def test_every_column_covered():
+    for edge in (3, 5, 7):
+        lk = build_column_lookup(50, edge)
+        assert np.all(lk.a_valid | lk.b_valid)
+
+
+def test_divmod_savings_accounting():
+    lk = build_column_lookup(100, 3)
+    assert lk.divmod_ops_saved == 400
+    assert lk.n == 100
+
+
+def test_validation():
+    with pytest.raises(LayoutError):
+        build_column_lookup(0, 3)
+    with pytest.raises(LayoutError):
+        build_column_lookup(10, 0)

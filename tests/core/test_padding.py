@@ -1,0 +1,50 @@
+"""Padding plans: bank-conflict-free pitches and dirty slots."""
+
+import pytest
+
+from repro.core.padding import plan_padding
+from repro.errors import LayoutError
+from repro.gpu.banks import is_pitch_conflict_free
+
+
+class TestPlanPadding:
+    def test_paper_example_266_to_268(self):
+        # Figure 5: a 266-column stencil2row matrix pads to 268
+        plan = plan_padding(266, padding=True, dirty_bits=False)
+        assert plan.pitch == 268
+        assert plan.conflict_free
+        assert plan.dirty_col is None
+
+    def test_dirty_bits_reuse_padding_zone(self):
+        plan = plan_padding(266, padding=True, dirty_bits=True)
+        assert plan.pitch == 268
+        assert plan.dirty_col == 267
+        assert plan.dirty_col >= plan.cols
+
+    def test_dirty_slot_forced_when_already_aligned(self):
+        # 268 is already conflict-free; dirty bits still need a spare slot
+        plan = plan_padding(268, padding=True, dirty_bits=True)
+        assert plan.pitch > 268
+        assert plan.conflict_free
+        assert plan.dirty_col == plan.pitch - 1
+
+    def test_no_padding_keeps_natural_pitch(self):
+        plan = plan_padding(266, padding=False, dirty_bits=False)
+        assert plan.pitch == 266
+        assert plan.padding_elements == 0
+
+    def test_dirty_without_padding_adds_one_slot(self):
+        plan = plan_padding(266, padding=False, dirty_bits=True)
+        assert plan.pitch == 267
+        assert plan.dirty_col == 266
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(LayoutError):
+            plan_padding(0, padding=True, dirty_bits=True)
+
+    @pytest.mark.parametrize("cols", range(1, 200, 7))
+    def test_padded_pitch_always_conflict_free(self, cols):
+        plan = plan_padding(cols, padding=True, dirty_bits=True)
+        assert is_pitch_conflict_free(plan.pitch)
+        assert plan.pitch > cols  # dirty slot exists
+        assert plan.pitch - cols <= 16  # padding is bounded

@@ -1,0 +1,163 @@
+"""The simulated executor: numerics, counters, and the Eq. 13 MMA count."""
+
+import numpy as np
+import pytest
+
+from repro.core.simulated import ExecutionConfig, run_simulated, run_simulated_2d
+from repro.errors import TessellationError
+from repro.stencils.catalog import get_kernel
+from repro.stencils.grid import pad_halo
+from repro.stencils.kernel import StencilKernel
+from repro.stencils.reference import apply_stencil_reference
+from repro.utils.arrays import ceil_div
+
+SHAPES = {1: (120,), 2: (24, 30), 3: (8, 9, 10)}
+
+
+def test_simulated_matches_reference(kernel_name, rng):
+    kernel = get_kernel(kernel_name)
+    x = rng.random(SHAPES[kernel.ndim])
+    run = run_simulated(pad_halo(x, kernel.radius), kernel)
+    np.testing.assert_allclose(
+        run.output, apply_stencil_reference(x, kernel), rtol=1e-12, atol=1e-14
+    )
+
+
+@pytest.mark.parametrize("variant", ["I", "II", "III", "IV", "V"])
+def test_all_variants_identical_numerics(variant, rng):
+    kernel = get_kernel("box-2d9p")
+    x = rng.random((20, 26))
+    run = run_simulated(pad_halo(x, kernel.radius), kernel, ExecutionConfig.variant(variant))
+    np.testing.assert_allclose(
+        run.output, apply_stencil_reference(x, kernel), rtol=1e-12
+    )
+
+
+def test_unknown_variant():
+    with pytest.raises(TessellationError, match="unknown variant"):
+        ExecutionConfig.variant("VI")
+
+
+class TestCounters:
+    def run(self, config=ExecutionConfig(), shape=(22, 26), name="box-2d9p", seed=5):
+        kernel = get_kernel(name)
+        x = np.random.default_rng(seed).random(shape)
+        return run_simulated(pad_halo(x, kernel.radius), kernel, config), kernel, shape
+
+    def test_eq13_mma_count(self):
+        """Measured MMAs == Eq. 13 with explicit band/shift rounding."""
+        run, kernel, shape = self.run()
+        k, g = kernel.edge, kernel.edge + 1
+        m, n = shape[0] + 2 * kernel.radius, shape[1] + 2 * kernel.radius
+        bands = ceil_div(ceil_div(n, g), 8)
+        shifts = m - k + 1
+        expected = bands * shifts * 2 * ceil_div(k * k, 4)
+        assert run.counters.mma_fp64 == expected
+
+    def test_dirty_bits_remove_branches(self):
+        with_branches, _, _ = self.run(ExecutionConfig.variant("IV"))
+        without, _, _ = self.run(ExecutionConfig.variant("V"))
+        assert with_branches.counters.branches > 0
+        assert without.counters.branches == 0
+
+    def test_padding_removes_load_conflicts(self):
+        unpadded, _, _ = self.run(ExecutionConfig.variant("III"))
+        padded, _, _ = self.run(ExecutionConfig.variant("IV"))
+        assert padded.counters.shared_load_conflicts == 0
+        assert unpadded.counters.shared_load_conflicts > 0
+
+    def test_lookup_table_removes_divmod(self):
+        lut, _, _ = self.run(ExecutionConfig())
+        no_lut, _, _ = self.run(ExecutionConfig(lookup_table=False))
+        assert lut.counters.int_divmod == 0
+        # 2 div/mod per matrix per element
+        m, n = 24, 28
+        assert no_lut.counters.int_divmod == 4 * m * n
+
+    def test_explicit_transform_doubles_global_traffic(self):
+        implicit, _, _ = self.run(ExecutionConfig.variant("II"))
+        explicit, _, _ = self.run(ExecutionConfig.variant("I"))
+        assert explicit.counters.global_read_bytes > implicit.counters.global_read_bytes
+        assert explicit.counters.global_write_bytes > implicit.counters.global_write_bytes
+
+    def test_cuda_variant_uses_fma_not_mma(self):
+        cuda, _, _ = self.run(ExecutionConfig.variant("II"))
+        assert cuda.counters.mma_fp64 == 0
+        assert cuda.counters.fma_fp64 > 0
+        tc, _, _ = self.run(ExecutionConfig.variant("V"))
+        assert tc.counters.mma_fp64 > 0
+        assert tc.counters.fma_fp64 == 0
+
+    def test_utilisation_increases_with_kernel_width(self):
+        small, _, _ = self.run(name="heat-2d")
+        big, _, _ = self.run(name="box-2d49p", shape=(18, 20))
+        assert (
+            big.counters.tensor_core_utilisation
+            > small.counters.tensor_core_utilisation
+        )
+
+    def test_global_write_bytes_cover_output(self):
+        run, kernel, shape = self.run()
+        assert run.counters.global_write_bytes == int(np.prod(shape)) * 8
+
+    def test_shared_bytes_accounted(self):
+        run, _, _ = self.run()
+        c = run.counters
+        assert c.shared_write_bytes > 0
+        assert c.shared_read_bytes > 0
+        assert c.shared_load_requests > 0
+        assert c.shared_store_requests > 0
+
+
+class TestGuards:
+    def test_fragment_width_limit(self, rng):
+        wide = StencilKernel(name="wide", weights=rng.random((9, 9)))
+        with pytest.raises(TessellationError, match="edge <= 7"):
+            run_simulated_2d(rng.random((20, 20)), wide)
+
+    def test_dim_checks(self, rng):
+        with pytest.raises(TessellationError):
+            run_simulated_2d(rng.random(30), get_kernel("heat-2d"))
+        with pytest.raises(TessellationError):
+            run_simulated(rng.random((4, 4)), get_kernel("box-2d49p"))
+
+    def test_3d_aggregates_counters(self, rng):
+        kernel = get_kernel("box-3d27p")
+        x = rng.random((6, 7, 8))
+        run = run_simulated(pad_halo(x, kernel.radius), kernel)
+        assert run.counters.mma_fp64 > 0
+        np.testing.assert_allclose(
+            run.output, apply_stencil_reference(x, kernel), rtol=1e-12
+        )
+
+
+class TestZeroChunkSkipping:
+    """Extension beyond the paper: star-sparsity chunk elision."""
+
+    def run_pair(self, name, shape=(26, 28)):
+        kernel = get_kernel(name)
+        x = np.random.default_rng(9).random(shape)
+        padded = pad_halo(x, kernel.radius)
+        dense = run_simulated(padded, kernel)
+        sparse = run_simulated(
+            padded, kernel, ExecutionConfig(skip_zero_chunks=True)
+        )
+        return kernel, x, dense, sparse
+
+    def test_numerics_unchanged(self):
+        _, x, dense, sparse = self.run_pair("star-2d13p")
+        np.testing.assert_array_equal(dense.output, sparse.output)
+
+    def test_star_kernels_save_mma(self):
+        _, _, dense, sparse = self.run_pair("heat-2d")
+        assert sparse.counters.mma_fp64 < dense.counters.mma_fp64
+
+    def test_dense_kernels_save_nothing(self):
+        _, _, dense, sparse = self.run_pair("box-2d49p", shape=(20, 22))
+        assert sparse.counters.mma_fp64 == dense.counters.mma_fp64
+
+    def test_loads_elided_with_mmas(self):
+        _, _, dense, sparse = self.run_pair("heat-2d")
+        assert (
+            sparse.counters.shared_load_requests < dense.counters.shared_load_requests
+        )

@@ -1,0 +1,157 @@
+"""stencil2row: the Eq. 5/6 mappings, matrix builders, and Table-3 math."""
+
+import numpy as np
+import pytest
+
+from repro.core.stencil2row import (
+    Stencil2RowLayout,
+    memory_saving_vs_im2row,
+    stencil2row_a_index,
+    stencil2row_b_index,
+    stencil2row_expansion_factor,
+    stencil2row_matrices_1d,
+    stencil2row_matrices_2d,
+    stencil2row_shape,
+    stencil2row_views_2d,
+)
+from repro.errors import LayoutError
+from repro.stencils.catalog import get_kernel
+
+
+class TestMappingFunctions:
+    def test_eq5_mapping_values(self):
+        # k=7, g=8: element (x=2, y=10) -> row 1, col 7*2 + 2
+        assert stencil2row_a_index(2, 10, 7) == (1, 16)
+
+    def test_eq5_skips_residue(self):
+        # y = 7 has (y+1) % 8 == 0: not representable in A
+        with pytest.raises(LayoutError, match="not mapped"):
+            stencil2row_a_index(0, 7, 7)
+
+    def test_eq6_mapping_values(self):
+        # k=7: element (x=1, y=9) -> row (9-7)//8 = 0, col 7*1 + 2
+        assert stencil2row_b_index(1, 9, 7) == (0, 9)
+
+    def test_eq6_skips_residue_and_prefix(self):
+        with pytest.raises(LayoutError):
+            stencil2row_b_index(0, 6, 7)  # (y-k+1) % g == 0
+        with pytest.raises(LayoutError):
+            stencil2row_b_index(0, 3, 7)  # y < k
+
+    @pytest.mark.parametrize("edge", [3, 5, 7])
+    def test_every_column_lands_in_a_or_b(self, edge):
+        g = edge + 1
+        for y in range(6 * g):
+            in_a = (y + 1) % g != 0
+            in_b = y >= edge and (y - edge + 1) % g != 0
+            assert in_a or in_b, y
+            # exactly one residue is A-only, one is B-only
+            if y % g == edge:
+                assert not in_a and in_b
+            if y % g == edge - 1 and y >= edge:
+                assert in_a and not in_b
+
+
+class TestMatrixBuilders:
+    def test_matrices_realise_eq5(self, rng):
+        edge = 3
+        x = rng.random((6, 13))
+        a, _ = stencil2row_matrices_2d(x, edge)
+        for xi in range(6):
+            for y in range(13):
+                if (y + 1) % (edge + 1) == 0:
+                    continue
+                r, c = stencil2row_a_index(xi, y, edge)
+                assert a[r, c] == x[xi, y], (xi, y)
+
+    def test_matrices_realise_eq6(self, rng):
+        edge = 3
+        x = rng.random((6, 13))
+        _, b = stencil2row_matrices_2d(x, edge)
+        for xi in range(6):
+            for y in range(edge, 13):
+                if (y - edge + 1) % (edge + 1) == 0:
+                    continue
+                r, c = stencil2row_b_index(xi, y, edge)
+                assert b[r, c] == x[xi, y], (xi, y)
+
+    def test_b_tail_zero_extended(self, rng):
+        # B's final group reaches past the input: dirty zone must be zeros
+        x = rng.random((4, 9))
+        _, b = stencil2row_matrices_2d(x, 3)
+        rows, cols = stencil2row_shape((4, 9), 3)
+        assert b.shape == (rows, cols)
+        # last group starts at column 3 + 2*4 = 11 > 8: fully zero
+        assert np.all(b[2] == 0.0)
+
+    def test_1d_matrices(self, rng):
+        x = rng.random(17)
+        a, b = stencil2row_matrices_1d(x, 3)
+        assert a.shape == (5, 3)
+        np.testing.assert_array_equal(a[0], x[0:3])
+        np.testing.assert_array_equal(b[0], x[3:6])
+        np.testing.assert_array_equal(a[1], x[4:7])
+
+    def test_views_match_paper_layout(self, rng):
+        x = rng.random((5, 11))
+        a2, b2 = stencil2row_matrices_2d(x, 3)
+        a3, b3 = stencil2row_views_2d(x, 3)
+        m = x.shape[0]
+        rows = a2.shape[0]
+        np.testing.assert_array_equal(a3.transpose(1, 0, 2).reshape(rows, m * 3), a2)
+        np.testing.assert_array_equal(b3.transpose(1, 0, 2).reshape(rows, m * 3), b2)
+
+    def test_wrong_ndim_rejected(self, rng):
+        with pytest.raises(LayoutError):
+            stencil2row_matrices_1d(rng.random((3, 3)), 3)
+        with pytest.raises(LayoutError):
+            stencil2row_matrices_2d(rng.random(9), 3)
+
+
+class TestShapeAndFootprint:
+    def test_eq7_eq8(self):
+        # rows = n/(k+1), cols = k*m
+        assert stencil2row_shape((10, 16), 3) == (4, 30)
+
+    def test_1d_shape(self):
+        assert stencil2row_shape((16,), 3) == (4, 3)
+
+    def test_3d_rejected(self):
+        with pytest.raises(LayoutError):
+            stencil2row_shape((4, 4, 4), 3)
+
+    @pytest.mark.parametrize(
+        "edge,factor", [(3, 1.5), (5, 5 / 3), (7, 1.75)]
+    )
+    def test_eq11_expansion(self, edge, factor):
+        assert np.isclose(stencil2row_expansion_factor(edge), factor)
+
+    @pytest.mark.parametrize(
+        "name,saving",
+        [
+            ("heat-2d", 0.7000),
+            ("box-2d9p", 0.8333),
+            ("star-2d9p", 0.8148),
+            ("box-2d25p", 0.9333),
+            ("star-2d13p", 0.8654),
+            ("box-2d49p", 0.9643),
+        ],
+    )
+    def test_table3_saving_column(self, name, saving):
+        k = get_kernel(name)
+        assert np.isclose(
+            memory_saving_vs_im2row(k.points, k.edge), saving, atol=5e-4
+        )
+
+    def test_layout_dataclass_consistency(self):
+        layout = Stencil2RowLayout(input_shape=(64, 64), edge=3)
+        assert layout.group == 4
+        assert layout.matrix_shape == (16, 192)
+        assert layout.total_elements == 2 * 16 * 192
+        assert np.isclose(layout.expansion_factor, 1.5)
+
+    def test_eq11_ratio_vs_im2row_volume(self):
+        # stencil2row / im2row == 2 / ((k+1) k) against the k² im2row width
+        for k in (3, 5, 7):
+            ratio = stencil2row_expansion_factor(k) / (k * k)
+            assert np.isclose(ratio, 2.0 / ((k + 1) * k))

@@ -1,0 +1,80 @@
+"""Tile addressing (Eq. 12) and extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.tiles import TILE_ROWS, TilePlan, tile_base_address
+from repro.errors import TessellationError
+
+
+class TestEq12:
+    def test_base_address_formula(self):
+        # base = 8 * n_s2r * (i // m) + (i % m) * k
+        assert tile_base_address(0, 100, 5, 7) == 0
+        assert tile_base_address(1, 100, 5, 7) == 7
+        assert tile_base_address(4, 100, 5, 7) == 28
+        assert tile_base_address(5, 100, 5, 7) == 800  # next band
+        assert tile_base_address(6, 100, 5, 7) == 807
+
+    def test_shift_is_edge_elements(self):
+        a = tile_base_address(3, 64, 10, 3)
+        b = tile_base_address(4, 64, 10, 3)
+        assert b - a == 3
+
+    def test_invalid_args(self):
+        with pytest.raises(TessellationError):
+            tile_base_address(-1, 10, 5, 3)
+        with pytest.raises(TessellationError):
+            tile_base_address(0, 10, 0, 3)
+
+
+class TestTilePlan:
+    def make_plan(self):
+        return TilePlan(s2r_rows=20, s2r_cols=30, shifts=4, edge=3, tile_cols=9)
+
+    def test_bands_and_tiles(self):
+        plan = self.make_plan()
+        assert plan.bands == 3  # ceil(20 / 8)
+        assert plan.tiles == 12
+
+    def test_origin_progression(self):
+        plan = self.make_plan()
+        assert plan.tile_origin(0) == (0, 0)
+        assert plan.tile_origin(1) == (0, 3)
+        assert plan.tile_origin(4) == (8, 0)
+
+    def test_iter_matches_origin(self):
+        plan = self.make_plan()
+        for i, r0, c0 in plan.iter_tiles():
+            assert (r0, c0) == plan.tile_origin(i)
+
+    def test_out_of_range_index(self):
+        with pytest.raises(TessellationError):
+            self.make_plan().base_address(12)
+
+    def test_extract_interior(self, rng):
+        plan = self.make_plan()
+        mat = rng.random((20, 30))
+        tile = plan.extract(mat, 0)
+        assert tile.shape == (TILE_ROWS, 9)
+        np.testing.assert_array_equal(tile, mat[:8, :9])
+
+    def test_extract_zero_pads_partial_band(self, rng):
+        plan = self.make_plan()
+        mat = rng.random((20, 30))
+        tile = plan.extract(mat, 8)  # band 2: rows 16..23, only 4 exist
+        np.testing.assert_array_equal(tile[:4], mat[16:20, :9])
+        assert np.all(tile[4:] == 0.0)
+
+    def test_extract_zero_pads_column_overflow(self, rng):
+        plan = TilePlan(s2r_rows=8, s2r_cols=10, shifts=2, edge=3, tile_cols=9)
+        mat = rng.random((8, 10))
+        tile = plan.extract(mat, 1)  # cols 3..12, only 7 exist
+        np.testing.assert_array_equal(tile[:, :7], mat[:, 3:10])
+        assert np.all(tile[:, 7:] == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(TessellationError):
+            TilePlan(s2r_rows=8, s2r_cols=10, shifts=0, edge=3, tile_cols=9)
+        with pytest.raises(TessellationError):
+            TilePlan(s2r_rows=8, s2r_cols=10, shifts=1, edge=0, tile_cols=9)

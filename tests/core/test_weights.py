@@ -1,0 +1,127 @@
+"""Weight matrices A/B: the dual-tessellation completion identity."""
+
+import numpy as np
+import pytest
+
+from repro.core.weights import (
+    weight_blocks_2d,
+    weight_matrices_1d,
+    weight_matrices_2d,
+    weight_matrix_a_1d,
+    weight_matrix_b_1d,
+)
+from repro.errors import TessellationError
+from repro.stencils.catalog import get_kernel
+from repro.stencils.kernel import StencilKernel
+
+
+class TestStructure1D:
+    def test_shapes(self):
+        k = get_kernel("heat-1d")
+        wa, wb = weight_matrices_1d(k)
+        assert wa.shape == (3, 4)
+        assert wb.shape == (3, 4)
+
+    def test_a_first_column_is_full_kernel(self):
+        k = get_kernel("1d5p")
+        wa = weight_matrix_a_1d(k)
+        np.testing.assert_array_equal(wa[:, 0], k.weights)
+
+    def test_a_last_column_zero(self):
+        wa = weight_matrix_a_1d(get_kernel("1d5p"))
+        assert np.all(wa[:, -1] == 0.0)
+
+    def test_b_first_column_zero_last_full(self):
+        k = get_kernel("1d5p")
+        wb = weight_matrix_b_1d(k)
+        assert np.all(wb[:, 0] == 0.0)
+        np.testing.assert_array_equal(wb[:, -1], k.weights)
+
+    def test_a_is_lower_triangular(self):
+        wa = weight_matrix_a_1d(get_kernel("1d5p"))
+        k = 5
+        for i in range(k):
+            for j in range(k + 1):
+                if j > i:
+                    assert wa[i, j] == 0.0
+
+    def test_requires_1d(self):
+        with pytest.raises(TessellationError):
+            weight_matrices_1d(get_kernel("heat-2d"))
+
+
+class TestStructure2D:
+    def test_shapes(self):
+        k = get_kernel("box-2d49p")
+        wa, wb = weight_matrices_2d(k)
+        assert wa.shape == (49, 8)
+        assert wb.shape == (49, 8)
+
+    def test_figure3_first_column_has_all_weights(self):
+        # "The first column of weight matrix A contains all the 49 weights"
+        k = get_kernel("box-2d49p")
+        wa, _ = weight_matrices_2d(k)
+        np.testing.assert_array_equal(wa[:, 0], k.weights.reshape(-1))
+
+    def test_figure3_zero_columns(self):
+        k = get_kernel("box-2d49p")
+        wa, wb = weight_matrices_2d(k)
+        assert np.all(wa[:, -1] == 0.0)
+        assert np.all(wb[:, 0] == 0.0)
+        np.testing.assert_array_equal(wb[:, -1], k.weights.reshape(-1))
+
+    def test_blocks_match_stack(self):
+        k = get_kernel("box-2d9p")
+        wa3, wb3 = weight_blocks_2d(k)
+        wa, wb = weight_matrices_2d(k)
+        np.testing.assert_array_equal(wa3.reshape(9, 4), wa)
+        np.testing.assert_array_equal(wb3.reshape(9, 4), wb)
+
+    def test_requires_2d(self):
+        with pytest.raises(TessellationError):
+            weight_matrices_2d(get_kernel("heat-1d"))
+
+
+class TestCompletionIdentity:
+    """patchA @ WA[:, j] + patchB @ WB[:, j] == full stencil at offset j."""
+
+    @pytest.mark.parametrize("edge", [3, 5, 7])
+    def test_1d_identity(self, edge, rng):
+        w = rng.random(edge)
+        kernel = StencilKernel(name="t", weights=w)
+        wa, wb = weight_matrices_1d(kernel)
+        g = edge + 1
+        data = rng.random(edge + g)
+        patch_a = data[:edge]
+        patch_b = data[edge : 2 * edge]
+        for j in range(g):
+            expected = np.dot(w, data[j : j + edge])
+            got = patch_a @ wa[:, j] + patch_b @ wb[:, j]
+            assert np.isclose(got, expected), j
+
+    @pytest.mark.parametrize("edge", [3, 5, 7])
+    def test_2d_identity(self, edge, rng):
+        w = rng.random((edge, edge))
+        kernel = StencilKernel(name="t", weights=w)
+        wa, wb = weight_matrices_2d(kernel)
+        g = edge + 1
+        data = rng.random((edge, edge + g))
+        patch_a = data[:, :edge].reshape(-1)
+        patch_b = data[:, edge : 2 * edge].reshape(-1)
+        for j in range(g):
+            expected = float(np.sum(w * data[:, j : j + edge]))
+            got = patch_a @ wa[:, j] + patch_b @ wb[:, j]
+            assert np.isclose(got, expected), j
+
+    def test_star_kernel_identity(self, rng):
+        kernel = get_kernel("star-2d13p")
+        wa, wb = weight_matrices_2d(kernel)
+        edge, g = kernel.edge, kernel.edge + 1
+        data = rng.random((edge, edge + g))
+        for j in range(g):
+            expected = float(np.sum(kernel.weights * data[:, j : j + edge]))
+            got = (
+                data[:, :edge].reshape(-1) @ wa[:, j]
+                + data[:, edge : 2 * edge].reshape(-1) @ wb[:, j]
+            )
+            assert np.isclose(got, expected), j

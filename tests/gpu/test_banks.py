@@ -1,0 +1,76 @@
+"""Bank-conflict engine: broadcasts, replays, and the pitch rule."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.banks import (
+    analyze_shared_request,
+    conflict_free_pitch,
+    fp64_word_addresses,
+    is_pitch_conflict_free,
+)
+
+
+class TestAnalyzeRequest:
+    def test_empty_request(self):
+        assert analyze_shared_request(np.array([], dtype=np.int64)) == (0, 0)
+
+    def test_distinct_banks_no_conflict(self):
+        assert analyze_shared_request(np.arange(32)) == (1, 0)
+
+    def test_same_word_broadcast_is_free(self):
+        # 16 threads hitting one word: a broadcast, not a conflict
+        assert analyze_shared_request(np.zeros(16, dtype=np.int64)) == (1, 0)
+
+    def test_two_way_conflict(self):
+        # words 0 and 32 share bank 0
+        assert analyze_shared_request(np.array([0, 32])) == (2, 1)
+
+    def test_four_way_conflict(self):
+        assert analyze_shared_request(np.array([0, 32, 64, 96])) == (4, 3)
+
+    def test_mixed_conflict_takes_max(self):
+        # bank 0 twice, bank 1 once -> 2 replays
+        assert analyze_shared_request(np.array([0, 32, 1])) == (2, 1)
+
+
+class TestFp64Expansion:
+    def test_each_element_spans_two_words(self):
+        words = fp64_word_addresses(np.array([0, 5]))
+        np.testing.assert_array_equal(words, [0, 1, 10, 11])
+
+
+class TestPitchRule:
+    def test_paper_266_is_conflicting(self):
+        assert not is_pitch_conflict_free(266)
+
+    def test_paper_268_is_free(self):
+        assert is_pitch_conflict_free(268)
+
+    def test_conflict_free_pitch_matches_paper(self):
+        assert conflict_free_pitch(266) == 268
+
+    def test_dirty_slot_requires_strict_growth(self):
+        assert conflict_free_pitch(268, require_dirty_slot=True) > 268
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            conflict_free_pitch(0)
+
+    @pytest.mark.parametrize("pitch", [4, 12, 20, 28, 268, 532])
+    def test_rule_predicts_fragment_conflicts_free(self, pitch):
+        """Pitch rule must agree with brute-force 4×4 fragment analysis."""
+        assert self._fragment_conflicts(pitch) == 0
+        assert is_pitch_conflict_free(pitch)
+
+    @pytest.mark.parametrize("pitch", [8, 16, 266, 270, 273])
+    def test_rule_predicts_fragment_conflicts_present(self, pitch):
+        assert self._fragment_conflicts(pitch) > 0
+        assert not is_pitch_conflict_free(pitch)
+
+    @staticmethod
+    def _fragment_conflicts(pitch: int) -> int:
+        """Brute-force conflicts of one 4×4 FP64 request at this pitch."""
+        offsets = np.array([r * pitch + c for r in range(4) for c in range(4)])
+        _, conflicts = analyze_shared_request(fp64_word_addresses(offsets))
+        return conflicts

@@ -1,0 +1,57 @@
+"""Coalescing analyser: transaction counting for warp access patterns."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.coalescing import transactions_for_access
+
+
+def test_empty_access():
+    stats = transactions_for_access(np.array([]), 8)
+    assert stats.transactions == 0
+    assert not stats.is_uncoalesced
+
+
+def test_contiguous_fp64_warp_is_two_transactions():
+    addrs = np.arange(32) * 8
+    stats = transactions_for_access(addrs, 8)
+    assert stats.transactions == 2
+    assert stats.ideal_transactions == 2
+    assert not stats.is_uncoalesced
+
+
+def test_strided_access_is_uncoalesced():
+    addrs = np.arange(32) * 256  # one element per 128B segment
+    stats = transactions_for_access(addrs, 8)
+    assert stats.transactions == 32
+    assert stats.ideal_transactions == 2
+    assert stats.is_uncoalesced
+    assert stats.excess_transactions == 30
+
+
+def test_unaligned_contiguous_pays_one_extra():
+    addrs = 64 + np.arange(32) * 8
+    stats = transactions_for_access(addrs, 8)
+    assert stats.transactions == 3
+    assert stats.ideal_transactions == 2
+
+
+def test_element_spanning_segment_boundary():
+    stats = transactions_for_access(np.array([120]), 16)
+    assert stats.transactions == 2
+
+
+def test_broadcast_same_address():
+    stats = transactions_for_access(np.zeros(32, dtype=np.int64), 8)
+    assert stats.transactions == 1
+    assert not stats.is_uncoalesced
+
+
+def test_bytes_accounted():
+    stats = transactions_for_access(np.arange(16) * 8, 8)
+    assert stats.bytes_accessed == 128
+
+
+def test_invalid_elem_bytes():
+    with pytest.raises(ValueError):
+        transactions_for_access(np.array([0]), 0)

@@ -1,0 +1,63 @@
+"""PerfCounters derived metrics and warp address generators."""
+
+import numpy as np
+
+from repro.gpu.counters import PerfCounters
+from repro.gpu.warp import rowmajor_tile_addresses, strided_warp_addresses, warp_partition
+
+
+class TestCounters:
+    def test_bc_per_request(self):
+        c = PerfCounters(
+            shared_load_requests=3,
+            shared_store_requests=1,
+            shared_load_conflicts=2,
+            shared_store_conflicts=2,
+        )
+        assert c.shared_requests == 4
+        assert c.bank_conflicts == 4
+        assert c.bank_conflicts_per_request == 1.0
+
+    def test_zero_division_guards(self):
+        c = PerfCounters()
+        assert c.bank_conflicts_per_request == 0.0
+        assert c.uncoalesced_fraction == 0.0
+        assert c.tensor_core_utilisation == 0.0
+
+    def test_uncoalesced_fraction(self):
+        c = PerfCounters(global_transactions=10, uncoalesced_transactions=3)
+        assert np.isclose(c.uncoalesced_fraction, 0.3)
+
+    def test_merge_accumulates_all_fields(self):
+        a = PerfCounters(mma_fp64=1, branches=2, global_read_bytes=8)
+        b = PerfCounters(mma_fp64=3, branches=4, shared_read_bytes=16)
+        a.merge(b)
+        assert a.mma_fp64 == 4
+        assert a.branches == 6
+        assert a.global_read_bytes == 8
+        assert a.shared_read_bytes == 16
+
+    def test_copy_is_independent(self):
+        a = PerfCounters(mma_fp64=1)
+        b = a.copy()
+        b.mma_fp64 = 99
+        assert a.mma_fp64 == 1
+
+    def test_utilisation(self):
+        c = PerfCounters(fragment_columns_total=16, fragment_columns_useful=14)
+        assert c.tensor_core_utilisation == 0.875
+
+
+class TestWarpPatterns:
+    def test_strided(self):
+        np.testing.assert_array_equal(
+            strided_warp_addresses(100, 8, lanes=4), [100, 108, 116, 124]
+        )
+
+    def test_rowmajor_tile(self):
+        addrs = rowmajor_tile_addresses(0, 2, 3, row_pitch_bytes=100, elem_bytes=8)
+        np.testing.assert_array_equal(addrs, [0, 8, 16, 100, 108, 116])
+
+    def test_partition(self):
+        parts = warp_partition(np.arange(70))
+        assert [len(p) for p in parts] == [32, 32, 6]

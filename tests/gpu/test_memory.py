@@ -1,0 +1,101 @@
+"""Simulated memories: request accounting and range checking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.counters import PerfCounters
+from repro.gpu.memory import GlobalMemorySim, SharedArray2D
+
+
+@pytest.fixture
+def counters():
+    return PerfCounters()
+
+
+class TestSharedArray:
+    def test_pitch_validation(self, counters):
+        with pytest.raises(SimulationError, match="pitch"):
+            SharedArray2D(rows=4, cols=10, pitch=9, counters=counters)
+
+    def test_store_and_read_back(self, counters):
+        s = SharedArray2D(rows=4, cols=8, pitch=12, counters=counters)
+        s.store_elements([0, 1], [2, 3], [5.0, 6.0])
+        assert s.data[0, 2] == 5.0
+        assert s.data[1, 3] == 6.0
+        assert counters.shared_store_requests == 1
+        assert counters.shared_write_bytes == 16
+
+    def test_store_splits_into_16_lane_requests(self, counters):
+        s = SharedArray2D(rows=4, cols=40, pitch=44, counters=counters)
+        rows = np.zeros(33, dtype=np.int64)
+        cols = np.arange(33)
+        s.store_elements(rows, cols, np.ones(33))
+        assert counters.shared_store_requests == 3  # 16 + 16 + 1
+
+    def test_store_range_checks(self, counters):
+        s = SharedArray2D(rows=2, cols=4, pitch=4, counters=counters)
+        with pytest.raises(SimulationError, match="row index"):
+            s.store_elements([2], [0], [1.0])
+        with pytest.raises(SimulationError, match="beyond pitch"):
+            s.store_elements([0], [4], [1.0])
+
+    def test_store_length_mismatch(self, counters):
+        s = SharedArray2D(rows=2, cols=4, pitch=4, counters=counters)
+        with pytest.raises(SimulationError, match="equal-length"):
+            s.store_elements([0], [0, 1], [1.0])
+
+    def test_fragment_load_returns_data_and_counts(self, counters, rng):
+        s = SharedArray2D(rows=8, cols=20, pitch=20, counters=counters)
+        s.data[:] = rng.random((8, 20))
+        frag = s.load_fragment_a(0, 4)
+        np.testing.assert_array_equal(frag, s.data[0:8, 4:8])
+        assert counters.shared_load_requests == 2  # two 4×4 halves
+        assert counters.shared_read_bytes == 32 * 8
+
+    def test_fragment_conflicts_depend_on_pitch(self, counters):
+        # pitch 16: all four rows of a 4×4 request share banks -> conflicts
+        bad = SharedArray2D(rows=8, cols=16, pitch=16, counters=PerfCounters())
+        bad.load_fragment_a(0, 0)
+        assert bad.counters.shared_load_conflicts > 0
+        # pitch 20 (== 4 mod 16): conflict-free
+        good = SharedArray2D(rows=8, cols=16, pitch=20, counters=PerfCounters())
+        good.load_fragment_a(0, 0)
+        assert good.counters.shared_load_conflicts == 0
+
+    def test_fragment_range_checks(self, counters):
+        s = SharedArray2D(rows=8, cols=8, pitch=8, counters=counters)
+        with pytest.raises(SimulationError):
+            s.load_fragment_a(1, 0)
+        with pytest.raises(SimulationError):
+            s.load_fragment_a(0, 6)
+
+    def test_nbytes_includes_padding(self, counters):
+        s = SharedArray2D(rows=2, cols=4, pitch=12, counters=counters)
+        assert s.nbytes == 2 * 12 * 8
+
+
+class TestGlobalMemory:
+    def test_linear_read_is_coalesced(self, counters):
+        g = GlobalMemorySim(counters)
+        g.read_linear(0, 64)
+        assert counters.global_read_bytes == 512
+        assert counters.uncoalesced_transactions == 0
+        assert counters.global_transactions == counters.ideal_global_transactions == 4
+
+    def test_strided_write_is_uncoalesced(self, counters):
+        g = GlobalMemorySim(counters)
+        g.write(np.arange(32) * 256, 8)
+        assert counters.global_write_bytes == 256
+        assert counters.uncoalesced_transactions > 0
+
+    def test_write_linear(self, counters):
+        g = GlobalMemorySim(counters)
+        g.write_linear(128, 32)
+        assert counters.global_write_bytes == 256
+        assert counters.uncoalesced_transactions == 0
+
+    def test_multi_warp_chunking(self, counters):
+        g = GlobalMemorySim(counters)
+        g.read(np.arange(96) * 8, 8)  # three warps, contiguous
+        assert counters.global_transactions == 6

@@ -1,0 +1,70 @@
+"""Occupancy calculator against known A100 limits."""
+
+import pytest
+
+from repro.core.blocking import plan_blocks_2d
+from repro.errors import SimulationError
+from repro.gpu.occupancy import (
+    MAX_BLOCKS_PER_SM,
+    MAX_WARPS_PER_SM,
+    OccupancyResult,
+    occupancy,
+)
+from repro.stencils.catalog import get_kernel
+
+
+class TestLimits:
+    def test_thread_limited(self):
+        # 1024-thread blocks: 2 resident by threads even with tiny smem
+        res = occupancy(1024, smem_per_block=1024, regs_per_thread=16)
+        assert res.blocks_per_sm == 2
+        assert res.limits.binding_resource == "threads"
+
+    def test_register_limited(self):
+        # 256 threads * 255 regs = 65280 regs: one block per SM
+        res = occupancy(256, smem_per_block=0, regs_per_thread=255)
+        assert res.blocks_per_sm == 1
+        assert res.limits.binding_resource == "registers"
+
+    def test_shared_memory_limited_convstencil(self):
+        """The paper's 32×64 block with Box-2D49P: 67 KiB of stencil2row
+        staging limits residency to 2 blocks — shared memory binds."""
+        plan = plan_blocks_2d((10240, 10240), get_kernel("box-2d49p"))
+        res = occupancy(256, smem_per_block=plan.shared_bytes)
+        assert res.blocks_per_sm == 2
+        assert res.limits.binding_resource == "shared_memory"
+        assert res.blocks_per_sm == plan.blocks_per_sm()  # agrees with BlockPlan
+
+    def test_block_count_limited(self):
+        res = occupancy(32, smem_per_block=0, regs_per_thread=1)
+        assert res.blocks_per_sm == MAX_BLOCKS_PER_SM
+        assert res.limits.binding_resource == "blocks"
+
+
+class TestWarpOccupancy:
+    def test_full_occupancy(self):
+        res = occupancy(512, smem_per_block=0, regs_per_thread=32)
+        assert res.resident_warps == MAX_WARPS_PER_SM
+        assert res.warp_occupancy == 1.0
+
+    def test_partial_occupancy(self):
+        res = occupancy(256, smem_per_block=164 * 1024 // 2 + 1)  # 1 block fits
+        assert res.blocks_per_sm == 1
+        assert res.warp_occupancy == 8 / 64
+
+
+class TestValidation:
+    def test_non_warp_multiple(self):
+        with pytest.raises(SimulationError, match="warp multiple"):
+            occupancy(100, 0)
+
+    def test_oversized_block(self):
+        with pytest.raises(SimulationError):
+            occupancy(2048, 0)
+
+    def test_negative_smem(self):
+        with pytest.raises(SimulationError):
+            occupancy(128, -1)
+
+    def test_result_type(self):
+        assert isinstance(occupancy(128, 0), OccupancyResult)

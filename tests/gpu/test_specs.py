@@ -1,0 +1,48 @@
+"""Device specs: the A100 constants the paper's model depends on."""
+
+import numpy as np
+
+from repro.gpu.specs import A100, H100, V100
+
+
+def test_a100_tcu_count():
+    # Eq. 14 context: N_tcu = 432 on A100
+    assert A100.n_tcu == 432
+
+
+def test_a100_mma_rate_matches_peak():
+    """432 TCUs × (512 FLOP / 16 cycles) × 1.41 GHz ≈ 19.5 TFLOPS.
+
+    This closes the loop between the CPI-16 microbenchmark figure and the
+    official FP64 Tensor-Core peak the paper quotes.
+    """
+    flops = A100.n_tcu * (A100.fp64_mma_flop / A100.mma_cpi_fp64) * A100.clock_hz
+    assert np.isclose(flops, A100.fp64_tcu_flops, rtol=0.01)
+
+
+def test_a100_platform_constants():
+    assert A100.sm_count == 108
+    assert A100.tcu_per_sm == 4
+    assert np.isclose(A100.global_bw, 1935e9)
+    assert A100.shared_mem_per_sm == 164 * 1024
+    assert A100.global_latency_cycles == 290
+    assert (A100.shared_load_latency, A100.shared_store_latency) == (23, 19)
+
+
+def test_bank_geometry():
+    assert A100.banks == 32
+    assert A100.bank_bytes == 4
+    assert A100.transaction_bytes == 128
+
+
+def test_spec_variants_distinct():
+    assert V100.name == "V100" and H100.name == "H100"
+    assert H100.fp64_tcu_flops > A100.fp64_tcu_flops > V100.fp64_tcu_flops
+
+
+def test_specs_frozen():
+    import dataclasses
+    import pytest
+
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        A100.sm_count = 1

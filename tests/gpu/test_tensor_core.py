@@ -1,0 +1,96 @@
+"""Simulated Tensor Core: fragment shapes, numerics, utilisation counters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FragmentError
+from repro.gpu.counters import PerfCounters
+from repro.gpu.tensor_core import MMA_SHAPE_FP16, MMA_SHAPE_FP64, TensorCore
+
+
+@pytest.fixture
+def tc():
+    return TensorCore(PerfCounters())
+
+
+class TestFp64MMA:
+    def test_shapes(self):
+        assert MMA_SHAPE_FP64 == (8, 8, 4)
+
+    def test_numerics(self, tc, rng):
+        a, b, c = rng.random((8, 4)), rng.random((4, 8)), rng.random((8, 8))
+        np.testing.assert_allclose(tc.mma_f64(a, b, c), a @ b + c, rtol=1e-15)
+
+    def test_default_c_is_zero(self, tc, rng):
+        a, b = rng.random((8, 4)), rng.random((4, 8))
+        np.testing.assert_allclose(tc.mma_f64(a, b), a @ b)
+
+    def test_instruction_counted(self, tc, rng):
+        tc.mma_f64(rng.random((8, 4)), rng.random((4, 8)))
+        tc.mma_f64(rng.random((8, 4)), rng.random((4, 8)))
+        assert tc.counters.mma_fp64 == 2
+
+    def test_bad_fragment_shapes(self, tc, rng):
+        with pytest.raises(FragmentError):
+            tc.mma_f64(rng.random((8, 8)), rng.random((4, 8)))
+        with pytest.raises(FragmentError):
+            tc.mma_f64(rng.random((8, 4)), rng.random((8, 8)))
+        with pytest.raises(FragmentError):
+            tc.mma_f64(rng.random((8, 4)), rng.random((4, 8)), rng.random((4, 4)))
+
+    def test_utilisation_inferred_from_b(self, tc, rng):
+        b = np.zeros((4, 8))
+        b[:, :3] = rng.random((4, 3))
+        tc.mma_f64(rng.random((8, 4)), b)
+        assert tc.counters.fragment_columns_total == 8
+        assert tc.counters.fragment_columns_useful == 3
+        assert tc.counters.tensor_core_utilisation == 3 / 8
+
+    def test_utilisation_override(self, tc, rng):
+        tc.mma_f64(rng.random((8, 4)), rng.random((4, 8)), useful_columns=1)
+        assert tc.counters.tensor_core_utilisation == 1 / 8
+
+    def test_utilisation_override_validated(self, tc, rng):
+        with pytest.raises(FragmentError):
+            tc.mma_f64(rng.random((8, 4)), rng.random((4, 8)), useful_columns=9)
+
+
+class TestFp64Chain:
+    def test_chain_equals_wide_product(self, tc, rng):
+        a = rng.random((8, 16))
+        b = rng.random((16, 8))
+        acc = tc.mma_f64_chain(
+            a.reshape(8, 4, 4).transpose(1, 0, 2), b.reshape(4, 4, 8)
+        )
+        np.testing.assert_allclose(acc, a @ b, rtol=1e-13)
+        assert tc.counters.mma_fp64 == 4
+
+    def test_chain_with_initial_accumulator(self, tc, rng):
+        a, b, c = rng.random((1, 8, 4)), rng.random((1, 4, 8)), rng.random((8, 8))
+        np.testing.assert_allclose(tc.mma_f64_chain(a, b, c), a[0] @ b[0] + c)
+
+    def test_chain_validates_stack_shapes(self, tc, rng):
+        with pytest.raises(FragmentError):
+            tc.mma_f64_chain(rng.random((2, 8, 4)), rng.random((3, 4, 8)))
+
+
+class TestFp16MMA:
+    def test_shapes(self):
+        assert MMA_SHAPE_FP16 == (16, 16, 16)
+
+    def test_counts_separate_from_fp64(self, tc, rng):
+        tc.mma_f16(rng.random((16, 16)), rng.random((16, 16)))
+        assert tc.counters.mma_fp16 == 1
+        assert tc.counters.mma_fp64 == 0
+        assert tc.counters.mma_total == 1
+
+    def test_inputs_rounded_to_fp16(self, tc):
+        # 1 + 2^-12 is not representable in fp16: rounds to 1.0
+        a = np.full((16, 16), 1.0 + 2.0**-12)
+        b = np.eye(16)
+        out = tc.mma_f16(a, b)
+        np.testing.assert_array_equal(out, np.ones((16, 16), dtype=np.float32))
+
+    def test_accumulator_stays_fp32(self, tc, rng):
+        out = tc.mma_f16(rng.random((16, 16)), rng.random((16, 16)))
+        assert out.dtype == np.float32

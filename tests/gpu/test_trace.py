@@ -1,0 +1,87 @@
+"""Access traces: recording, queries, and deterministic replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.simulated import run_simulated_2d
+from repro.errors import SimulationError
+from repro.gpu.simulator import DeviceSim
+from repro.gpu.trace import AccessTrace, TraceEvent
+from repro.stencils.catalog import get_kernel
+from repro.stencils.grid import pad_halo
+from repro.utils.rng import default_rng
+
+
+class TestTraceEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceEvent(kind="teleport")
+
+    def test_record_copies_addresses(self):
+        trace = AccessTrace()
+        addrs = np.array([1, 2, 3])
+        trace.record("global_read", addrs)
+        addrs[0] = 99
+        assert trace.events[0].addresses == (1, 2, 3)
+
+
+class TestQueries:
+    def test_counts_by_kind(self):
+        trace = AccessTrace()
+        trace.record("mma_fp64")
+        trace.record("mma_fp64")
+        trace.record("shared_load", [0, 1])
+        assert trace.count("mma_fp64") == 2
+        assert trace.count("shared_load") == 1
+        assert len(trace) == 3
+
+    def test_conflicted_requests_detected(self):
+        trace = AccessTrace()
+        trace.record("shared_load", np.arange(32))  # conflict-free
+        trace.record("shared_load", [0, 32])  # bank 0 twice
+        assert trace.conflicted_requests() == [1]
+
+    def test_uncoalesced_accesses_detected(self):
+        trace = AccessTrace()
+        trace.record("global_read", np.arange(32) * 8, 8)  # contiguous
+        trace.record("global_read", np.arange(32) * 256, 8)  # strided
+        assert trace.uncoalesced_accesses() == [1]
+
+    def test_summary_mentions_kinds(self):
+        trace = AccessTrace()
+        trace.record("mma_fp64")
+        assert "mma_fp64=1" in trace.summary()
+
+
+class TestIntegration:
+    def test_device_trace_captures_kernel(self):
+        kernel = get_kernel("box-2d9p")
+        padded = pad_halo(default_rng(0).random((20, 24)), kernel.radius)
+        sim = DeviceSim(trace=True)
+        run = run_simulated_2d(padded, kernel, sim=sim)
+        assert sim.trace is not None
+        assert sim.trace.count("mma_fp64") == run.counters.mma_fp64
+        assert sim.trace.count("shared_load") == run.counters.shared_load_requests
+        assert sim.trace.count("shared_store") == run.counters.shared_store_requests
+
+    def test_replay_reproduces_counters(self):
+        """A recorded trace re-driven through fresh counters must match the
+        original tallies exactly — the simulator is deterministic."""
+        kernel = get_kernel("heat-2d")
+        padded = pad_halo(default_rng(1).random((18, 22)), kernel.radius)
+        sim = DeviceSim(trace=True)
+        run = run_simulated_2d(padded, kernel, sim=sim)
+        replayed = sim.trace.replay()
+        c = run.counters
+        assert replayed.mma_fp64 == c.mma_fp64
+        assert replayed.shared_load_requests == c.shared_load_requests
+        assert replayed.shared_load_conflicts == c.shared_load_conflicts
+        assert replayed.shared_store_conflicts == c.shared_store_conflicts
+        assert replayed.global_transactions == c.global_transactions
+        assert replayed.uncoalesced_transactions == c.uncoalesced_transactions
+        assert replayed.global_read_bytes == c.global_read_bytes
+        assert replayed.global_write_bytes == c.global_write_bytes
+
+    def test_tracing_off_by_default(self):
+        sim = DeviceSim()
+        assert sim.trace is None

@@ -1,0 +1,92 @@
+"""Calibrated baseline models: the paper's aggregate claims must hold."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.baseline_models import SYSTEMS, paper_size_throughput, system_throughput
+from repro.model.calibration import get_calibration
+from repro.stencils.catalog import BENCHMARKS
+
+
+def _ratio(base: str, kernel: str) -> float:
+    conv = paper_size_throughput("convstencil", kernel).gstencils_per_s
+    other = paper_size_throughput(base, kernel).gstencils_per_s
+    return conv / other
+
+
+class TestFigure7Aggregates:
+    def test_convstencil_fastest_everywhere(self):
+        for kernel in BENCHMARKS:
+            conv = paper_size_throughput("convstencil", kernel).gstencils_per_s
+            for system in SYSTEMS:
+                if system == "convstencil":
+                    continue
+                est = paper_size_throughput(system, kernel)
+                if est is not None:
+                    assert est.gstencils_per_s < conv, (system, kernel)
+
+    def test_brick_average_speedup(self):
+        # §5.3: "an average 2.77x speedup compared to Brick"
+        ratios = [_ratio("brick", k) for k in BENCHMARKS]
+        assert np.mean(ratios) == pytest.approx(2.77, abs=0.1)
+
+    def test_drstencil_average_speedup(self):
+        # §5.3: "an overall 2.02x speedup on average compared to DRStencil"
+        ratios = [_ratio("drstencil", k) for k in BENCHMARKS]
+        assert np.mean(ratios) == pytest.approx(2.02, abs=0.1)
+
+    def test_cudnn_speedup_range(self):
+        # §5.3: "2.89x on minimum and 42.62x on maximum"
+        ratios = [_ratio("cudnn", k) for k in BENCHMARKS]
+        assert min(ratios) == pytest.approx(2.89, rel=0.1)
+        assert max(ratios) == pytest.approx(42.62, rel=0.1)
+
+    def test_amos_slower_than_cudnn(self):
+        # §5.3: AMOS "is even worse than cuDNN"
+        for kernel in BENCHMARKS:
+            amos = paper_size_throughput("amos", kernel).gstencils_per_s
+            cudnn = paper_size_throughput("cudnn", kernel).gstencils_per_s
+            assert amos < cudnn, kernel
+
+    def test_tcstencil_beats_drstencil_on_small_2d(self):
+        # §5.3: "In Heat-2D and Box-2D9P, TCStencil outperforms DRStencil"
+        for kernel in ("heat-2d", "box-2d9p"):
+            tc = paper_size_throughput("tcstencil", kernel).gstencils_per_s
+            dr = paper_size_throughput("drstencil", kernel).gstencils_per_s
+            assert tc > dr, kernel
+
+    def test_tcstencil_unsupported_in_3d(self):
+        assert paper_size_throughput("tcstencil", "heat-3d") is None
+        assert paper_size_throughput("tcstencil", "box-3d27p") is None
+
+    def test_figure_axis_ranges(self):
+        """Throughputs fall within the Figure-7 panel axis limits."""
+        limits = {
+            "heat-1d": 280, "1d5p": 280,
+            "heat-2d": 200, "box-2d9p": 200,
+            "star-2d13p": 80, "box-2d49p": 80,
+            "heat-3d": 40, "box-3d27p": 40,
+        }
+        for kernel, limit in limits.items():
+            conv = paper_size_throughput("convstencil", kernel).gstencils_per_s
+            assert 0 < conv <= limit, kernel
+
+
+class TestApi:
+    def test_unknown_system(self):
+        with pytest.raises(ModelError, match="unknown system"):
+            get_calibration("slowstencil")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            system_throughput("brick", "heat-2d", (64,))
+
+    def test_custom_shape_scales_down(self):
+        big = system_throughput("brick", "heat-2d", (8192, 8192)).gstencils_per_s
+        small = system_throughput("brick", "heat-2d", (128, 128)).gstencils_per_s
+        assert small < big
+
+    def test_drstencil_t3_steps(self):
+        est = system_throughput("drstencil-t3", "heat-2d", (2048, 2048))
+        assert est.steps_per_pass == 3

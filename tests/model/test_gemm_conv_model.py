@@ -1,0 +1,87 @@
+"""GEMM-convolution strawman (Eq. 15) and the §3.3 dominance claims."""
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import plan_fusion
+from repro.errors import ModelError
+from repro.gpu.specs import A100
+from repro.model.convstencil_model import convstencil_pass_time, mma_per_point_2d
+from repro.model.gemm_conv_model import (
+    gemm_conv_compute_time,
+    gemm_conv_mma_count,
+    gemm_conv_throughput,
+    gemm_conv_traffic,
+)
+from repro.model.perf_model import t_memory
+from repro.stencils.kernel import StencilKernel
+
+
+class TestEq15:
+    def test_mma_count(self):
+        # k² mn / 32
+        assert gemm_conv_mma_count(7, 1000) == 49 * 1000 / 32
+
+    def test_compute_time_formula(self):
+        n = 10**6
+        t = gemm_conv_compute_time(7, n, A100)
+        expected = (49 * n / 32) * 16 / (A100.clock_hz * 432)
+        assert np.isclose(t, expected)
+
+    def test_invalid(self):
+        with pytest.raises(ModelError):
+            gemm_conv_mma_count(0, 10)
+
+
+class TestSection33Dominance:
+    """'ConvStencil outperforms GEMM-based convolution' — both resources."""
+
+    @pytest.mark.parametrize("edge", [3, 5, 7])
+    def test_compute_time_strictly_less(self, edge):
+        # Eq. 14 < Eq. 15 for every k >= 3 (compute-time comparison)
+        from repro.model.perf_model import InstructionMix, t_compute
+
+        n = 10**6
+        conv_t = t_compute(
+            InstructionMix(mma_fp64=int(mma_per_point_2d(edge) * n)), A100
+        )
+        assert conv_t < gemm_conv_compute_time(edge, n, A100)
+
+    @pytest.mark.parametrize("edge", [3, 5, 7])
+    def test_mma_ratio_matches_eq13_over_eq15(self, edge):
+        # N_MMA ratio = [2 ceil(k²/4) / (8(k+1))] / [k²/32]
+        ratio = mma_per_point_2d(edge) / (edge * edge / 32.0)
+        expected = 2 * -(-edge * edge // 4) * 32 / (8 * (edge + 1) * edge * edge)
+        assert np.isclose(ratio, expected)
+        assert ratio < 1.0  # ConvStencil strictly fewer MMAs
+
+    @pytest.mark.parametrize("edge", [3, 5, 7])
+    def test_shared_traffic_ratios(self, edge):
+        """data_transW ratio = 2/((k+1)k); data_transR ratio = 2/(k+1)."""
+        n = 10**6
+        g = edge + 1
+        gemm = gemm_conv_traffic(edge, n)
+        conv_write = (2.0 * edge / g) * 8.0 * n
+        conv_read = (2.0 * edge * edge / g) * 8.0 * n
+        assert np.isclose(conv_write / gemm.shared_write, 2.0 / (g * edge))
+        assert np.isclose(conv_read / gemm.shared_read, 2.0 / g)
+
+    @pytest.mark.parametrize("edge", [3, 5, 7])
+    def test_memory_time_strictly_less(self, edge):
+        n = 10**6
+        kernel = StencilKernel.box(2, (edge - 1) // 2)
+        g = edge + 1
+        from repro.model.perf_model import MemoryTraffic
+
+        conv_traffic = MemoryTraffic(
+            global_read=8.0 * n,
+            global_write=8.0 * n,
+            shared_write=(2.0 * edge / g) * 8.0 * n,
+            shared_read=(2.0 * edge * edge / g) * 8.0 * n,
+        )
+        assert t_memory(conv_traffic, A100) <= t_memory(gemm_conv_traffic(edge, n), A100)
+
+
+def test_throughput_sane():
+    gst = gemm_conv_throughput(7, (1024, 1024))
+    assert 0 < gst < 1000

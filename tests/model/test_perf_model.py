@@ -1,0 +1,119 @@
+"""Eq. 2–4 performance model identities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.gpu.counters import PerfCounters
+from repro.gpu.specs import A100
+from repro.model.perf_model import (
+    InstructionMix,
+    MemoryTraffic,
+    core_time,
+    t_compute,
+    t_memory,
+    time_from_counters,
+)
+
+
+class TestEq3Compute:
+    def test_single_mma_cost(self):
+        # Eq. 3 with one MMA: CPI / (f * N_tcu)
+        t = t_compute(InstructionMix(mma_fp64=1), A100)
+        assert np.isclose(t, 16 / (A100.clock_hz * 432))
+
+    def test_compute_scales_linearly(self):
+        t1 = t_compute(InstructionMix(mma_fp64=1000), A100)
+        t2 = t_compute(InstructionMix(mma_fp64=2000), A100)
+        assert np.isclose(t2, 2 * t1)
+
+    def test_mma_peak_consistency(self):
+        """1 second of MMAs at the Eq. 3 rate performs ~19.5 TFLOP."""
+        n_mma = int(A100.clock_hz * A100.n_tcu / A100.mma_cpi_fp64)
+        t = t_compute(InstructionMix(mma_fp64=n_mma), A100)
+        assert np.isclose(t, 1.0, rtol=1e-6)
+        assert np.isclose(n_mma * 512, A100.fp64_tcu_flops, rtol=0.01)
+
+    def test_cuda_and_tcu_pipes_overlap(self):
+        # a small FMA load hides under the MMA pipe (only its scalar
+        # address arithmetic shows up)
+        mma_only = t_compute(InstructionMix(mma_fp64=10_000), A100)
+        both = t_compute(InstructionMix(mma_fp64=10_000, fma_fp64=10), A100)
+        assert both == pytest.approx(mma_only, rel=1e-4)
+
+    def test_scalar_ops_add_time(self):
+        base = t_compute(InstructionMix(mma_fp64=100), A100)
+        with_div = t_compute(InstructionMix(mma_fp64=100, int_divmod=10**6), A100)
+        assert with_div > base
+
+
+class TestEq4Memory:
+    def test_global_phase(self):
+        traffic = MemoryTraffic(global_read=A100.global_bw, global_write=0.0)
+        assert np.isclose(t_memory(traffic, A100), 1.0)
+
+    def test_max_of_phases(self):
+        t = t_memory(
+            MemoryTraffic(
+                global_read=A100.global_bw,  # 1 s
+                shared_read=3 * A100.shared_bw,  # 3 s
+            ),
+            A100,
+        )
+        assert np.isclose(t, 3.0)
+
+    def test_negative_traffic_rejected(self):
+        with pytest.raises(ModelError):
+            t_memory(MemoryTraffic(global_read=-1.0), A100)
+
+    def test_scaled_shared(self):
+        t = MemoryTraffic(shared_read=100.0, shared_write=50.0, global_read=7.0)
+        s = t.scaled_shared(2.0)
+        assert (s.shared_read, s.shared_write, s.global_read) == (200.0, 100.0, 7.0)
+
+
+class TestEq2CoreTime:
+    def test_is_max(self):
+        mix = InstructionMix(mma_fp64=1)
+        heavy = MemoryTraffic(global_read=A100.global_bw)
+        assert core_time(mix, heavy, A100) == t_memory(heavy, A100)
+        light = MemoryTraffic(global_read=8.0)
+        assert core_time(mix, light, A100) == t_compute(mix, A100)
+
+
+class TestTimeFromCounters:
+    def test_overlap_inf_recovers_eq2(self):
+        c = PerfCounters(
+            mma_fp64=1000, global_read_bytes=10**9, shared_read_bytes=10**6
+        )
+        exact = time_from_counters(c, A100, overlap=float("inf"))
+        tg = 10**9 / A100.global_bw
+        assert np.isclose(exact, max(tg, t_compute(InstructionMix(mma_fp64=1000))))
+
+    def test_soft_combine_exceeds_max(self):
+        c = PerfCounters(mma_fp64=1000, global_read_bytes=10**9)
+        soft = time_from_counters(c, A100, overlap=2.0)
+        hard = time_from_counters(c, A100, overlap=float("inf"))
+        assert soft >= hard
+
+    def test_bank_conflicts_inflate_shared_time(self):
+        base = PerfCounters(shared_read_bytes=10**9, shared_load_requests=100)
+        conflicted = base.copy()
+        conflicted.shared_load_conflicts = 100  # replay factor 2
+        assert time_from_counters(conflicted) > time_from_counters(base)
+
+    def test_uncoalesced_inflates_global_time(self):
+        base = PerfCounters(
+            global_read_bytes=10**9,
+            global_transactions=100,
+            ideal_global_transactions=100,
+        )
+        bad = base.copy()
+        bad.global_transactions = 200
+        assert time_from_counters(bad) > time_from_counters(base)
+
+    def test_branches_add_time(self):
+        base = PerfCounters(global_read_bytes=10**6)
+        branchy = base.copy()
+        branchy.branches = 10**7
+        assert time_from_counters(branchy) > time_from_counters(base)

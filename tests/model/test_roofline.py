@@ -1,0 +1,66 @@
+"""Roofline placement of the benchmark kernels."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.specs import A100, H100
+from repro.model.roofline import (
+    arithmetic_intensity,
+    machine_balance,
+    roofline_points,
+    roofline_table,
+)
+
+
+def test_a100_machine_balance():
+    # 19.5 TFLOPS / 1935 GB/s ≈ 10.08 FLOP/byte
+    assert machine_balance(A100) == pytest.approx(10.08, abs=0.05)
+
+
+def test_cuda_balance_lower():
+    assert machine_balance(A100, unit="cuda") < machine_balance(A100, unit="tcu")
+
+
+def test_intensity_formula():
+    # 5-point kernel, 3-step fusion: 3*2*5/16
+    assert arithmetic_intensity(5, 3) == pytest.approx(30 / 16)
+
+
+class TestPlacement:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return {p.kernel_name: p for p in roofline_points()}
+
+    def test_fused_heat2d_compute_bound(self, points):
+        # matches convstencil_pass_time's verdict for the paper size:
+        # the *issued* (dense-box) intensity exceeds the machine balance
+        assert points["heat-2d"].bound == "compute"
+        assert points["box-2d49p"].bound == "compute"
+
+    def test_heat1d_memory_bound(self, points):
+        assert points["heat-1d"].bound == "memory"
+
+    def test_useful_vs_issued_gap_is_sparsity(self, points):
+        # star kernels waste most issued FLOPs; dense boxes waste least
+        assert points["heat-2d"].flop_efficiency < points["box-2d49p"].flop_efficiency
+        for p in points.values():
+            assert p.intensity <= p.issued + 1e-9
+
+    def test_attainable_fraction_bounded(self, points):
+        for p in points.values():
+            assert 0 < p.attainable_fraction <= 1.0
+
+    def test_fusion_raises_intensity(self):
+        unfused = {p.kernel_name: p for p in roofline_points(fusion=1)}
+        fused = {p.kernel_name: p for p in roofline_points(fusion="auto")}
+        assert fused["box-2d9p"].intensity == 3 * unfused["box-2d9p"].intensity
+
+    def test_h100_balance_differs(self):
+        a = roofline_points(spec=A100)[0].balance
+        h = roofline_points(spec=H100)[0].balance
+        assert not np.isclose(a, h)
+
+
+def test_table_renders():
+    text = roofline_table()
+    assert "Roofline" in text and "heat-2d" in text and "balance" in text

@@ -1,0 +1,44 @@
+"""Sensitivity study: elasticities must match the roofline verdicts."""
+
+import pytest
+
+from repro.model.whatif import PARAMETERS, sensitivity_study, sensitivity_table
+
+
+@pytest.fixture(scope="module")
+def grid():
+    results = sensitivity_study()
+    return {(r.kernel_name, r.parameter): r.elasticity for r in results}
+
+
+def test_compute_bound_kernels_track_tcu(grid):
+    for name in ("heat-2d", "box-2d9p", "box-2d49p"):
+        assert grid[(name, "tcu_throughput")] == pytest.approx(1.0, abs=0.05)
+        assert grid[(name, "global_bandwidth")] == pytest.approx(0.0, abs=0.05)
+
+
+def test_memory_bound_kernels_track_bandwidth(grid):
+    for name in ("heat-1d", "heat-3d"):
+        assert grid[(name, "global_bandwidth")] == pytest.approx(1.0, abs=0.05)
+        assert grid[(name, "tcu_throughput")] == pytest.approx(0.0, abs=0.05)
+
+
+def test_shared_bound_kernel(grid):
+    # 1D5P's fused pass is shared-memory-bound (see roofline)
+    assert grid[("1d5p", "shared_bandwidth")] == pytest.approx(1.0, abs=0.05)
+
+
+def test_elasticities_bounded(grid):
+    for v in grid.values():
+        assert -0.05 <= v <= 1.05
+
+
+def test_every_pair_present(grid):
+    from repro.stencils.catalog import BENCHMARKS
+
+    assert len(grid) == len(BENCHMARKS) * len(PARAMETERS)
+
+
+def test_table_renders():
+    text = sensitivity_table(("heat-2d",))
+    assert "tcu_throughput" in text and "heat-2d" in text

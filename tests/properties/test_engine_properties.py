@@ -1,0 +1,75 @@
+"""Property-based tests: dual tessellation ≡ direct stencil, for arbitrary
+kernels and grid shapes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.engine1d import convstencil_valid_1d
+from repro.core.engine2d import convstencil_valid_2d
+from repro.core.engine3d import convstencil_valid_3d
+from repro.stencils.kernel import StencilKernel
+from repro.stencils.reference import apply_stencil_reference
+
+finite = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, width=64)
+
+
+def _kernel_1d(edge):
+    return arrays(np.float64, (edge,), elements=finite).map(
+        lambda w: StencilKernel(name="h1", weights=w)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.data(),
+    edge=st.sampled_from([3, 5, 7]),
+    n=st.integers(min_value=7, max_value=120),
+)
+def test_1d_engine_equals_reference(data, edge, n):
+    if n < edge:
+        n = edge
+    kernel = data.draw(_kernel_1d(edge))
+    x = data.draw(arrays(np.float64, (n,), elements=finite))
+    got = convstencil_valid_1d(x, kernel)
+    expect = np.correlate(x, kernel.weights, mode="valid")
+    np.testing.assert_allclose(got, expect, rtol=1e-10, atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=st.data(),
+    edge=st.sampled_from([3, 5, 7]),
+    m=st.integers(min_value=7, max_value=24),
+    n=st.integers(min_value=7, max_value=40),
+)
+def test_2d_engine_equals_reference(data, edge, m, n):
+    m, n = max(m, edge), max(n, edge)
+    w = data.draw(arrays(np.float64, (edge, edge), elements=finite))
+    kernel = StencilKernel(name="h2", weights=w)
+    x = data.draw(arrays(np.float64, (m, n), elements=finite))
+    got = convstencil_valid_2d(x, kernel)
+    r = kernel.radius
+    full = apply_stencil_reference(x, kernel)
+    expect = full[r : m - r, r : n - r]
+    np.testing.assert_allclose(got, expect, rtol=1e-10, atol=1e-10)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    data=st.data(),
+    shape=st.tuples(
+        st.integers(min_value=4, max_value=9),
+        st.integers(min_value=4, max_value=9),
+        st.integers(min_value=4, max_value=9),
+    ),
+)
+def test_3d_engine_equals_reference(data, shape):
+    w = data.draw(arrays(np.float64, (3, 3, 3), elements=finite))
+    kernel = StencilKernel(name="h3", weights=w)
+    x = data.draw(arrays(np.float64, shape, elements=finite))
+    got = convstencil_valid_3d(x, kernel)
+    full = apply_stencil_reference(x, kernel)
+    expect = full[1:-1, 1:-1, 1:-1]
+    np.testing.assert_allclose(got, expect, rtol=1e-10, atol=1e-10)

@@ -1,0 +1,83 @@
+"""Property-based tests of the stencil2row layout invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lookup import build_column_lookup
+from repro.core.stencil2row import (
+    stencil2row_a_index,
+    stencil2row_b_index,
+    stencil2row_matrices_2d,
+    stencil2row_shape,
+)
+from repro.gpu.banks import conflict_free_pitch, is_pitch_conflict_free
+from repro.utils.rng import default_rng
+
+edges = st.sampled_from([3, 5, 7])
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge=edges, n=st.integers(min_value=8, max_value=400))
+def test_coverage_partition(edge, n):
+    """Every input column maps into A or B; exactly one residue is
+    exclusive to each matrix."""
+    lk = build_column_lookup(n, edge)
+    assert np.all(lk.a_valid | lk.b_valid)
+    only_a = lk.a_valid & ~lk.b_valid
+    only_b = ~lk.a_valid & lk.b_valid
+    y = np.arange(n)
+    g = edge + 1
+    np.testing.assert_array_equal(only_b, (y % g) == edge)
+    np.testing.assert_array_equal(only_a, (y < edge) | ((y % g) == edge - 1))
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge=edges, x=st.integers(min_value=0, max_value=50), r=st.integers(min_value=0, max_value=30), off=st.integers(min_value=0, max_value=6))
+def test_mapping_injective_roundtrip(edge, x, r, off):
+    """Eq. 5 is injective: distinct (x, y) map to distinct slots."""
+    off = off % edge
+    g = edge + 1
+    y = r * g + off
+    row, col = stencil2row_a_index(x, y, edge)
+    # invert: row gives the group, col decomposes as edge*x + offset
+    assert row == r
+    assert col == edge * x + off
+    x_back, off_back = divmod(col, edge)
+    assert (x_back, row * g + off_back) == (x, y)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    edge=edges,
+    m=st.integers(min_value=3, max_value=20),
+    n=st.integers(min_value=8, max_value=60),
+)
+def test_matrices_contain_every_covered_element(edge, m, n):
+    if n < edge:
+        n = edge + 1
+    x = default_rng(m * 1000 + n).random((m, n))
+    a, b = stencil2row_matrices_2d(x, edge)
+    rows, cols = stencil2row_shape((m, n), edge)
+    assert a.shape == (rows, cols) and b.shape == (rows, cols)
+    g = edge + 1
+    for y in range(n):
+        xi = m // 2
+        if (y + 1) % g != 0:
+            r, c = stencil2row_a_index(xi, y, edge)
+            assert a[r, c] == x[xi, y]
+        if y >= edge and (y - edge + 1) % g != 0:
+            r, c = stencil2row_b_index(xi, y, edge)
+            assert b[r, c] == x[xi, y]
+
+
+@settings(max_examples=100, deadline=None)
+@given(cols=st.integers(min_value=1, max_value=4096))
+def test_conflict_free_pitch_properties(cols):
+    pitch = conflict_free_pitch(cols)
+    assert pitch >= cols
+    assert is_pitch_conflict_free(pitch)
+    assert pitch - cols < 16
+    strict = conflict_free_pitch(cols, require_dirty_slot=True)
+    assert strict > cols
+    assert is_pitch_conflict_free(strict)

@@ -1,0 +1,96 @@
+"""Catalog contents must match the paper's Tables 3 and 4."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.stencils.catalog import (
+    BENCHMARKS,
+    get_benchmark,
+    get_kernel,
+    list_kernels,
+)
+
+# (name, ndim, points, edge) straight from the paper
+EXPECTED = {
+    "heat-1d": (1, 3, 3),
+    "1d5p": (1, 5, 5),
+    "heat-2d": (2, 5, 3),
+    "box-2d9p": (2, 9, 3),
+    "star-2d9p": (2, 9, 5),
+    "box-2d25p": (2, 25, 5),
+    "star-2d13p": (2, 13, 7),
+    "box-2d49p": (2, 49, 7),
+    "heat-3d": (3, 7, 3),
+    "box-3d27p": (3, 27, 3),
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_kernel_geometry(name):
+    ndim, points, edge = EXPECTED[name]
+    k = get_kernel(name)
+    assert k.ndim == ndim
+    assert k.points == points
+    assert k.edge == edge
+
+
+def test_list_kernels_covers_expected():
+    assert set(EXPECTED) <= set(list_kernels())
+
+
+def test_get_kernel_case_insensitive():
+    assert get_kernel("Heat-2D").name == "heat-2d"
+
+
+def test_get_kernel_unknown():
+    with pytest.raises(KernelError, match="unknown kernel"):
+        get_kernel("nope")
+
+
+def test_heat_kernels_are_stable():
+    # diffusion weights sum to 1 (repeated application stays bounded)
+    for name in ("heat-1d", "heat-2d", "heat-3d"):
+        assert np.isclose(get_kernel(name).weights.sum(), 1.0)
+
+
+class TestTable4:
+    def test_table4_rows_present(self):
+        assert set(BENCHMARKS) == {
+            "heat-1d",
+            "1d5p",
+            "heat-2d",
+            "box-2d9p",
+            "star-2d13p",
+            "box-2d49p",
+            "heat-3d",
+            "box-3d27p",
+        }
+
+    @pytest.mark.parametrize(
+        "name,size,iters,block",
+        [
+            ("heat-1d", (10_240_000,), 100_000, (1024,)),
+            ("1d5p", (10_240_000,), 100_000, (1024,)),
+            ("heat-2d", (10240, 10240), 10240, (32, 64)),
+            ("box-2d9p", (10240, 10240), 10240, (32, 64)),
+            ("star-2d13p", (10240, 10240), 10240, (32, 64)),
+            ("box-2d49p", (10240, 10240), 10240, (32, 64)),
+            ("heat-3d", (1024, 1024, 1024), 1024, (8, 64)),
+            ("box-3d27p", (1024, 1024, 1024), 1024, (8, 64)),
+        ],
+    )
+    def test_table4_configuration(self, name, size, iters, block):
+        cfg = get_benchmark(name)
+        assert cfg.problem_size == size
+        assert cfg.iterations == iters
+        assert cfg.block_size == block
+        assert cfg.points == EXPECTED[name][1]
+
+    def test_sim_size_matches_dimensionality(self):
+        for cfg in BENCHMARKS.values():
+            assert len(cfg.sim_size) == len(cfg.problem_size)
+
+    def test_get_benchmark_unknown(self):
+        with pytest.raises(KernelError, match="unknown benchmark"):
+            get_benchmark("star-2d9p")  # Table 3 shape, not a Table 4 benchmark

@@ -1,0 +1,81 @@
+"""Grid container and halo-padding semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.stencils.grid import BoundaryCondition, Grid, pad_halo
+
+
+class TestPadHalo:
+    def test_constant_fill(self):
+        out = pad_halo(np.ones((2, 2)), 1, BoundaryCondition.CONSTANT, 7.0)
+        assert out.shape == (4, 4)
+        assert out[0, 0] == 7.0
+        assert out[1, 1] == 1.0
+
+    def test_periodic_wraps(self):
+        x = np.arange(4.0)
+        out = pad_halo(x, 1, BoundaryCondition.PERIODIC)
+        np.testing.assert_array_equal(out, [3, 0, 1, 2, 3, 0])
+
+    def test_reflect_mirrors(self):
+        x = np.arange(4.0)
+        out = pad_halo(x, 2, BoundaryCondition.REFLECT)
+        np.testing.assert_array_equal(out, [1, 0, 0, 1, 2, 3, 3, 2])
+
+    def test_zero_halo_noop(self):
+        x = np.arange(4.0)
+        np.testing.assert_array_equal(pad_halo(x, 0), x)
+
+    def test_negative_halo_rejected(self):
+        with pytest.raises(GridError, match="non-negative"):
+            pad_halo(np.ones(3), -1)
+
+    def test_periodic_halo_wider_than_grid_rejected(self):
+        with pytest.raises(GridError, match="periodic halo"):
+            pad_halo(np.ones(3), 5, BoundaryCondition.PERIODIC)
+
+    def test_string_boundary_accepted(self):
+        out = pad_halo(np.ones(3), 1, "periodic")
+        assert out.shape == (5,)
+
+
+class TestGrid:
+    def test_basic_properties(self):
+        g = Grid(np.zeros((4, 5)))
+        assert g.ndim == 2
+        assert g.shape == (4, 5)
+        assert g.boundary is BoundaryCondition.CONSTANT
+
+    def test_string_boundary_coerced(self):
+        g = Grid(np.zeros(4), boundary="periodic")
+        assert g.boundary is BoundaryCondition.PERIODIC
+
+    def test_rejects_4d(self):
+        with pytest.raises(GridError):
+            Grid(np.zeros((2, 2, 2, 2)))
+
+    def test_rejects_empty_extent(self):
+        with pytest.raises(GridError):
+            Grid(np.zeros((0, 3)))
+
+    def test_padded_uses_fill_value(self):
+        g = Grid(np.ones((3, 3)), fill_value=5.0)
+        assert g.padded(1)[0, 0] == 5.0
+
+    def test_with_data_preserves_metadata(self):
+        g = Grid(np.zeros(4), boundary="reflect", fill_value=2.0)
+        h = g.with_data(np.ones(6))
+        assert h.boundary is BoundaryCondition.REFLECT
+        assert h.fill_value == 2.0
+        assert h.shape == (6,)
+
+    def test_random_is_deterministic(self):
+        a = Grid.random((5, 5), seed=42).data
+        b = Grid.random((5, 5), seed=42).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_data_cast_to_float64(self):
+        g = Grid(np.ones((3, 3), dtype=np.float32))
+        assert g.data.dtype == np.float64

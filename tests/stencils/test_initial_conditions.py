@@ -1,0 +1,92 @@
+"""Initial-condition generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.stencils.initial_conditions import (
+    checkerboard,
+    gaussian_pulse,
+    plane_wave,
+    random_field,
+    smooth_random_field,
+    step_function,
+)
+
+
+class TestGaussianPulse:
+    def test_peak_at_centre(self):
+        f = gaussian_pulse((33, 33), width=4.0, amplitude=2.0)
+        assert f[16, 16] == pytest.approx(2.0)
+        assert f.argmax() == 16 * 33 + 16
+
+    def test_3d(self):
+        f = gaussian_pulse((9, 9, 9))
+        assert f.shape == (9, 9, 9)
+        assert f.max() == f[4, 4, 4]
+
+    def test_custom_centre(self):
+        f = gaussian_pulse((16, 16), centre=(4.0, 12.0), width=2.0)
+        assert f[4, 12] == f.max()
+
+    def test_validation(self):
+        with pytest.raises(GridError):
+            gaussian_pulse((8, 8), width=0.0)
+        with pytest.raises(GridError):
+            gaussian_pulse((8, 8), centre=(1.0,))
+
+
+class TestPlaneWave:
+    def test_periodic_along_axis(self):
+        f = plane_wave((32, 8), wavelength=16.0)
+        np.testing.assert_allclose(f[0], f[16], atol=1e-12)
+        # constant across the transverse axis
+        np.testing.assert_allclose(f[:, 0], f[:, 7], atol=1e-12)
+
+    def test_diagonal_direction(self):
+        f = plane_wave((16, 16), wavelength=8.0, direction=(1.0, 1.0))
+        assert not np.allclose(f[:, 0], f[:, 8])
+
+    def test_amplitude_bounded(self):
+        f = plane_wave((20, 20), wavelength=7.0)
+        assert np.abs(f).max() <= 1.0 + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(GridError):
+            plane_wave((8, 8), wavelength=-1.0)
+        with pytest.raises(GridError):
+            plane_wave((8, 8), direction=(0.0, 0.0))
+
+
+class TestOthers:
+    def test_checkerboard_alternates(self):
+        f = checkerboard((8, 8), tile=2)
+        assert set(np.unique(f)) == {-1.0, 1.0}
+        assert f[0, 0] != f[0, 2]
+        assert f[0, 0] == f[0, 1]
+
+    def test_step_function(self):
+        f = step_function((10, 4))
+        assert f[:5].sum() == 0
+        assert f[5:].sum() == 5 * 4
+
+    def test_random_field_deterministic(self):
+        np.testing.assert_array_equal(random_field((6, 6), seed=1), random_field((6, 6), seed=1))
+
+    def test_smooth_field_is_smooth(self):
+        rough = random_field((64, 64), seed=2)
+        smooth = smooth_random_field((64, 64), cutoff=0.1, seed=2)
+        # normalised high-frequency content must be far lower
+        def roughness(x):
+            return np.abs(np.diff(x, axis=0)).mean() / (np.abs(x).mean() + 1e-30)
+
+        assert roughness(smooth) < roughness(rough) / 2
+        assert np.abs(smooth).max() == pytest.approx(1.0)
+
+    def test_smooth_field_validation(self):
+        with pytest.raises(GridError):
+            smooth_random_field((8, 8), cutoff=0.0)
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(GridError):
+            gaussian_pulse(())

@@ -1,0 +1,120 @@
+"""Tests for StencilKernel: construction, geometry, composition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.stencils.kernel import StencilKernel
+from repro.stencils.reference import apply_stencil_reference
+
+
+class TestValidation:
+    def test_rejects_even_edge(self):
+        with pytest.raises(KernelError, match="odd"):
+            StencilKernel(name="bad", weights=np.ones((4, 4)))
+
+    def test_rejects_non_cubic(self):
+        with pytest.raises(KernelError, match="equal edges"):
+            StencilKernel(name="bad", weights=np.ones((3, 5)))
+
+    def test_rejects_4d(self):
+        with pytest.raises(KernelError, match="dimensional"):
+            StencilKernel(name="bad", weights=np.ones((3, 3, 3, 3)))
+
+    def test_rejects_nan_weights(self):
+        w = np.ones(3)
+        w[1] = np.nan
+        with pytest.raises(KernelError, match="finite"):
+            StencilKernel(name="bad", weights=w)
+
+    def test_rejects_unknown_shape_kind(self):
+        with pytest.raises(KernelError, match="shape_kind"):
+            StencilKernel(name="bad", weights=np.ones(3), shape_kind="blob")
+
+    def test_weights_are_immutable(self):
+        k = StencilKernel.box(2, 1)
+        with pytest.raises(ValueError):
+            k.weights[0, 0] = 99.0
+
+
+class TestGeometry:
+    def test_box_geometry(self):
+        k = StencilKernel.box(2, 3)
+        assert (k.ndim, k.edge, k.radius) == (2, 7, 3)
+        assert k.points == 49
+        assert k.volume == 49
+
+    def test_star_point_count(self):
+        for ndim in (1, 2, 3):
+            for radius in (1, 2, 3):
+                k = StencilKernel.star(ndim, radius)
+                assert k.points == 2 * ndim * radius + 1, (ndim, radius)
+                assert k.edge == 2 * radius + 1
+
+    def test_star_support_is_axes_only(self):
+        k = StencilKernel.star(2, 2)
+        nz = np.argwhere(k.weights != 0)
+        centre = k.radius
+        assert all(r == centre or c == centre for r, c in nz)
+
+    def test_star_weight_order_round_trip(self):
+        # axis-0 negatives, axis-1 negatives, centre, axis-0 positives, ...
+        w = [1.0, 2.0, 3.0, 4.0, 5.0]
+        k = StencilKernel.star(2, 1, weights=w)
+        assert k.weights[0, 1] == 1.0  # axis 0, offset -1
+        assert k.weights[1, 0] == 2.0  # axis 1, offset -1
+        assert k.weights[1, 1] == 3.0  # centre
+        assert k.weights[2, 1] == 4.0  # axis 0, offset +1
+        assert k.weights[1, 2] == 5.0  # axis 1, offset +1
+
+    def test_default_weights_sum_to_one(self):
+        for k in (StencilKernel.box(2, 1), StencilKernel.star(3, 2)):
+            assert np.isclose(k.weights.sum(), 1.0)
+
+    def test_box_weight_count_validation(self):
+        with pytest.raises(KernelError, match="9 weights"):
+            StencilKernel.box(2, 1, weights=[1.0] * 8)
+
+    def test_star_weight_count_validation(self):
+        with pytest.raises(KernelError, match="needs 9"):
+            StencilKernel.star(2, 2, weights=[1.0] * 10)
+
+    def test_radius_zero_rejected(self):
+        with pytest.raises(KernelError):
+            StencilKernel.box(2, 0)
+
+
+class TestComposition:
+    def test_compose_matches_sequential_application(self, rng):
+        k1 = StencilKernel.box(2, 1, weights=rng.random(9))
+        k2 = StencilKernel.star(2, 1, weights=rng.random(5))
+        fused = k1.compose(k2)
+        assert fused.edge == 5
+        x = rng.random((24, 26))
+        # periodic halos make composition exact everywhere
+        one = apply_stencil_reference(
+            apply_stencil_reference(x, k1, "periodic"), k2, "periodic"
+        )
+        two = apply_stencil_reference(x, fused, "periodic")
+        np.testing.assert_allclose(one, two, rtol=1e-12)
+
+    def test_fuse_depth_one_is_identity(self):
+        k = StencilKernel.box(2, 1)
+        assert k.fuse(1) is k
+
+    def test_fuse_edge_growth(self):
+        k = StencilKernel.box(2, 1)
+        assert k.fuse(3).edge == 7
+        assert k.fuse(2).edge == 5
+
+    def test_fuse_rejects_zero(self):
+        with pytest.raises(KernelError):
+            StencilKernel.box(2, 1).fuse(0)
+
+    def test_compose_dimension_mismatch(self):
+        with pytest.raises(KernelError, match="compose"):
+            StencilKernel.box(2, 1).compose(StencilKernel.box(1, 1))
+
+    def test_fused_star_is_not_star(self):
+        s = StencilKernel.star(2, 1)
+        assert s.fuse(2).shape_kind == "custom"

@@ -1,0 +1,81 @@
+"""Reference executor: the two independent implementations must agree."""
+
+import numpy as np
+import pytest
+
+from repro.stencils.catalog import get_kernel, list_kernels
+from repro.stencils.grid import BoundaryCondition
+from repro.stencils.kernel import StencilKernel
+from repro.stencils.reference import (
+    apply_stencil_reference,
+    apply_stencil_scipy,
+    run_reference,
+)
+
+SHAPES = {1: (53,), 2: (17, 23), 3: (9, 11, 13)}
+
+
+@pytest.mark.parametrize("boundary", list(BoundaryCondition))
+def test_reference_matches_scipy(kernel_name, boundary, rng):
+    kernel = get_kernel(kernel_name)
+    x = rng.random(SHAPES[kernel.ndim])
+    ours = apply_stencil_reference(x, kernel, boundary, fill_value=0.0)
+    scipys = apply_stencil_scipy(x, kernel, boundary, fill_value=0.0)
+    np.testing.assert_allclose(ours, scipys, rtol=1e-13, atol=1e-13)
+
+
+def test_constant_fill_value_used(rng):
+    kernel = get_kernel("heat-2d")
+    x = rng.random((6, 6))
+    a = apply_stencil_reference(x, kernel, BoundaryCondition.CONSTANT, 0.0)
+    b = apply_stencil_reference(x, kernel, BoundaryCondition.CONSTANT, 10.0)
+    # corners see the fill value, centre does not
+    assert a[0, 0] != b[0, 0]
+    np.testing.assert_allclose(a[2:-2, 2:-2], b[2:-2, 2:-2])
+
+
+def test_output_shape_preserved(rng):
+    kernel = get_kernel("box-2d49p")
+    x = rng.random((20, 31))
+    assert apply_stencil_reference(x, kernel).shape == x.shape
+
+
+def test_dimension_mismatch_rejected(rng):
+    with pytest.raises(ValueError, match="2D kernel"):
+        apply_stencil_reference(rng.random(10), get_kernel("heat-2d"))
+
+
+def test_run_reference_steps(rng):
+    kernel = get_kernel("heat-1d")
+    x = rng.random(32)
+    two = run_reference(x, kernel, 2)
+    manual = apply_stencil_reference(apply_stencil_reference(x, kernel), kernel)
+    np.testing.assert_allclose(two, manual)
+
+
+def test_run_reference_zero_steps_identity(rng):
+    x = rng.random(16)
+    np.testing.assert_array_equal(run_reference(x, get_kernel("heat-1d"), 0), x)
+
+
+def test_run_reference_negative_steps(rng):
+    with pytest.raises(ValueError):
+        run_reference(rng.random(8), get_kernel("heat-1d"), -1)
+
+
+def test_zero_weights_skipped_consistently(rng):
+    # a star kernel evaluated as its dense box must equal the sparse loop
+    star = get_kernel("star-2d13p")
+    dense = StencilKernel(name="dense", weights=np.array(star.weights), shape_kind="custom")
+    x = rng.random((15, 15))
+    np.testing.assert_allclose(
+        apply_stencil_reference(x, star), apply_stencil_reference(x, dense)
+    )
+
+
+def test_heat_diffusion_conserves_mass_periodic(rng):
+    # sum-to-one weights + periodic boundary => total mass preserved
+    kernel = get_kernel("heat-2d")
+    x = rng.random((16, 16))
+    out = run_reference(x, kernel, 5, BoundaryCondition.PERIODIC)
+    assert np.isclose(out.sum(), x.sum(), rtol=1e-12)

@@ -1,0 +1,78 @@
+"""Configuration autotuner."""
+
+import pytest
+
+from repro.autotune import DEFAULT_BLOCKS, TunedConfig, autotune, candidate_blocks
+from repro.errors import ModelError
+from repro.gpu.specs import A100
+from repro.stencils.catalog import get_kernel
+
+
+class TestCandidates:
+    def test_paper_block_is_feasible(self):
+        feasible = candidate_blocks(get_kernel("box-2d49p"), fused_edge=7)
+        assert (32, 64) in feasible
+
+    def test_infeasible_blocks_filtered(self):
+        # a 64x1024 block's stencil2row staging exceeds 164 KiB
+        feasible = candidate_blocks(
+            get_kernel("box-2d49p"), fused_edge=7, blocks=[(64, 1024), (32, 64)]
+        )
+        assert feasible == [(32, 64)]
+
+
+class TestAutotune:
+    @pytest.fixture(scope="class")
+    def tuned(self):
+        return autotune(get_kernel("box-2d9p"), (4096, 4096))
+
+    def test_sorted_best_first(self, tuned):
+        speeds = [c.gstencils_per_s for c in tuned]
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_best_config_uses_full_fusion(self, tuned):
+        # Figure 4: Box-2D9P wants depth-3 fusion on large grids
+        assert tuned[0].fusion_depth == 3
+        assert tuned[0].fused_edge == 7
+
+    def test_every_config_fits_shared_memory(self, tuned):
+        assert all(c.shared_bytes <= A100.shared_mem_per_sm for c in tuned)
+
+    def test_halo_amplification_reasonable(self, tuned):
+        assert all(1.0 < c.halo_amplification < 3.0 for c in tuned)
+
+    def test_small_grid_prefers_smaller_blocks(self):
+        big_grid = autotune(get_kernel("box-2d9p"), (8192, 8192))[0]
+        small_grid = autotune(get_kernel("box-2d9p"), (256, 256))[0]
+        assert (
+            small_grid.block[0] * small_grid.block[1]
+            <= big_grid.block[0] * big_grid.block[1]
+        )
+
+    def test_best_beats_worst_substantially(self, tuned):
+        assert tuned[0].gstencils_per_s > 1.2 * tuned[-1].gstencils_per_s
+
+    def test_str_smoke(self, tuned):
+        assert "block=" in str(tuned[0])
+
+
+class TestValidation:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ModelError, match="2-D"):
+            autotune(get_kernel("heat-1d"), (4096,))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ModelError, match="invalid problem shape"):
+            autotune(get_kernel("box-2d49p"), (4, 4))
+
+    def test_no_feasible_configs(self):
+        with pytest.raises(ModelError, match="no feasible"):
+            autotune(
+                get_kernel("box-2d49p"),
+                (1024, 1024),
+                blocks=[(128, 1024)],
+                fusion_depths=(1,),
+            )
+
+    def test_default_blocks_sane(self):
+        assert (32, 64) in DEFAULT_BLOCKS

@@ -1,0 +1,120 @@
+"""The artifact-compatible CLI (§A.4/A.5)."""
+
+import pytest
+
+from repro.cli import main, run
+from repro.errors import ReproError
+from repro.stencils.catalog import ARTIFACT_ALIASES, get_kernel
+
+
+class TestAliases:
+    @pytest.mark.parametrize("alias", sorted(ARTIFACT_ALIASES))
+    def test_artifact_names_resolve(self, alias):
+        assert get_kernel(alias).name == ARTIFACT_ALIASES[alias]
+
+    def test_alias_case_insensitive(self):
+        assert get_kernel("Box2D1R").name == "box-2d9p"
+
+
+class TestRun:
+    def test_output_format_matches_artifact(self):
+        lines = run(["2d", "box2d1r", "10240", "10240", "10240"])
+        assert lines[0] == "INFO: shape = box2d1r, m = 10240, n = 10240, times = 10240"
+        assert lines[1] == "ConvStencil(2D):"
+        assert lines[2].startswith("Time = ") and lines[2].endswith("[ms]")
+        assert lines[3].startswith("GStencil/s = ")
+
+    def test_paper_artifact_anchor(self):
+        """§A.5 prints 188.27 GStencil/s for this exact invocation."""
+        lines = run(["2d", "box2d1r", "10240", "10240", "10240"])
+        gst = float(lines[3].split("=")[1])
+        assert gst == pytest.approx(188.27, rel=0.05)
+
+    def test_1d_and_3d(self):
+        assert "ConvStencil(1D):" in run(["1d", "1d1r", "1000000", "100"])
+        assert "ConvStencil(3D):" in run(["3d", "box3d1r", "512", "512", "512", "64"])
+
+    def test_verify_passes(self):
+        lines = run(["1d", "1d2r", "100000", "50", "--verify"])
+        assert any("VERIFY" in ln and "OK" in ln for ln in lines)
+
+    def test_custom_weights(self):
+        lines = run(
+            ["2d", "star2d1r", "256", "256", "10",
+             "--custom", "0.1,0.1,0.6,0.1,0.1", "--verify"]
+        )
+        assert any("OK" in ln for ln in lines)
+
+    def test_custom_weight_count_checked(self):
+        with pytest.raises(ReproError, match="needs 5 weights"):
+            run(["2d", "star2d1r", "64", "64", "1", "--custom", "1,2,3"])
+
+    def test_device_override(self):
+        a100 = float(run(["2d", "box2d1r", "4096", "4096", "64"])[3].split("=")[1])
+        h100 = float(
+            run(["2d", "box2d1r", "4096", "4096", "64", "--device", "H100"])[3].split("=")[1]
+        )
+        assert h100 > a100
+
+    def test_fusion_override(self):
+        fused = float(run(["2d", "box2d1r", "4096", "4096", "60"])[3].split("=")[1])
+        unfused = float(
+            run(["2d", "box2d1r", "4096", "4096", "60", "--fusion", "1"])[3].split("=")[1]
+        )
+        assert fused > unfused
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ReproError, match="2-D"):
+            run(["1d", "box2d1r", "1000", "10"])
+
+    def test_wrong_size_count(self):
+        with pytest.raises(ReproError, match="expects"):
+            run(["2d", "box2d1r", "1024", "10"])
+
+    def test_nonpositive_sizes(self):
+        with pytest.raises(ReproError, match="positive"):
+            run(["2d", "box2d1r", "1024", "0", "10"])
+
+    def test_breakdown_mode(self):
+        lines = run(["2d", "box2d1r", "256", "256", "8", "--breakdown"])
+        assert any("Breakdown" in ln for ln in lines)
+        assert sum(1 for ln in lines if "us" in ln) == 5
+
+
+class TestMain:
+    def test_exit_zero_on_success(self, capsys):
+        assert main(["2d", "box2d1r", "512", "512", "8"]) == 0
+        assert "GStencil/s" in capsys.readouterr().out
+
+    def test_exit_two_on_error(self, capsys):
+        assert main(["2d", "nope", "512", "512", "8"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExtendedFlags:
+    def test_autotune_flag(self):
+        lines = run(["2d", "box2d1r", "1024", "1024", "16", "--autotune"])
+        assert any("Autotune" in ln for ln in lines)
+        assert any("GStencils/s" in ln for ln in lines)
+
+    def test_autotune_rejects_1d(self):
+        with pytest.raises(ReproError, match="2-D"):
+            run(["1d", "1d1r", "1024", "16", "--autotune"])
+
+    def test_cuda_flag_writes_source(self, tmp_path):
+        out = tmp_path / "kernel.cu"
+        lines = run(["2d", "box2d1r", "512", "512", "8", "--cuda", str(out)])
+        assert out.exists()
+        assert "wmma::mma_sync" in out.read_text()
+        assert any("CUDA: wrote" in ln for ln in lines)
+
+    def test_cuda_rejects_3d(self, tmp_path):
+        with pytest.raises(ReproError, match="2-D"):
+            run(["3d", "box3d1r", "64", "64", "64", "4", "--cuda", str(tmp_path / "x.cu")])
+
+    def test_report_flag(self, tmp_path):
+        out = tmp_path / "REPORT.md"
+        lines = run(["2d", "box2d1r", "256", "256", "4", "--report", str(out)])
+        assert out.exists()
+        assert "Table 3" in out.read_text()
+        assert any("REPORT: wrote" in ln for ln in lines)

@@ -1,0 +1,123 @@
+"""Generated CUDA source: structural invariants against the planners."""
+
+import re
+
+import pytest
+
+from repro.codegen import generate_cuda_2d
+from repro.core.blocking import plan_blocks_2d
+from repro.core.fusion import plan_fusion
+from repro.errors import TessellationError
+from repro.stencils.catalog import get_kernel
+
+
+@pytest.fixture(scope="module")
+def generated():
+    return generate_cuda_2d(get_kernel("box-2d9p"))
+
+
+class TestConstantsMatchPlanners:
+    def test_spec_reflects_fusion(self, generated):
+        _, spec = generated
+        assert spec.fusion_depth == 3
+        assert spec.edge == 7  # Box-2D9P fuses into Box-2D49P
+
+    def test_figure5_pitch_baked_in(self, generated):
+        src, spec = generated
+        assert f"#define PITCH      {spec.plan.pitch}" in src
+        assert spec.plan.padding.conflict_free
+
+    def test_block_and_tile_constants(self, generated):
+        src, spec = generated
+        assert f"#define BLOCK_M    {spec.block[0]}" in src
+        assert f"#define TILE_N     {spec.tile_n}" in src
+        assert f"#define S2R_COLS   {spec.plan.s2r_cols}" in src
+
+    def test_paper_geometry_for_49p(self):
+        src, spec = generate_cuda_2d(get_kernel("box-2d49p"), fusion=1)
+        # the Figure-5 numbers, in the emitted text
+        assert "#define S2R_COLS   266" in src
+        assert "#define PITCH      268" in src
+
+    def test_chunk_plan_emitted(self, generated):
+        src, spec = generated
+        starts = re.search(r"CHUNK_START\[CHUNKS\] = \{([^}]*)\}", src).group(1)
+        values = [int(v) for v in starts.split(",")]
+        assert len(values) == spec.chunks
+        assert values[0] == 0
+        assert values[-1] == spec.edge * spec.edge - 4  # overlapped final chunk
+
+    def test_all_weights_present(self, generated):
+        src, spec = generated
+        fused = plan_fusion(get_kernel("box-2d9p"), "auto").fused
+        for w in fused.weights.reshape(-1):
+            assert repr(float(w)) in src, w
+
+
+class TestSourceQuality:
+    def test_braces_balance(self, generated):
+        src, _ = generated
+        assert src.count("{") == src.count("}")
+
+    def test_wmma_dual_chain(self, generated):
+        src, _ = generated
+        # two MMA chains (vitrolite A accumulated with B), m8n8k4 fragments
+        assert src.count("wmma::mma_sync") == 2
+        assert "8, 8, 4, double" in src
+        assert "WEIGHT_A" in src and "WEIGHT_B" in src
+
+    def test_dirty_bits_branchless_transform(self, generated):
+        src, _ = generated
+        assert "DIRTY_COL" in src
+        assert "predicated select" in src
+
+    def test_artifact_output_format(self, generated):
+        src, _ = generated
+        assert 'printf("ConvStencil(2D):' in src
+        assert "GStencil/s" in src
+
+    def test_no_placeholders(self, generated):
+        src, _ = generated
+        assert "TODO" not in src and "FIXME" not in src
+
+
+class TestValidation:
+    def test_rejects_1d(self):
+        with pytest.raises(TessellationError):
+            generate_cuda_2d(get_kernel("heat-1d"))
+
+    def test_rejects_overwide_fusion(self):
+        with pytest.raises(TessellationError, match="fragment"):
+            generate_cuda_2d(get_kernel("box-2d49p"), fusion=2)
+
+    def test_custom_block(self):
+        src, spec = generate_cuda_2d(get_kernel("heat-2d"), block=(16, 32))
+        assert spec.block == (16, 32)
+        plan = plan_blocks_2d((16, 32), plan_fusion(get_kernel("heat-2d"), "auto").fused, block=(16, 32))
+        assert f"#define PITCH      {plan.pitch}" in src
+
+
+class TestOneDGeneration:
+    def test_heat1d_generates_fused(self):
+        from repro.codegen.cuda import generate_cuda_1d
+
+        src, spec = generate_cuda_1d(get_kernel("heat-1d"))
+        assert spec.fusion_depth == 3 and spec.edge == 7
+        assert "#define BLOCK_N  1024" in src
+        assert src.count("{") == src.count("}")
+        assert src.count("wmma::mma_sync") == 2
+
+    def test_1d_rejects_2d_kernel(self):
+        from repro.codegen.cuda import generate_cuda_1d
+
+        with pytest.raises(TessellationError):
+            generate_cuda_1d(get_kernel("heat-2d"))
+
+    def test_1d_weights_present(self):
+        from repro.codegen.cuda import generate_cuda_1d
+        from repro.core.fusion import plan_fusion
+
+        src, _ = generate_cuda_1d(get_kernel("1d5p"), fusion=1)
+        fused = plan_fusion(get_kernel("1d5p"), 1).fused
+        for w in fused.weights:
+            assert repr(float(w)) in src

@@ -1,0 +1,139 @@
+"""Distributed slab execution must match single-domain execution exactly."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import ConvStencil
+from repro.distributed import (
+    DistributedStencil,
+    DomainDecomposition,
+    ExchangeStats,
+    exchange_halos,
+)
+from repro.errors import GridError
+from repro.stencils.catalog import get_kernel
+from repro.stencils.grid import BoundaryCondition
+
+
+class TestDecomposition:
+    def test_balanced_split(self):
+        deco = DomainDecomposition((10, 4), 3)
+        assert [deco.slab_bounds(r) for r in range(3)] == [(0, 4), (4, 7), (7, 10)]
+
+    def test_scatter_gather_roundtrip(self, rng):
+        x = rng.random((17, 9))
+        deco = DomainDecomposition(x.shape, 4)
+        np.testing.assert_array_equal(deco.gather(deco.scatter(x)), x)
+
+    def test_too_many_ranks(self):
+        with pytest.raises(GridError, match="non-empty"):
+            DomainDecomposition((3,), 5)
+
+    def test_shape_mismatch(self, rng):
+        deco = DomainDecomposition((8, 8), 2)
+        with pytest.raises(GridError):
+            deco.scatter(rng.random((9, 8)))
+
+    def test_gather_validates(self, rng):
+        deco = DomainDecomposition((8, 8), 2)
+        slabs = deco.scatter(rng.random((8, 8)))
+        with pytest.raises(GridError):
+            deco.gather(slabs[:1])
+
+
+class TestExchange:
+    @pytest.mark.parametrize("boundary", list(BoundaryCondition))
+    def test_extended_slabs_match_global_pad(self, boundary, rng):
+        """Rank-local halo assembly == slicing the globally padded array."""
+        from repro.stencils.grid import pad_halo
+
+        x = rng.random((12, 7))
+        halo = 2
+        deco = DomainDecomposition(x.shape, 3)
+        extended = exchange_halos(deco.scatter(x), halo, boundary, fill_value=5.0)
+        global_pad = pad_halo(x, halo, boundary, fill_value=5.0)
+        for r, ext in enumerate(extended):
+            lo, hi = deco.slab_bounds(r)
+            expect = global_pad[lo : hi + 2 * halo, :]
+            np.testing.assert_array_equal(ext, expect)
+
+    def test_message_accounting(self, rng):
+        x = rng.random((12, 5))
+        deco = DomainDecomposition(x.shape, 3)
+        stats = ExchangeStats()
+        exchange_halos(deco.scatter(x), 2, "constant", stats=stats)
+        # interior faces: 2 between 3 ranks, two messages each
+        assert stats.messages == 4
+        assert stats.bytes_sent == 4 * 2 * 5 * 8
+
+    def test_periodic_wrap_messages(self, rng):
+        x = rng.random((12, 5))
+        deco = DomainDecomposition(x.shape, 3)
+        stats = ExchangeStats()
+        exchange_halos(deco.scatter(x), 1, "periodic", stats=stats)
+        assert stats.messages == 6  # ring: every rank sends both faces
+
+    def test_slab_thinner_than_halo_rejected(self, rng):
+        x = rng.random((4, 4))
+        deco = DomainDecomposition(x.shape, 4)
+        with pytest.raises(GridError, match="thinner"):
+            exchange_halos(deco.scatter(x), 2, "constant")
+
+    def test_zero_halo_is_identity(self, rng):
+        x = rng.random((6, 3))
+        deco = DomainDecomposition(x.shape, 2)
+        extended = exchange_halos(deco.scatter(x), 0, "constant")
+        np.testing.assert_array_equal(np.concatenate(extended), x)
+
+
+class TestDistributedStencil:
+    @pytest.mark.parametrize("boundary", list(BoundaryCondition))
+    @pytest.mark.parametrize("ranks", [1, 2, 5])
+    def test_matches_single_domain_2d(self, boundary, ranks, rng):
+        kernel = get_kernel("box-2d9p")
+        x = rng.random((31, 23))
+        dist = DistributedStencil(kernel, ranks).run(x, 3, boundary)
+        single = ConvStencil(kernel).run(x, 3, boundary)
+        np.testing.assert_allclose(dist, single, rtol=1e-12, atol=1e-14)
+
+    def test_matches_single_domain_1d_3d(self, rng):
+        for name, shape in [("heat-1d", (64,)), ("box-3d27p", (12, 9, 8))]:
+            kernel = get_kernel(name)
+            x = rng.random(shape)
+            dist = DistributedStencil(kernel, 3).run(x, 2)
+            single = ConvStencil(kernel).run(x, 2)
+            np.testing.assert_allclose(dist, single, rtol=1e-12, atol=1e-14)
+
+    def test_fusion_composes_with_decomposition(self, rng):
+        kernel = get_kernel("box-2d9p")
+        x = rng.random((36, 20))
+        dist = DistributedStencil(kernel, 3, fusion=3).run(x, 6, "periodic")
+        single = ConvStencil(kernel, fusion=3).run(x, 6, "periodic")
+        np.testing.assert_allclose(dist, single, rtol=1e-12)
+
+    def test_fusion_trades_messages_for_halo_depth(self, rng):
+        """3-step fusion: 1/3 the exchanges, 3x the halo rows — equal bytes,
+        fewer messages (the ghost-zone latency win)."""
+        kernel = get_kernel("heat-2d")
+        x = rng.random((48, 16))
+        unfused = DistributedStencil(kernel, 4, fusion=1)
+        unfused.run(x, 6)
+        fused = DistributedStencil(kernel, 4, fusion=3)
+        fused.run(x, 6)
+        assert fused.exchange_stats.messages < unfused.exchange_stats.messages
+        assert fused.exchange_stats.bytes_sent == unfused.exchange_stats.bytes_sent
+
+    def test_halo_bytes_estimate_matches_measured(self, rng):
+        kernel = get_kernel("heat-2d")
+        x = rng.random((40, 10))
+        engine = DistributedStencil(kernel, 4)
+        engine.run(x, 1)
+        assert engine.exchange_stats.bytes_sent == engine.halo_bytes_per_exchange(x.shape)
+
+    def test_validation(self):
+        with pytest.raises(GridError):
+            DistributedStencil(get_kernel("heat-2d"), 0)
+        with pytest.raises(GridError):
+            DistributedStencil(get_kernel("heat-2d"), 2).run(np.zeros(8), 1)
+        with pytest.raises(GridError):
+            DistributedStencil(get_kernel("heat-1d"), 2).run(np.zeros(8), -1)

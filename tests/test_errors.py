@@ -1,0 +1,41 @@
+"""Exception hierarchy: every library error is catchable as ReproError."""
+
+import numpy as np
+import pytest
+
+import repro.errors as errors
+
+
+def test_hierarchy_rooted_at_repro_error():
+    for name in (
+        "KernelError",
+        "GridError",
+        "LayoutError",
+        "TessellationError",
+        "FragmentError",
+        "SimulationError",
+        "ModelError",
+        "BaselineError",
+    ):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError), name
+
+
+@pytest.mark.parametrize(
+    "trigger",
+    [
+        lambda: __import__("repro").StencilKernel(name="x", weights=np.ones((2, 2))),
+        lambda: __import__("repro").Grid(np.zeros((2, 2, 2, 2))),
+        lambda: __import__("repro").get_kernel("bogus"),
+    ],
+)
+def test_public_api_raises_repro_errors(trigger):
+    """A caller catching ReproError sees every library failure."""
+    with pytest.raises(errors.ReproError):
+        trigger()
+
+
+def test_repro_error_is_exception():
+    assert issubclass(errors.ReproError, Exception)
+    # but not a catch-all: programming errors pass through
+    assert not issubclass(ValueError, errors.ReproError)

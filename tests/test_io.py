@@ -1,0 +1,57 @@
+"""JSON result serialization."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.utils.io import dump_json, experiment_record, load_json, to_jsonable
+
+
+@dataclass
+class _Row:
+    name: str
+    value: float
+    counts: np.ndarray
+
+
+class TestToJsonable:
+    def test_dataclass_conversion(self):
+        row = _Row(name="x", value=np.float64(1.5), counts=np.array([1, 2]))
+        out = to_jsonable(row)
+        assert out == {"name": "x", "value": 1.5, "counts": [1, 2]}
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable(np.bool_(True)) is True
+        assert isinstance(to_jsonable(np.float32(2.0)), float)
+
+    def test_nan_inf_to_null(self):
+        assert to_jsonable(float("nan")) is None
+        assert to_jsonable(float("inf")) is None
+
+    def test_nested_containers(self):
+        out = to_jsonable({"a": [(np.int32(1), {"b": np.float64(2.0)})]})
+        assert out == {"a": [[1, {"b": 2.0}]]}
+
+
+class TestRoundTrip:
+    def test_dump_and_load(self, tmp_path):
+        payload = experiment_record("t", [_Row("a", 1.0, np.arange(3))], grid=[4, 4])
+        path = dump_json(tmp_path / "sub" / "x.json", payload)
+        loaded = load_json(path)
+        assert loaded["experiment"] == "t"
+        assert loaded["metadata"] == {"grid": [4, 4]}
+        assert loaded["rows"][0]["counts"] == [0, 1, 2]
+
+    def test_record_carries_version(self):
+        from repro import __version__
+
+        rec = experiment_record("t", [])
+        assert rec["repro_version"] == __version__
+
+    def test_deterministic_output(self, tmp_path):
+        payload = {"b": 1, "a": 2}
+        p1 = dump_json(tmp_path / "a.json", payload)
+        p2 = dump_json(tmp_path / "b.json", payload)
+        assert p1.read_text() == p2.read_text()

@@ -1,0 +1,73 @@
+"""Utility helpers: array windows, tables, RNG."""
+
+import numpy as np
+import pytest
+
+from repro.utils.arrays import as_chunks, ceil_div, round_up, sliding_windows
+from repro.utils.rng import default_rng
+from repro.utils.tables import format_table
+
+
+class TestArrays:
+    def test_ceil_div(self):
+        assert ceil_div(9, 4) == 3
+        assert ceil_div(8, 4) == 2
+        assert ceil_div(0, 4) == 0
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    def test_round_up(self):
+        assert round_up(9, 8) == 16
+        assert round_up(16, 8) == 16
+
+    def test_sliding_windows_1d(self):
+        x = np.arange(5.0)
+        w = sliding_windows(x, 3)
+        assert w.shape == (3, 3)
+        np.testing.assert_array_equal(w[0], [0, 1, 2])
+        np.testing.assert_array_equal(w[2], [2, 3, 4])
+
+    def test_sliding_windows_axis(self):
+        x = np.arange(24.0).reshape(4, 6)
+        w = sliding_windows(x, 2, axis=0)
+        assert w.shape == (3, 2, 6)
+        np.testing.assert_array_equal(w[1, 0], x[1])
+        np.testing.assert_array_equal(w[1, 1], x[2])
+
+    def test_sliding_windows_is_view(self):
+        x = np.arange(10.0)
+        w = sliding_windows(x, 4)
+        assert w.base is not None  # zero-copy
+
+    def test_sliding_windows_errors(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.arange(3.0), 0)
+        with pytest.raises(ValueError):
+            sliding_windows(np.arange(3.0), 5)
+
+    def test_as_chunks(self):
+        assert list(as_chunks([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+        with pytest.raises(ValueError):
+            list(as_chunks([1], 0))
+
+
+class TestTables:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "3.250" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+
+class TestRng:
+    def test_default_seed_stable(self):
+        assert default_rng().random() == default_rng().random()
+
+    def test_custom_seed(self):
+        assert default_rng(7).random() == default_rng(7).random()
+        assert default_rng(7).random() != default_rng(8).random()

@@ -1,0 +1,58 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.viz import bar_chart, series_chart
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        chart = bar_chart({"convstencil": 190.0, "brick": 73.0}, title="T")
+        assert "convstencil" in chart and "brick" in chart
+        assert chart.splitlines()[0] == "T"
+
+    def test_peak_gets_longest_bar(self):
+        chart = bar_chart({"a": 100.0, "b": 50.0})
+        line_a, line_b = chart.splitlines()
+        assert line_a.count("█") > line_b.count("█")
+
+    def test_none_rendered_as_unsupported(self):
+        chart = bar_chart({"tcstencil": None, "conv": 10.0})
+        assert "--" in chart
+
+    def test_unit_suffix(self):
+        assert "GS" in bar_chart({"a": 5.0}, unit="GS")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": None})
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_deterministic(self):
+        data = {"x": 3.0, "y": 1.5}
+        assert bar_chart(data) == bar_chart(data)
+
+
+class TestSeriesChart:
+    def test_contains_markers_and_axes(self):
+        pts = [(256, 0.65), (768, 0.98), (1536, 1.24), (5120, 1.40)]
+        chart = series_chart(pts, baseline=1.0, title="speedup")
+        assert "*" in chart
+        assert "-" in chart  # baseline drawn
+        assert "speedup" in chart
+        assert "256" in chart and "5120" in chart
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            series_chart([(0, 1)])
+
+    def test_flat_series_ok(self):
+        chart = series_chart([(0, 2.0), (1, 2.0), (2, 2.0)])
+        assert "*" in chart
+
+    def test_marker_override(self):
+        chart = series_chart([(0, 1.0), (1, 2.0)], marker="o")
+        assert "o" in chart and "*" not in chart
