@@ -8,7 +8,8 @@ Python library actually experiences.
 import numpy as np
 import pytest
 
-from _common import emit
+from _common import emit, emit_telemetry
+from repro import telemetry
 from repro.core.api import ConvStencil
 from repro.stencils.catalog import BENCHMARKS, get_kernel
 from repro.stencils.reference import apply_stencil_reference
@@ -36,25 +37,40 @@ def test_bench_reference_executor(benchmark, kernel_name):
 
 
 def test_bench_emit_throughput_summary(benchmark):
-    """One-shot MStencils/s summary across all catalogued benchmarks."""
-    import time
+    """One-shot MStencils/s summary across all catalogued benchmarks.
 
+    Timing comes from telemetry spans rather than ad-hoc ``perf_counter``
+    pairs, so the reported MStencils/s and the persisted trace are the
+    *same* measurement and cannot drift apart.
+    """
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    was_enabled = telemetry.enabled()
+    telemetry.enable()
+    tracer = telemetry.get_tracer()
     rows = []
-    for name in BENCHMARKS:
-        kernel = get_kernel(name)
-        x = default_rng(2).random(SHAPES[kernel.ndim])
-        cs = ConvStencil(kernel)
-        cs.run(x, 1)  # warm-up
-        t0 = time.perf_counter()
-        cs.run(x, 1)
-        dt = time.perf_counter() - t0
-        rows.append((name, f"{x.size / dt / 1e6:.1f}"))
-    emit(
-        "library_throughput",
-        format_table(
-            ["kernel", "MStencils/s (this library, CPU)"],
-            rows,
-            title="Library functional throughput (not a paper figure)",
-        ),
-    )
+    try:
+        for name in BENCHMARKS:
+            kernel = get_kernel(name)
+            x = default_rng(2).random(SHAPES[kernel.ndim])
+            cs = ConvStencil(kernel)
+            cs.run(x, 1)  # warm-up (traced too; the timed span is named apart)
+            with telemetry.span("bench.throughput", kernel=name, size=x.size):
+                cs.run(x, 1)
+            timed = [
+                sp
+                for sp in tracer.spans()
+                if sp.name == "bench.throughput" and sp.attributes["kernel"] == name
+            ][-1]
+            rows.append((name, f"{x.size / timed.duration / 1e6:.1f}"))
+        emit(
+            "library_throughput",
+            format_table(
+                ["kernel", "MStencils/s (this library, CPU)"],
+                rows,
+                title="Library functional throughput (not a paper figure)",
+            ),
+        )
+        emit_telemetry("library_throughput")
+    finally:
+        if not was_enabled:
+            telemetry.disable()

@@ -18,6 +18,14 @@ and prints the artifact's output format (§A.5)::
 (there is no GPU here); ``--verify`` additionally executes a scaled-down
 grid functionally and checks it against the reference, and ``--custom``
 accepts user weights exactly like the artifact's ``--custom`` option.
+
+Observability (see :mod:`repro.telemetry`): ``--trace FILE`` enables
+telemetry, executes the requested run *functionally* at the given extents
+(so keep them laptop-scale), and writes the span trace to ``FILE``;
+``--metrics`` folds a scaled-down simulated pass's hardware counters into
+the metrics registry and prints the snapshot; and the separate
+``telemetry-report TRACE`` subcommand renders a Fig.-6-style phase
+breakdown from a previously saved trace.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.analysis.breakdown import run_breakdown
 from repro.core.api import ConvStencil
 from repro.errors import ReproError
@@ -105,6 +114,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="REPORT.md",
         help="regenerate every paper table/figure into a markdown report",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help=(
+            "enable telemetry, execute the requested run functionally, and "
+            "write the span trace to FILE (.jsonl -> JSONL, else Chrome "
+            "trace_event)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "enable telemetry, fold a scaled-down simulated pass's hardware "
+            "counters into the metrics registry, and print the snapshot"
+        ),
+    )
     return parser
 
 
@@ -136,9 +162,28 @@ def _fusion(arg: str):
     return arg if arg == "auto" else int(arg)
 
 
+def _run_telemetry_report(argv: List[str]) -> List[str]:
+    """The ``telemetry-report`` subcommand: phase table from a saved trace."""
+    parser = argparse.ArgumentParser(
+        prog="convstencil telemetry-report",
+        description="Render a Fig.-6-style phase breakdown from a saved trace",
+    )
+    parser.add_argument("trace", help="trace file (JSONL or Chrome trace_event)")
+    parser.add_argument(
+        "--top", type=int, default=0, help="show only the N largest phases"
+    )
+    args = parser.parse_args(argv)
+    return telemetry.render_phase_report(args.trace, top=args.top).splitlines()
+
+
 def run(argv: Sequence[str]) -> List[str]:
     """Execute the CLI and return the output lines (also printed by main)."""
+    argv = list(argv)
+    if argv and argv[0] == "telemetry-report":
+        return _run_telemetry_report(argv[1:])
     args = build_parser().parse_args(argv)
+    if args.trace or args.metrics:
+        telemetry.enable()
     ndim = _DIM_NAMES[args.dim]
     if len(args.sizes) != ndim + 1:
         raise ReproError(
@@ -222,6 +267,34 @@ def run(argv: Sequence[str]) -> List[str]:
         path = write_report(args.report, include_breakdown=False)
         lines.append("")
         lines.append(f"REPORT: wrote {path}")
+
+    if args.metrics:
+        from repro.core.simulated import run_simulated
+
+        shape = _VERIFY_SHAPES[ndim]
+        run_simulated(default_rng(0).random(shape), kernel)
+        lines.append("")
+        lines.append(
+            f"Metrics (simulated pass on {'x'.join(map(str, shape))} grid):"
+        )
+        for name, summary in telemetry.get_registry().snapshot().items():
+            if summary["type"] == "histogram":
+                lines.append(
+                    f"  {name} = count {summary['count']}, sum {summary['sum']:.6g}"
+                )
+            else:
+                lines.append(f"  {name} = {summary['value']:.6g}")
+
+    if args.trace:
+        x = default_rng(0).random(tuple(extents))
+        with telemetry.span(
+            "cli.run", shape=args.shape, device=args.device, iterations=iterations
+        ):
+            ConvStencil(kernel, fusion=_fusion(args.fusion)).run(x, iterations)
+        tracer = telemetry.get_tracer()
+        path = tracer.export(args.trace)
+        lines.append("")
+        lines.append(f"TRACE: wrote {path} ({len(tracer)} spans)")
     return lines
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.engine1d import convstencil_valid_1d
 from repro.core.engine2d import convstencil_valid_2d
 from repro.core.engine3d import convstencil_valid_3d
@@ -84,8 +85,14 @@ class ConvStencil:
         boundary: BoundaryCondition,
         fill_value: float,
     ) -> np.ndarray:
-        padded = pad_halo(data, kernel.radius, boundary, fill_value)
-        return convstencil_valid(padded, kernel)
+        with telemetry.span(
+            "convstencil.pass",
+            kernel=kernel.name,
+            radius=kernel.radius,
+            shape=data.shape,
+        ):
+            padded = pad_halo(data, kernel.radius, boundary, fill_value)
+            return convstencil_valid(padded, kernel)
 
     def run(
         self,
@@ -116,11 +123,18 @@ class ConvStencil:
             )
         depth = self.plan.depth
         fused_passes, remainder = divmod(steps, depth)
-        out = data
-        for _ in range(fused_passes):
-            out = self._pass(out, self.plan.fused, boundary, fill_value)
-        for _ in range(remainder):
-            out = self._pass(out, self.kernel, boundary, fill_value)
+        with telemetry.span(
+            "convstencil.run",
+            kernel=self.kernel.name,
+            shape=data.shape,
+            steps=steps,
+            fusion_depth=depth,
+        ):
+            out = data
+            for _ in range(fused_passes):
+                out = self._pass(out, self.plan.fused, boundary, fill_value)
+            for _ in range(remainder):
+                out = self._pass(out, self.kernel, boundary, fill_value)
         return out
 
     def run_batch(
@@ -152,17 +166,32 @@ class ConvStencil:
         from repro.core.engine2d import convstencil_valid_2d_batched
 
         def batched_pass(stack: np.ndarray, kernel: StencilKernel) -> np.ndarray:
-            r = kernel.radius
-            padded = np.stack(
-                [pad_halo(g, r, boundary, fill_value) for g in stack]
-            )
-            return convstencil_valid_2d_batched(padded, kernel)
+            with telemetry.span(
+                "convstencil.pass",
+                kernel=kernel.name,
+                radius=kernel.radius,
+                shape=stack.shape,
+                batched=True,
+            ):
+                r = kernel.radius
+                padded = np.stack(
+                    [pad_halo(g, r, boundary, fill_value) for g in stack]
+                )
+                return convstencil_valid_2d_batched(padded, kernel)
 
         depth = self.plan.depth
         fused_passes, remainder = divmod(steps, depth)
-        out = batch
-        for _ in range(fused_passes):
-            out = batched_pass(out, self.plan.fused)
-        for _ in range(remainder):
-            out = batched_pass(out, self.kernel)
+        with telemetry.span(
+            "convstencil.run",
+            kernel=self.kernel.name,
+            shape=batch.shape,
+            steps=steps,
+            fusion_depth=depth,
+            batched=True,
+        ):
+            out = batch
+            for _ in range(fused_passes):
+                out = batched_pass(out, self.plan.fused)
+            for _ in range(remainder):
+                out = batched_pass(out, self.kernel)
         return out

@@ -24,7 +24,12 @@ from typing import Tuple
 import numpy as np
 
 from repro.core.blocking import BlockPlan, plan_blocks_2d
-from repro.core.simulated import ExecutionConfig, SimulatedRun, run_simulated_2d
+from repro.core.simulated import (
+    ExecutionConfig,
+    SimulatedRun,
+    _fold_counters,
+    run_simulated_2d,
+)
 from repro.errors import TessellationError
 from repro.gpu.simulator import DeviceSim
 from repro.stencils.kernel import StencilKernel
@@ -61,6 +66,7 @@ def run_simulated_1d_blocked(
     n = padded.shape[0]
     if n < k:
         raise TessellationError(f"kernel edge {k} does not fit input length {n}")
+    owns_sim = sim is None
     sim = sim or DeviceSim()
     y_valid = n - k + 1
     out = np.empty(y_valid, dtype=np.float64)
@@ -70,6 +76,7 @@ def run_simulated_1d_blocked(
         run = run_simulated_1d(padded[j0 : j1 + k - 1], kernel, config, sim)
         out[j0:j1] = run.output
         shared_bytes = max(shared_bytes, run.shared_bytes)
+    _fold_counters(owns_sim, sim)
     return SimulatedRun(
         output=out, counters=sim.counters, config=config, shared_bytes=shared_bytes
     )
@@ -115,6 +122,7 @@ def run_simulated_2d_blocked(
     if bx < 1 or by < 1:
         raise TessellationError(f"invalid block {block}")
     x_valid, y_valid = m - k + 1, n - k + 1
+    owns_sim = sim is None
     sim = sim or DeviceSim()
 
     out = np.empty((x_valid, y_valid), dtype=np.float64)
@@ -127,6 +135,7 @@ def run_simulated_2d_blocked(
             run = run_simulated_2d(tile, kernel, config, sim)
             out[i0:i1, j0:j1] = run.output
             shared_bytes = max(shared_bytes, run.shared_bytes)
+    _fold_counters(owns_sim, sim)
     return SimulatedRun(
         output=out, counters=sim.counters, config=config, shared_bytes=shared_bytes
     )

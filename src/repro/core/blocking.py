@@ -23,9 +23,12 @@ from repro.core.padding import PaddingPlan, plan_padding
 from repro.errors import TessellationError
 from repro.gpu.specs import A100, DeviceSpec
 from repro.stencils.kernel import StencilKernel
+from repro.telemetry.log import get_logger
 from repro.utils.arrays import ceil_div
 
 __all__ = ["BlockPlan", "plan_blocks_1d", "plan_blocks_2d"]
+
+_log = get_logger("core.blocking")
 
 #: Output tile per thread block, from the paper's Table 4 (2-D kernels).
 DEFAULT_BLOCK_2D = (32, 64)
@@ -121,6 +124,12 @@ def plan_blocks_2d(
     # (core.simulated._chunk_plan), so only the live width needs padding
     pad = plan_padding(s2r_cols, padding, dirty_bits)
     blocks = ceil_div(out_shape[0], bx) * ceil_div(out_shape[1], by)
+    _log.debug(
+        "block plan 2d: %s out=%s tile=%dx%d input=%dx%d s2r=%dx%d pitch=%d "
+        "blocks=%d shared=%dB",
+        kernel.name, out_shape, bx, by, tile_m, tile_n, s2r_rows, s2r_cols,
+        pad.pitch, blocks, 2 * s2r_rows * pad.pitch * 8,
+    )
     return BlockPlan(
         out_shape=tuple(out_shape),
         block_shape=(bx, by),
@@ -150,6 +159,11 @@ def plan_blocks_1d(
     s2r_rows = ceil_div(s2r_groups, 8) * 8
     overshoot = 4 - k if k < 4 else 0
     pad = plan_padding(k + overshoot, padding, dirty_bits)
+    _log.debug(
+        "block plan 1d: %s out=%d tile=%d s2r=%dx%d pitch=%d blocks=%d",
+        kernel.name, out_length, tile, s2r_rows, k, pad.pitch,
+        ceil_div(out_length, block),
+    )
     return BlockPlan(
         out_shape=(out_length,),
         block_shape=(block,),

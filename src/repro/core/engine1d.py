@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.stencil2row import stencil2row_matrices_1d
 from repro.core.weights import weight_matrices_1d
 from repro.errors import TessellationError
@@ -36,7 +37,8 @@ def convstencil_valid_1d(padded: np.ndarray, kernel: StencilKernel) -> np.ndarra
     n_valid = n - k + 1
     a, b = stencil2row_matrices_1d(padded, k)
     wa, wb = weight_matrices_1d(kernel)
-    # Vitrolite A accumulated with vitrolite B — a single fused MMA chain.
-    vit = a @ wa
-    vit += b @ wb
-    return vit.reshape(-1)[:n_valid]
+    with telemetry.span("dual_tessellation", kernel=kernel.name, shape=(n,)):
+        # Vitrolite A accumulated with vitrolite B — a single fused MMA chain.
+        vit = a @ wa
+        vit += b @ wb
+        return vit.reshape(-1)[:n_valid]

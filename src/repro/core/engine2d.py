@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.stencil2row import stencil2row_views_2d
 from repro.core.weights import weight_blocks_2d
 from repro.errors import TessellationError
@@ -66,11 +67,14 @@ def convstencil_valid_2d(
     out = np.empty((x_valid, r_groups * g), dtype=np.float64)
     if chunk <= 0:
         raise TessellationError(f"chunk must be positive, got {chunk}")
-    for t0 in range(0, x_valid, chunk):
-        t1 = min(t0 + chunk, x_valid)
-        block = np.einsum("txri,xij->trj", sa[t0:t1], wa3, optimize=True)
-        block += np.einsum("txru,xuj->trj", sb[t0:t1], wb3, optimize=True)
-        out[t0:t1] = block.reshape(t1 - t0, r_groups * g)
+    with telemetry.span(
+        "dual_tessellation", kernel=kernel.name, shape=(m, n), chunk=chunk
+    ):
+        for t0 in range(0, x_valid, chunk):
+            t1 = min(t0 + chunk, x_valid)
+            block = np.einsum("txri,xij->trj", sa[t0:t1], wa3, optimize=True)
+            block += np.einsum("txru,xuj->trj", sb[t0:t1], wb3, optimize=True)
+            out[t0:t1] = block.reshape(t1 - t0, r_groups * g)
     return out[:, :y_valid]
 
 
@@ -100,19 +104,25 @@ def convstencil_valid_2d_batched(
 
     from repro.core.stencil2row import _extend_columns, _gather_columns, stencil2row_shape
 
-    r_groups, _ = stencil2row_shape((m, n), k)
-    ext = _extend_columns(stack, (r_groups - 1) * g + 2 * k)
-    cols = _gather_columns(r_groups, k)
-    a3 = ext[:, :, cols]  # (batch, m, R, k)
-    b3 = ext[:, :, cols + k]
+    with telemetry.span(
+        "stencil2row", kernel=kernel.name, stage="views-2d-batched", shape=stack.shape
+    ):
+        r_groups, _ = stencil2row_shape((m, n), k)
+        ext = _extend_columns(stack, (r_groups - 1) * g + 2 * k)
+        cols = _gather_columns(r_groups, k)
+        a3 = ext[:, :, cols]  # (batch, m, R, k)
+        b3 = ext[:, :, cols + k]
     wa3, wb3 = weight_blocks_2d(kernel)
 
     sa = sliding_windows(a3, k, axis=1)  # (batch, x_valid, k, R, k)
     sb = sliding_windows(b3, k, axis=1)
     out = np.empty((batch, x_valid, r_groups * g), dtype=np.float64)
-    for t0 in range(0, x_valid, chunk):
-        t1 = min(t0 + chunk, x_valid)
-        block = np.einsum("btxri,xij->btrj", sa[:, t0:t1], wa3, optimize=True)
-        block += np.einsum("btxru,xuj->btrj", sb[:, t0:t1], wb3, optimize=True)
-        out[:, t0:t1] = block.reshape(batch, t1 - t0, r_groups * g)
+    with telemetry.span(
+        "dual_tessellation", kernel=kernel.name, shape=stack.shape, chunk=chunk
+    ):
+        for t0 in range(0, x_valid, chunk):
+            t1 = min(t0 + chunk, x_valid)
+            block = np.einsum("btxri,xij->btrj", sa[:, t0:t1], wa3, optimize=True)
+            block += np.einsum("btxru,xuj->btrj", sb[:, t0:t1], wb3, optimize=True)
+            out[:, t0:t1] = block.reshape(batch, t1 - t0, r_groups * g)
     return out[:, :, :y_valid]

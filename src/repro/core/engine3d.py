@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.engine2d import convstencil_valid_2d_batched
 from repro.errors import TessellationError
 from repro.stencils.kernel import StencilKernel
@@ -73,7 +74,10 @@ def convstencil_valid_3d(padded: np.ndarray, kernel: StencilKernel) -> np.ndarra
         planes = padded[dz : dz + pz]
         if kind == "axpy":
             dx, dy, w = payload
-            out += w * planes[:, dx : dx + px, dy : dy + py]
+            with telemetry.span(
+                "plane_axpy", kernel=kernel.name, dz=dz, shape=padded.shape
+            ):
+                out += w * planes[:, dx : dx + px, dy : dy + py]
         else:
             # batched dual tessellation: one einsum sweep covers this
             # kernel plane's contribution to every output plane

@@ -17,8 +17,11 @@ from dataclasses import dataclass
 
 from repro.errors import KernelError
 from repro.stencils.kernel import StencilKernel
+from repro.telemetry.log import get_logger
 
 __all__ = ["FusionPlan", "fused_edge", "plan_fusion", "recommended_depth"]
+
+_log = get_logger("core.fusion")
 
 #: Widest kernel edge that still fits one 8-column FP64 fragment
 #: (edge 7 → weight width 8 = exactly one m8n8k4 fragment column block).
@@ -48,11 +51,24 @@ def recommended_depth(kernel: StencilKernel, max_edge: int | None = None) -> int
     """
     if max_edge is None:
         if kernel.ndim == 3:
+            _log.debug(
+                "fusion: %s is 3-D, decomposing planes instead of fusing (depth 1)",
+                kernel.name,
+            )
             return 1
         max_edge = MAX_EDGE_1D if kernel.ndim == 1 else MAX_FRAGMENT_EDGE
     if kernel.edge > max_edge:
+        _log.debug(
+            "fusion: %s edge %d already exceeds limit %d, depth 1",
+            kernel.name, kernel.edge, max_edge,
+        )
         return 1
-    return min(MAX_DEPTH, max(1, (max_edge - 1) // (kernel.edge - 1)))
+    depth = min(MAX_DEPTH, max(1, (max_edge - 1) // (kernel.edge - 1)))
+    _log.debug(
+        "fusion: %s edge %d -> depth %d (fused edge %d, limit %d)",
+        kernel.name, kernel.edge, depth, fused_edge(kernel.edge, depth), max_edge,
+    )
+    return depth
 
 
 @dataclass(frozen=True)
@@ -85,4 +101,9 @@ def plan_fusion(kernel: StencilKernel, depth: int | str = "auto") -> FusionPlan:
         resolved = int(depth)
         if resolved < 1:
             raise KernelError(f"fusion depth must be >= 1, got {depth}")
-    return FusionPlan(base=kernel, depth=resolved, fused=kernel.fuse(resolved))
+    plan = FusionPlan(base=kernel, depth=resolved, fused=kernel.fuse(resolved))
+    _log.debug(
+        "fusion plan: %s depth %d -> %s (utilisation %d/8 columns)",
+        kernel.name, plan.depth, plan.fused.name, plan.utilisation_columns,
+    )
+    return plan

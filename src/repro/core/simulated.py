@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.lookup import ColumnLookup, build_column_lookup
 from repro.core.padding import PaddingPlan, plan_padding
 from repro.core.weights import weight_matrices_1d, weight_matrices_2d
@@ -131,6 +132,17 @@ def _transform_row(
         smem.store_elements(rows[valid], cols[valid], values[valid])
 
 
+def _fold_counters(owns_sim: bool, sim: DeviceSim) -> None:
+    """Fold a run's counters into the telemetry registry.
+
+    Only the call that *created* the simulator folds, so nested simulated
+    passes sharing a ``DeviceSim`` (3-D planes, blocked launches) are
+    counted exactly once.
+    """
+    if owns_sim and telemetry.enabled():
+        telemetry.fold_perf_counters(sim.counters)
+
+
 def _charge_divmod(sim: DeviceSim, config: ExecutionConfig, elements: int) -> None:
     """Charge per-element div/mod when the lookup table is disabled."""
     if not config.lookup_table:
@@ -214,6 +226,7 @@ def run_simulated_1d(
     padded = np.asarray(padded, dtype=np.float64)
     if padded.ndim != 1:
         raise TessellationError(f"expected 1-D data, got {padded.ndim}-D")
+    owns_sim = sim is None
     sim = sim or DeviceSim()
     k, g = kernel.edge, kernel.edge + 1
     n = padded.shape[0]
@@ -275,6 +288,7 @@ def run_simulated_1d(
     result = out[:y_valid].copy()
     write_addrs = np.arange(y_valid, dtype=np.int64) * 8
     sim.global_memory.write(write_addrs)
+    _fold_counters(owns_sim, sim)
     return SimulatedRun(
         output=result,
         counters=sim.counters,
@@ -300,6 +314,7 @@ def run_simulated_2d(
     padded = np.asarray(padded, dtype=np.float64)
     if padded.ndim != 2:
         raise TessellationError(f"expected 2-D data, got {padded.ndim}-D")
+    owns_sim = sim is None
     sim = sim or DeviceSim()
     k, g = kernel.edge, kernel.edge + 1
     m, n = padded.shape
@@ -378,6 +393,7 @@ def run_simulated_2d(
     # write-back: row-major addresses of the valid outputs
     for t in range(x_valid):
         sim.global_memory.write_linear(t * y_valid * 8, y_valid)
+    _fold_counters(owns_sim, sim)
     return SimulatedRun(
         output=result,
         counters=sim.counters,
@@ -406,6 +422,7 @@ def run_simulated_3d(
     padded = np.asarray(padded, dtype=np.float64)
     if padded.ndim != 3:
         raise TessellationError(f"expected 3-D data, got {padded.ndim}-D")
+    owns_sim = sim is None
     sim = sim or DeviceSim()
     k = kernel.edge
     if any(s < k for s in padded.shape):
@@ -427,6 +444,7 @@ def run_simulated_3d(
                 run = run_simulated_2d(planes[p], payload, config, sim)
                 out[p] += run.output
                 shared_bytes = max(shared_bytes, run.shared_bytes)
+    _fold_counters(owns_sim, sim)
     return SimulatedRun(
         output=out, counters=sim.counters, config=config, shared_bytes=shared_bytes
     )

@@ -29,6 +29,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import LayoutError
 from repro.utils.arrays import ceil_div
 
@@ -111,13 +112,16 @@ def stencil2row_matrices_1d(padded: np.ndarray, edge: int) -> tuple:
     padded = np.asarray(padded, dtype=np.float64)
     if padded.ndim != 1:
         raise LayoutError(f"expected 1-D input, got {padded.ndim}-D")
-    g = edge + 1
-    rows, cols = stencil2row_shape(padded.shape, edge)
-    ext = _extend_columns(padded, (rows - 1) * g + 2 * edge)
-    offsets = np.arange(rows)[:, None] * g + np.arange(edge)[None, :]
-    a = ext[offsets]
-    b = ext[offsets + edge]
-    return a, b
+    with telemetry.span(
+        "stencil2row", stage="matrices-1d", shape=padded.shape, edge=edge
+    ):
+        g = edge + 1
+        rows, cols = stencil2row_shape(padded.shape, edge)
+        ext = _extend_columns(padded, (rows - 1) * g + 2 * edge)
+        offsets = np.arange(rows)[:, None] * g + np.arange(edge)[None, :]
+        a = ext[offsets]
+        b = ext[offsets + edge]
+        return a, b
 
 
 def stencil2row_matrices_2d(padded: np.ndarray, edge: int) -> tuple:
@@ -161,13 +165,16 @@ def stencil2row_views_2d(padded: np.ndarray, edge: int) -> tuple:
     padded = np.asarray(padded, dtype=np.float64)
     if padded.ndim != 2:
         raise LayoutError(f"expected 2-D input, got {padded.ndim}-D")
-    g = edge + 1
-    rows, _ = stencil2row_shape(padded.shape, edge)
-    ext = _extend_columns(padded, (rows - 1) * g + 2 * edge)
-    cols = _gather_columns(rows, edge)
-    a3 = ext[:, cols]
-    b3 = ext[:, cols + edge]
-    return a3, b3
+    with telemetry.span(
+        "stencil2row", stage="views-2d", shape=padded.shape, edge=edge
+    ):
+        g = edge + 1
+        rows, _ = stencil2row_shape(padded.shape, edge)
+        ext = _extend_columns(padded, (rows - 1) * g + 2 * edge)
+        cols = _gather_columns(rows, edge)
+        a3 = ext[:, cols]
+        b3 = ext[:, cols + edge]
+        return a3, b3
 
 
 def stencil2row_expansion_factor(edge: int) -> float:

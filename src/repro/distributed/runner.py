@@ -13,6 +13,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.api import convstencil_valid
 from repro.core.fusion import FusionPlan, plan_fusion
 from repro.distributed.decomposition import (
@@ -53,10 +54,14 @@ class DistributedStencil:
         fill_value: float,
     ) -> List[np.ndarray]:
         halo = kernel.radius
-        extended = exchange_halos(
-            slabs, halo, boundary, fill_value, stats=self.exchange_stats
-        )
-        return [convstencil_valid(ext, kernel) for ext in extended]
+        with telemetry.span(
+            "distributed.pass", kernel=kernel.name, ranks=self.ranks, halo=halo
+        ):
+            with telemetry.span("distributed.exchange", ranks=self.ranks, halo=halo):
+                extended = exchange_halos(
+                    slabs, halo, boundary, fill_value, stats=self.exchange_stats
+                )
+            return [convstencil_valid(ext, kernel) for ext in extended]
 
     def run(
         self,
@@ -81,11 +86,27 @@ class DistributedStencil:
         slabs = deco.scatter(data)
         depth = self.plan.depth
         fused_passes, remainder = divmod(steps, depth)
-        for _ in range(fused_passes):
-            slabs = self._pass(slabs, self.plan.fused, boundary, fill_value)
-        for _ in range(remainder):
-            slabs = self._pass(slabs, self.kernel, boundary, fill_value)
-        return deco.gather(slabs)
+        with telemetry.span(
+            "distributed.run",
+            kernel=self.kernel.name,
+            ranks=self.ranks,
+            shape=data.shape,
+            steps=steps,
+            fusion_depth=depth,
+        ):
+            for _ in range(fused_passes):
+                slabs = self._pass(slabs, self.plan.fused, boundary, fill_value)
+            for _ in range(remainder):
+                slabs = self._pass(slabs, self.kernel, boundary, fill_value)
+            result = deco.gather(slabs)
+        if telemetry.enabled():
+            telemetry.gauge("distributed.exchange.messages").set(
+                self.exchange_stats.messages
+            )
+            telemetry.gauge("distributed.exchange.bytes_sent").set(
+                self.exchange_stats.bytes_sent
+            )
+        return result
 
     def halo_bytes_per_exchange(self, shape: Tuple[int, ...]) -> int:
         """Interior halo volume one exchange moves for a given grid shape.

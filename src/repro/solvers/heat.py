@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.api import ConvStencil
 from repro.errors import ReproError
 from repro.stencils.grid import BoundaryCondition
@@ -55,4 +56,14 @@ class HeatSolver:
         field = np.asarray(field, dtype=np.float64)
         if field.ndim != self.ndim:
             raise ReproError(f"{self.ndim}-D solver given a {field.ndim}-D field")
-        return self._engine.run(field, steps, boundary=boundary, fill_value=fill_value)
+        with telemetry.span(
+            "heat.run", ndim=self.ndim, r=self.r, steps=steps,
+            fusion_depth=self.fusion_depth, shape=field.shape,
+        ):
+            out = self._engine.run(
+                field, steps, boundary=boundary, fill_value=fill_value
+            )
+        if telemetry.enabled():
+            telemetry.counter("solver.heat.steps").inc(steps)
+            telemetry.gauge("solver.heat.mean_temperature").set(float(out.mean()))
+        return out

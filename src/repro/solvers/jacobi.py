@@ -17,6 +17,7 @@ from typing import List
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.api import ConvStencil
 from repro.errors import ReproError
 from repro.stencils.kernel import StencilKernel
@@ -88,18 +89,31 @@ class JacobiPoisson:
         _impose_boundary(u, boundary_values)
 
         history: List[float] = []
-        for it in range(1, self.max_iterations + 1):
-            swept = self._engine.run(u, 1)  # neighbour mean (interior-correct)
-            u_next = swept - 0.25 * f
-            _impose_boundary(u_next, boundary_values)
-            u = u_next
-            if it % record_every == 0 or it == self.max_iterations:
-                res = self.residual(u, f)
-                history.append(res)
-                if res < self.tol:
-                    return JacobiResult(
-                        solution=u, iterations=it, converged=True, residual_history=history
-                    )
+        with telemetry.span(
+            "jacobi.solve", shape=f.shape, tol=self.tol
+        ) as solve_span:
+            for it in range(1, self.max_iterations + 1):
+                swept = self._engine.run(u, 1)  # neighbour mean (interior-correct)
+                u_next = swept - 0.25 * f
+                _impose_boundary(u_next, boundary_values)
+                u = u_next
+                if it % record_every == 0 or it == self.max_iterations:
+                    res = self.residual(u, f)
+                    history.append(res)
+                    if telemetry.enabled():
+                        telemetry.gauge("solver.jacobi.residual").set(res)
+                        telemetry.gauge("solver.jacobi.iterations").set(it)
+                    if res < self.tol:
+                        solve_span.set_attribute("iterations", it)
+                        solve_span.set_attribute("converged", True)
+                        return JacobiResult(
+                            solution=u,
+                            iterations=it,
+                            converged=True,
+                            residual_history=history,
+                        )
+            solve_span.set_attribute("iterations", self.max_iterations)
+            solve_span.set_attribute("converged", False)
         return JacobiResult(
             solution=u,
             iterations=self.max_iterations,

@@ -22,6 +22,7 @@ from typing import List
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.api import ConvStencil
 from repro.errors import ReproError
 from repro.stencils.kernel import StencilKernel
@@ -164,14 +165,28 @@ class MultigridPoisson:
             )
         u = np.zeros_like(f) if u0 is None else np.array(u0, dtype=np.float64)
         history = [float(np.abs(self.residual_field(u, f)).max())]
-        for cycle in range(1, self.max_cycles + 1):
-            u = self.v_cycle(u, f)
-            res = float(np.abs(self.residual_field(u, f)).max())
-            history.append(res)
-            if res < self.tol:
-                return MultigridResult(
-                    solution=u, cycles=cycle, converged=True, residual_history=history
-                )
+        with telemetry.span(
+            "multigrid.solve", shape=f.shape, tol=self.tol
+        ) as solve_span:
+            for cycle in range(1, self.max_cycles + 1):
+                with telemetry.span("multigrid.vcycle", cycle=cycle):
+                    u = self.v_cycle(u, f)
+                res = float(np.abs(self.residual_field(u, f)).max())
+                history.append(res)
+                if telemetry.enabled():
+                    telemetry.gauge("solver.multigrid.residual").set(res)
+                    telemetry.gauge("solver.multigrid.cycles").set(cycle)
+                if res < self.tol:
+                    solve_span.set_attribute("cycles", cycle)
+                    solve_span.set_attribute("converged", True)
+                    return MultigridResult(
+                        solution=u,
+                        cycles=cycle,
+                        converged=True,
+                        residual_history=history,
+                    )
+            solve_span.set_attribute("cycles", self.max_cycles)
+            solve_span.set_attribute("converged", False)
         return MultigridResult(
             solution=u, cycles=self.max_cycles, converged=False, residual_history=history
         )

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.api import ConvStencil
 from repro.errors import ReproError
 from repro.stencils.applications import get_application_kernel
@@ -71,10 +72,16 @@ class LeapfrogWave:
         if n < 0:
             raise ReproError(f"n must be non-negative, got {n}")
         c2 = self.courant**2
-        for _ in range(n):
-            lap = self._laplacian.run(self.curr, 1)
-            nxt = 2.0 * self.curr - self.prev + c2 * lap
-            self.prev, self.curr = self.curr, nxt
+        with telemetry.span(
+            "wave.step", n=n, courant=self.courant,
+            spatial_order=self.spatial_order, shape=self.curr.shape,
+        ):
+            for _ in range(n):
+                lap = self._laplacian.run(self.curr, 1)
+                nxt = 2.0 * self.curr - self.prev + c2 * lap
+                self.prev, self.curr = self.curr, nxt
+        if telemetry.enabled():
+            telemetry.counter("solver.wave.steps").inc(n)
         return self.curr
 
     def energy(self) -> float:
@@ -84,4 +91,7 @@ class LeapfrogWave:
         ut = self.curr - self.prev
         gx = np.diff(self.curr, axis=0)
         gy = np.diff(self.curr, axis=1)
-        return float((ut**2).sum() + self.courant**2 * ((gx**2).sum() + (gy**2).sum()))
+        e = float((ut**2).sum() + self.courant**2 * ((gx**2).sum() + (gy**2).sum()))
+        if telemetry.enabled():
+            telemetry.gauge("solver.wave.energy").set(e)
+        return e

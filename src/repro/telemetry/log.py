@@ -1,0 +1,67 @@
+"""Library-style logging setup for the ``repro`` package.
+
+Following the stdlib guidance for libraries, importing this module attaches
+a :class:`logging.NullHandler` to the root ``repro`` logger so the package
+never prints unless the *application* opts in.  Applications (or the CLI)
+opt in with :func:`configure_logging`, which installs one stream handler
+with a compact format and is idempotent — calling it again replaces the
+handler rather than stacking duplicates.
+
+Decision-point DEBUG logs (fusion planning, block planning) go through
+:func:`get_logger`, namespaced under ``repro.*`` so they can be filtered
+per subsystem.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["LOGGER_NAME", "configure_logging", "get_logger"]
+
+#: Root logger name for the whole package.
+LOGGER_NAME = "repro"
+
+#: Marker attribute identifying handlers installed by :func:`configure_logging`.
+_HANDLER_MARK = "_repro_telemetry_handler"
+
+_root = logging.getLogger(LOGGER_NAME)
+if not any(isinstance(h, logging.NullHandler) for h in _root.handlers):
+    _root.addHandler(logging.NullHandler())
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    ``get_logger()`` returns the root package logger;
+    ``get_logger("core.fusion")`` returns ``repro.core.fusion``; names
+    already starting with ``repro`` are used as-is.
+    """
+    if not name:
+        return logging.getLogger(LOGGER_NAME)
+    if name == LOGGER_NAME or name.startswith(LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    level: "int | str" = logging.INFO, stream: Optional[IO[str]] = None
+) -> logging.Logger:
+    """Route ``repro.*`` logs to ``stream`` (default stderr) at ``level``.
+
+    Installs exactly one handler: repeated calls reconfigure instead of
+    duplicating output.  Returns the root ``repro`` logger.
+    """
+    logger = logging.getLogger(LOGGER_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)-5s %(name)s: %(message)s")
+    )
+    setattr(handler, _HANDLER_MARK, True)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger

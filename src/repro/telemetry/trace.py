@@ -1,0 +1,323 @@
+"""Span tracing for the ConvStencil reproduction.
+
+A *span* is one named, timed region of execution — a fused pass, a
+stencil2row gather, a solver iteration — with arbitrary key/value
+attributes (kernel name, grid shape, fusion depth).  Spans nest: the
+tracer tracks the active span per execution context (``contextvars``, so
+threads and asyncio tasks each see their own stack) and records every
+finished span, with its parent link, into a thread-safe in-memory buffer.
+
+The buffer exports two formats:
+
+* **JSONL** — one span object per line, trivially greppable/parsable;
+* **Chrome ``trace_event``** — a ``{"traceEvents": [...]}`` document that
+  ``chrome://tracing`` / Perfetto render as a flame chart.
+
+Tracing is **off by default** and designed to cost near nothing while off:
+:func:`span` performs one attribute lookup and allocates one tiny slotted
+object whose ``__enter__`` immediately short-circuits.  Enable it with the
+``REPRO_TELEMETRY`` environment variable (any value other than
+``0/false/no/off``) or programmatically via :func:`enable`.
+
+Usage::
+
+    from repro import telemetry
+
+    telemetry.enable()
+    with telemetry.span("stencil2row", kernel="box-2d9p"):
+        ...
+    telemetry.get_tracer().export("trace.json")   # Chrome trace_event
+
+    @telemetry.span("hot-function")               # decorator form
+    def hot_function(...): ...
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import json
+import os
+import threading
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "disable",
+    "enable",
+    "enabled",
+    "get_tracer",
+    "span",
+]
+
+#: Environment variable that switches tracing on at import time.
+ENV_VAR = "REPRO_TELEMETRY"
+
+_FALSY = {"", "0", "false", "no", "off"}
+
+
+def _env_enabled(value: "str | None") -> bool:
+    """Whether an ``REPRO_TELEMETRY`` value means *enabled*."""
+    return value is not None and value.strip().lower() not in _FALSY
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) timed region.
+
+    ``start``/``end`` are ``time.perf_counter()`` seconds; ``parent_id``
+    links to the enclosing span recorded by the same tracer (``None`` for
+    roots).
+    """
+
+    name: str
+    start: float
+    end: float = 0.0
+    span_id: int = 0
+    parent_id: Optional[int] = None
+    thread_id: int = 0
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span wall time in seconds (0.0 while still open)."""
+        return max(0.0, self.end - self.start)
+
+    def set_attribute(self, key: str, value: Any) -> "Span":
+        """Attach/overwrite one attribute; returns ``self`` for chaining."""
+        self.attributes[key] = value
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (used by the JSONL exporter)."""
+        from repro.utils.io import to_jsonable
+
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attributes": to_jsonable(self.attributes),
+        }
+
+
+class _NoopSpan:
+    """Stand-in returned by ``span(...).__enter__`` while tracing is off.
+
+    Supports the same surface a real :class:`Span` exposes to
+    instrumentation code (``set_attribute``), so call sites never branch.
+    """
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: Any) -> "_NoopSpan":
+        return self
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+def _write_text(path: Path, text: str) -> None:
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    except OSError as exc:
+        raise ReproError(f"cannot write trace file {path}: {exc}")
+
+
+class Tracer:
+    """Thread-safe buffer of finished spans plus the active-span stack."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._ids = itertools.count(1)
+        self._current: ContextVar[Optional[Span]] = ContextVar(
+            "repro_active_span", default=None
+        )
+
+    # -- recording --------------------------------------------------------
+
+    def begin(self, name: str, attributes: Dict[str, Any]):
+        """Open a span as a child of the context's active span."""
+        parent = self._current.get()
+        sp = Span(
+            name=name,
+            start=time.perf_counter(),
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            thread_id=threading.get_ident(),
+            attributes=attributes,
+        )
+        token = self._current.set(sp)
+        return sp, token
+
+    def finish(self, sp: Span, token) -> None:
+        """Close ``sp``, pop it from the context, and buffer it."""
+        sp.end = time.perf_counter()
+        self._current.reset(token)
+        with self._lock:
+            self._spans.append(sp)
+
+    def current(self) -> Optional[Span]:
+        """The context's innermost open span, if any."""
+        return self._current.get()
+
+    # -- inspection -------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        """Snapshot copy of all finished spans (in completion order)."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def clear(self) -> None:
+        """Drop all buffered spans."""
+        with self._lock:
+            self._spans.clear()
+
+    # -- export -----------------------------------------------------------
+
+    def export_jsonl(self, path: "str | Path") -> Path:
+        """Write one JSON object per span to ``path`` (JSONL)."""
+        path = Path(path)
+        lines = [json.dumps(sp.to_dict(), sort_keys=True) for sp in self.spans()]
+        _write_text(path, "\n".join(lines) + ("\n" if lines else ""))
+        return path
+
+    def export_chrome_trace(self, path: "str | Path") -> Path:
+        """Write a Chrome ``trace_event`` document (complete "X" events)."""
+        from repro.utils.io import to_jsonable
+
+        spans = self.spans()
+        t0 = min((sp.start for sp in spans), default=0.0)
+        events = [
+            {
+                "name": sp.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (sp.start - t0) * 1e6,
+                "dur": sp.duration * 1e6,
+                "pid": 0,
+                "tid": sp.thread_id,
+                "args": to_jsonable(sp.attributes),
+            }
+            for sp in spans
+        ]
+        payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+        path = Path(path)
+        _write_text(path, json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        return path
+
+    def export(self, path: "str | Path") -> Path:
+        """Format-by-extension export: ``.jsonl`` → JSONL, else Chrome trace."""
+        path = Path(path)
+        if path.suffix.lower() == ".jsonl":
+            return self.export_jsonl(path)
+        return self.export_chrome_trace(path)
+
+
+class _State:
+    """Module-global switch + tracer (kept tiny for the disabled fast path)."""
+
+    __slots__ = ("enabled", "tracer")
+
+    def __init__(self) -> None:
+        self.enabled = _env_enabled(os.environ.get(ENV_VAR))
+        self.tracer = Tracer()
+
+
+_state = _State()
+
+
+def enabled() -> bool:
+    """Whether span recording is currently on."""
+    return _state.enabled
+
+
+def enable() -> None:
+    """Turn span recording on (equivalent to setting ``REPRO_TELEMETRY=1``)."""
+    _state.enabled = True
+
+
+def disable() -> None:
+    """Turn span recording off (buffered spans are kept until ``clear()``)."""
+    _state.enabled = False
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer instance."""
+    return _state.tracer
+
+
+class SpanContext:
+    """Context manager / decorator produced by :func:`span`.
+
+    As a context manager it yields the live :class:`Span` (or a no-op
+    stand-in while tracing is disabled).  As a decorator it wraps the
+    function in a fresh span per call, checking enablement *at call time*
+    so decorating at import keeps working after :func:`enable`.
+    """
+
+    __slots__ = ("name", "attributes", "_span", "_token")
+
+    def __init__(self, name: str, attributes: Dict[str, Any]) -> None:
+        self.name = name
+        self.attributes = attributes
+        self._span: Optional[Span] = None
+        self._token = None
+
+    def __enter__(self):
+        if not _state.enabled:
+            return _NOOP_SPAN
+        self._span, self._token = _state.tracer.begin(self.name, self.attributes)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._span is not None:
+            if exc_type is not None:
+                self._span.attributes.setdefault("error", exc_type.__name__)
+            _state.tracer.finish(self._span, self._token)
+            self._span = None
+            self._token = None
+        return False
+
+    def __call__(self, fn: Callable) -> Callable:
+        name, attributes = self.name, self.attributes
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _state.enabled:
+                return fn(*args, **kwargs)
+            with SpanContext(name, dict(attributes)):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def span(name: str, **attributes: Any) -> SpanContext:
+    """Open a named span as a context manager or decorator.
+
+    ``with span("pass", kernel="heat-2d") as sp: sp.set_attribute(...)``
+    records one nested span; ``@span("solve")`` wraps a function.  While
+    tracing is disabled the context manager is inert and near-free.
+    """
+    return SpanContext(name, attributes)

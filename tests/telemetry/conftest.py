@@ -1,0 +1,22 @@
+"""Shared telemetry-test fixtures: isolated enable/disable + clean buffers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture
+def tele():
+    """Telemetry module with clean tracer/registry; state restored on exit."""
+    was_enabled = telemetry.enabled()
+    telemetry.get_tracer().clear()
+    telemetry.get_registry().clear()
+    yield telemetry
+    telemetry.get_tracer().clear()
+    telemetry.get_registry().clear()
+    if was_enabled:
+        telemetry.enable()
+    else:
+        telemetry.disable()

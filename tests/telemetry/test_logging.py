@@ -1,0 +1,76 @@
+"""Logging: NullHandler default, configure_logging idempotence, DEBUG logs."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+from repro.core.blocking import plan_blocks_2d
+from repro.core.fusion import plan_fusion
+from repro.stencils.catalog import get_kernel
+from repro.telemetry.log import LOGGER_NAME, configure_logging, get_logger
+
+
+def _repro_stream_handlers():
+    return [
+        h
+        for h in logging.getLogger(LOGGER_NAME).handlers
+        if getattr(h, "_repro_telemetry_handler", False)
+    ]
+
+
+def _remove_configured_handlers():
+    logger = logging.getLogger(LOGGER_NAME)
+    for h in _repro_stream_handlers():
+        logger.removeHandler(h)
+    logger.setLevel(logging.NOTSET)
+
+
+class TestSetup:
+    def test_null_handler_installed_on_import(self):
+        handlers = logging.getLogger(LOGGER_NAME).handlers
+        assert any(isinstance(h, logging.NullHandler) for h in handlers)
+
+    def test_get_logger_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("core.fusion").name == "repro.core.fusion"
+        assert get_logger("repro.core.fusion").name == "repro.core.fusion"
+
+    def test_configure_logging_is_idempotent(self):
+        try:
+            configure_logging(logging.DEBUG)
+            configure_logging(logging.DEBUG)
+            assert len(_repro_stream_handlers()) == 1
+        finally:
+            _remove_configured_handlers()
+
+    def test_configure_logging_writes_to_stream(self):
+        buf = io.StringIO()
+        try:
+            configure_logging(logging.DEBUG, stream=buf)
+            get_logger("test").debug("hello from test")
+            assert "hello from test" in buf.getvalue()
+            assert "repro.test" in buf.getvalue()
+        finally:
+            _remove_configured_handlers()
+
+
+class TestDecisionPointLogs:
+    def test_fusion_planning_logs_at_debug(self, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.core.fusion"):
+            plan_fusion(get_kernel("heat-2d"), depth="auto")
+        messages = [rec.getMessage() for rec in caplog.records]
+        assert any(m.startswith("fusion:") for m in messages)
+        assert any(m.startswith("fusion plan:") for m in messages)
+
+    def test_blocking_planner_logs_at_debug(self, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.core.blocking"):
+            plan_blocks_2d((512, 512), get_kernel("box-2d9p"))
+        messages = [rec.getMessage() for rec in caplog.records]
+        assert any(m.startswith("block plan 2d:") for m in messages)
+
+    def test_silent_without_opt_in(self, caplog):
+        # Library guidance: nothing propagates at default WARNING level.
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            plan_fusion(get_kernel("heat-2d"), depth="auto")
+        assert caplog.records == []

@@ -1,0 +1,146 @@
+"""Metrics registry: instruments, bucketing, PerfCounters fold round-trip."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.gpu.counters import PerfCounters
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_accumulates(self, tele):
+        c = tele.counter("t.c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self, tele):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            tele.counter("t.c").inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self, tele):
+        assert tele.counter("t.same") is tele.counter("t.same")
+
+    def test_concurrent_increments_are_not_lost(self, tele):
+        c = tele.counter("t.conc")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+
+
+class TestGauge:
+    def test_set_and_add(self, tele):
+        g = tele.gauge("t.g")
+        g.set(2.5)
+        g.add(-1.0)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_bucketing(self, tele):
+        h = tele.histogram("t.h", buckets=[1.0, 10.0, 100.0])
+        for v in (0.5, 1.0, 5.0, 50.0, 500.0):
+            h.observe(v)
+        # upper-bound semantics: value <= bound lands in that bucket
+        assert h.buckets() == [
+            (1.0, 2),            # 0.5 and the boundary value 1.0
+            (10.0, 1),           # 5.0
+            (100.0, 1),          # 50.0
+            (float("inf"), 1),   # 500.0 overflows
+        ]
+        assert h.count == 5
+        assert h.sum == pytest.approx(556.5)
+        assert h.mean == pytest.approx(556.5 / 5)
+
+    def test_duplicate_bounds_rejected(self, tele):
+        with pytest.raises(ValueError, match="duplicate"):
+            tele.histogram("t.dup", buckets=[1.0, 1.0])
+
+    def test_empty_bounds_rejected(self, tele):
+        with pytest.raises(ValueError, match="bucket"):
+            tele.histogram("t.empty", buckets=[])
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self, tele):
+        tele.counter("t.conflict")
+        with pytest.raises(TypeError, match="already registered"):
+            tele.gauge("t.conflict")
+
+    def test_snapshot_shapes(self, tele):
+        tele.counter("t.c").inc(3)
+        tele.gauge("t.g").set(0.5)
+        tele.histogram("t.h", buckets=[1.0]).observe(2.0)
+        snap = tele.get_registry().snapshot()
+        assert snap["t.c"] == {"type": "counter", "value": 3}
+        assert snap["t.g"] == {"type": "gauge", "value": 0.5}
+        assert snap["t.h"]["type"] == "histogram"
+        assert snap["t.h"]["count"] == 1
+        # overflow bucket serialises its bound as null (JSON has no inf)
+        assert snap["t.h"]["buckets"] == [[1.0, 0], [None, 1]]
+
+    def test_clear(self, tele):
+        tele.counter("t.c").inc()
+        tele.get_registry().clear()
+        assert tele.get_registry().names() == []
+
+
+class TestPerfCountersFold:
+    def test_round_trip_bit_exact(self, tele):
+        counters = PerfCounters(
+            mma_fp64=12345,
+            fma_fp64=7,
+            global_read_bytes=987654321,
+            global_transactions=4242,
+            uncoalesced_transactions=17,
+            shared_load_requests=1000,
+            shared_load_conflicts=123,
+            shared_store_requests=500,
+            shared_store_conflicts=45,
+            fragment_columns_total=4096,
+            fragment_columns_useful=3584,
+        )
+        tele.fold_perf_counters(counters)
+        assert tele.perf_counters_from_registry() == counters
+
+    def test_derived_gauges_present(self, tele):
+        counters = PerfCounters(
+            shared_load_requests=10,
+            shared_load_conflicts=5,
+            fragment_columns_total=8,
+            fragment_columns_useful=7,
+        )
+        tele.fold_perf_counters(counters)
+        reg = tele.get_registry()
+        assert reg.get("sim.bank_conflicts_per_request").value == pytest.approx(0.5)
+        assert reg.get("sim.tensor_core_utilisation").value == pytest.approx(7 / 8)
+
+    def test_repeated_folds_accumulate_like_merge(self, tele):
+        a = PerfCounters(mma_fp64=3, shared_load_requests=10)
+        b = PerfCounters(mma_fp64=4, shared_load_requests=2)
+        tele.fold_perf_counters(a)
+        tele.fold_perf_counters(b)
+        merged = a.copy().merge(b)
+        assert tele.perf_counters_from_registry() == merged
+
+    def test_custom_registry_and_prefix(self, tele):
+        reg = MetricsRegistry()
+        counters = PerfCounters(mma_fp16=9)
+        tele.fold_perf_counters(counters, registry=reg, prefix="dev0")
+        assert tele.perf_counters_from_registry(registry=reg, prefix="dev0") == counters
+        # default registry untouched
+        assert tele.get_registry().get("dev0.mma_fp16") is None
+
+    def test_unfolded_registry_reads_as_zero(self, tele):
+        assert tele.perf_counters_from_registry() == PerfCounters()
