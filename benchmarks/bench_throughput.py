@@ -20,10 +20,10 @@ SHAPES = {1: (262_144,), 2: (512, 512), 3: (48, 48, 48)}
 
 
 @pytest.mark.parametrize("kernel_name", list(BENCHMARKS))
-def test_bench_engine_throughput(benchmark, kernel_name):
+def test_bench_engine_throughput(benchmark, kernel_name, backend):
     kernel = get_kernel(kernel_name)
     x = default_rng(2).random(SHAPES[kernel.ndim])
-    cs = ConvStencil(kernel)
+    cs = ConvStencil(kernel, backend=backend)
     out = benchmark(cs.run, x, 1)
     assert out.shape == x.shape
 
@@ -36,7 +36,7 @@ def test_bench_reference_executor(benchmark, kernel_name):
     benchmark(apply_stencil_reference, x, kernel)
 
 
-def test_bench_emit_throughput_summary(benchmark):
+def test_bench_emit_throughput_summary(benchmark, backend):
     """One-shot MStencils/s summary across all catalogued benchmarks.
 
     Timing comes from telemetry spans rather than ad-hoc ``perf_counter``
@@ -52,7 +52,7 @@ def test_bench_emit_throughput_summary(benchmark):
         for name in BENCHMARKS:
             kernel = get_kernel(name)
             x = default_rng(2).random(SHAPES[kernel.ndim])
-            cs = ConvStencil(kernel)
+            cs = ConvStencil(kernel, backend=backend)
             cs.run(x, 1)  # warm-up (traced too; the timed span is named apart)
             with telemetry.span("bench.throughput", kernel=name, size=x.size):
                 cs.run(x, 1)

@@ -13,12 +13,25 @@ Quickstart::
     from repro import ConvStencil, Grid, get_kernel
 
     grid = Grid.random((512, 512))
-    cs = ConvStencil(get_kernel("box-2d9p"), fusion="auto")
+    cs = ConvStencil(get_kernel("box-2d9p"), fusion="auto", backend="tiled")
     out = cs.run(grid, steps=12)
+
+Execution is routed through the pluggable :mod:`repro.runtime` — cached
+:class:`ExecutionPlan` objects plus a swappable :class:`Backend`
+(``"serial"``, ``"tiled"``, ``"reference"``, or anything registered via
+:func:`repro.runtime.register_backend`; see :func:`list_backends`).
 """
 
 from repro._version import __version__
 from repro.core import ConvStencil, convstencil_valid
+from repro.runtime import (
+    Backend,
+    ExecutionPlan,
+    PlanCache,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 from repro.stencils import (
     BENCHMARKS,
     BoundaryCondition,
@@ -33,15 +46,21 @@ from repro.stencils import (
 
 __all__ = [
     "BENCHMARKS",
+    "Backend",
     "BoundaryCondition",
     "ConvStencil",
+    "ExecutionPlan",
     "Grid",
+    "PlanCache",
     "StencilKernel",
     "__version__",
     "apply_stencil_reference",
     "convstencil_valid",
+    "get_backend",
     "get_benchmark",
     "get_kernel",
+    "list_backends",
     "list_kernels",
+    "register_backend",
     "run_reference",
 ]

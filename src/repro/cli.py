@@ -18,6 +18,9 @@ and prints the artifact's output format (§A.5)::
 (there is no GPU here); ``--verify`` additionally executes a scaled-down
 grid functionally and checks it against the reference, and ``--custom``
 accepts user weights exactly like the artifact's ``--custom`` option.
+Functional runs (``--verify``/``--trace``) execute on a
+:mod:`repro.runtime` backend selected by ``--backend`` (or the
+``REPRO_BACKEND`` environment variable).
 
 Observability (see :mod:`repro.telemetry`): ``--trace FILE`` enables
 telemetry, executes the requested run *functionally* at the given extents
@@ -42,6 +45,7 @@ from repro.core.api import ConvStencil
 from repro.errors import ReproError
 from repro.gpu.specs import A100, H100, V100, DeviceSpec
 from repro.model.convstencil_model import convstencil_throughput
+from repro.runtime import list_backends
 from repro.stencils.catalog import ARTIFACT_ALIASES, get_kernel
 from repro.stencils.kernel import StencilKernel
 from repro.stencils.reference import run_reference
@@ -113,6 +117,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--report",
         metavar="REPORT.md",
         help="regenerate every paper table/figure into a markdown report",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=list_backends(),
+        default=None,
+        help=(
+            "execution backend for functional runs (--verify/--trace): "
+            "serial (default), tiled (multi-core), or reference; "
+            "defaults to $REPRO_BACKEND if set"
+        ),
     )
     parser.add_argument(
         "--trace",
@@ -222,7 +236,9 @@ def run(argv: Sequence[str]) -> List[str]:
         shape = _VERIFY_SHAPES[ndim]
         x = default_rng(0).random(shape)
         steps = 2
-        got = ConvStencil(kernel, fusion=_fusion(args.fusion)).run(x, steps)
+        got = ConvStencil(
+            kernel, fusion=_fusion(args.fusion), backend=args.backend
+        ).run(x, steps)
         ref = run_reference(x, kernel, steps)
         err = float(np.abs(got - ref).max())
         lines.append("")
@@ -290,7 +306,9 @@ def run(argv: Sequence[str]) -> List[str]:
         with telemetry.span(
             "cli.run", shape=args.shape, device=args.device, iterations=iterations
         ):
-            ConvStencil(kernel, fusion=_fusion(args.fusion)).run(x, iterations)
+            ConvStencil(
+                kernel, fusion=_fusion(args.fusion), backend=args.backend
+            ).run(x, iterations)
         tracer = telemetry.get_tracer()
         path = tracer.export(args.trace)
         lines.append("")

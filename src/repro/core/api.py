@@ -1,11 +1,11 @@
 """Public ConvStencil API.
 
 :class:`ConvStencil` bundles a stencil kernel with an optional temporal
-fusion plan and executes time iterations through the dual-tessellation
-engines::
+fusion plan and executes time iterations through the pluggable
+:mod:`repro.runtime` — cached execution plans plus a swappable backend::
 
     from repro import ConvStencil, get_kernel
-    cs = ConvStencil(get_kernel("box-2d9p"), fusion="auto")
+    cs = ConvStencil(get_kernel("box-2d9p"), fusion="auto", backend="tiled")
     out = cs.run(grid, steps=12)
 
 Boundary semantics match the reference executors: each pass pads the grid by
@@ -14,19 +14,26 @@ depth ``d > 1`` one pass advances ``d`` time steps reading a ``d·r`` halo —
 the same ghost-zone semantics the paper's fused GPU kernels use, so results
 are identical to unfused execution under periodic halos and in the interior
 (``≥ d·r`` from the boundary) under constant halos.
+
+``run`` and ``run_batch`` resolve boundary metadata identically: a
+:class:`~repro.stencils.grid.Grid` (or a list of them) carries its own
+boundary condition, and passing an explicit ``boundary=``/``fill_value=``
+alongside one raises :class:`ValueError` rather than silently picking a
+winner.  Raw arrays default to constant/0.0 padding.
 """
 
 from __future__ import annotations
 
+from typing import Sequence, Tuple
+
 import numpy as np
 
-from repro import telemetry
 from repro.core.engine1d import convstencil_valid_1d
 from repro.core.engine2d import convstencil_valid_2d
 from repro.core.engine3d import convstencil_valid_3d
 from repro.core.fusion import FusionPlan, plan_fusion
 from repro.errors import KernelError
-from repro.stencils.grid import BoundaryCondition, Grid, pad_halo
+from repro.stencils.grid import BoundaryCondition, Grid
 from repro.stencils.kernel import StencilKernel
 
 __all__ = ["ConvStencil", "convstencil_valid"]
@@ -44,7 +51,44 @@ def convstencil_valid(padded: np.ndarray, kernel: StencilKernel) -> np.ndarray:
         engine = _ENGINES[kernel.ndim]
     except KeyError:  # pragma: no cover - kernel validation forbids this
         raise KernelError(f"unsupported dimensionality {kernel.ndim}")
-    return engine(padded, kernel)
+    return engine(np.asarray(padded, dtype=np.float64), kernel)
+
+
+def _resolve_boundary(
+    source: str,
+    grid_boundary: "BoundaryCondition | None",
+    grid_fill: "float | None",
+    boundary: "BoundaryCondition | str | None",
+    fill_value: "float | None",
+) -> Tuple[BoundaryCondition, float]:
+    """Shared boundary/fill precedence for ``run`` and ``run_batch``.
+
+    A :class:`Grid` is authoritative for its own boundary metadata;
+    explicit keyword arguments alongside one are a contradiction and raise
+    ``ValueError`` (historically they were silently ignored).  Raw arrays
+    take the keywords, defaulting to constant/0.0.
+    """
+    if grid_boundary is not None:
+        if boundary is not None:
+            raise ValueError(
+                f"{source} received both a Grid (boundary="
+                f"{grid_boundary.value!r}) and an explicit boundary="
+                f"{boundary!r}; the Grid carries its own boundary condition "
+                "— drop the keyword or pass a raw array"
+            )
+        if fill_value is not None:
+            raise ValueError(
+                f"{source} received both a Grid and an explicit fill_value=; "
+                "the Grid carries its own fill value — drop the keyword or "
+                "pass a raw array"
+            )
+        return grid_boundary, float(grid_fill if grid_fill is not None else 0.0)
+    resolved = (
+        BoundaryCondition(boundary)
+        if boundary is not None
+        else BoundaryCondition.CONSTANT
+    )
+    return resolved, float(fill_value if fill_value is not None else 0.0)
 
 
 class ConvStencil:
@@ -57,11 +101,24 @@ class ConvStencil:
     fusion:
         ``1`` (default, no fusion), a positive integer depth, or ``"auto"``
         to densify Tensor-Core fragments per §3.3 (e.g. Box-2D9P → depth 3).
+    backend:
+        Execution backend: a registered name (``"serial"``, ``"tiled"``,
+        ``"reference"``, or anything added via
+        :func:`repro.runtime.register_backend`), a
+        :class:`~repro.runtime.Backend` instance, or ``None`` for the
+        process default (``REPRO_BACKEND`` environment variable, else
+        ``"serial"``).
     """
 
-    def __init__(self, kernel: StencilKernel, fusion: int | str = 1) -> None:
+    def __init__(
+        self,
+        kernel: StencilKernel,
+        fusion: "int | str" = 1,
+        backend: "str | object | None" = None,
+    ) -> None:
         self.kernel = kernel
         self.plan: FusionPlan = plan_fusion(kernel, fusion)
+        self.backend = backend
 
     @property
     def fused_kernel(self) -> StencilKernel:
@@ -74,124 +131,155 @@ class ConvStencil:
         """Time steps advanced per dual-tessellation pass."""
         return self.plan.depth
 
+    @property
+    def backend_name(self) -> str:
+        """Resolved name of the backend this instance executes on."""
+        from repro.runtime import get_backend
+
+        return get_backend(self.backend).name
+
+    def _plan_for(self, grid_shape: Tuple[int, ...], boundary: BoundaryCondition):
+        from repro.runtime import plan_for
+
+        return plan_for(self.kernel, grid_shape, boundary, self.plan)
+
     def apply_valid(self, padded: np.ndarray) -> np.ndarray:
         """One fused pass over an already-padded array (valid region out)."""
-        return convstencil_valid(np.asarray(padded, dtype=np.float64), self.plan.fused)
+        from repro.runtime import execute_pass
 
-    def _pass(
-        self,
-        data: np.ndarray,
-        kernel: StencilKernel,
-        boundary: BoundaryCondition,
-        fill_value: float,
-    ) -> np.ndarray:
-        with telemetry.span(
-            "convstencil.pass",
-            kernel=kernel.name,
-            radius=kernel.radius,
-            shape=data.shape,
-        ):
-            padded = pad_halo(data, kernel.radius, boundary, fill_value)
-            return convstencil_valid(padded, kernel)
+        padded = np.asarray(padded, dtype=np.float64)
+        if padded.ndim != self.kernel.ndim:
+            raise KernelError(
+                f"{self.kernel.ndim}-D kernel applied to {padded.ndim}-D data"
+            )
+        grid_shape = tuple(s - (self.plan.fused.edge - 1) for s in padded.shape)
+        if any(s < 1 for s in grid_shape):
+            # Too small for one valid output; let the engine raise its
+            # canonical TessellationError.
+            return convstencil_valid(padded, self.plan.fused)
+        ep = self._plan_for(grid_shape, BoundaryCondition.CONSTANT)
+        return execute_pass(ep.fused_pass, padded, self.backend)
 
     def run(
         self,
         grid: "Grid | np.ndarray",
         steps: int,
-        boundary: BoundaryCondition | str = BoundaryCondition.CONSTANT,
-        fill_value: float = 0.0,
+        boundary: "BoundaryCondition | str | None" = None,
+        fill_value: "float | None" = None,
     ) -> np.ndarray:
         """Advance ``steps`` time steps and return the final same-shape array.
 
         If ``grid`` is a :class:`~repro.stencils.grid.Grid` its boundary
-        metadata overrides ``boundary``/``fill_value``.  Fused passes cover
-        ``steps // depth`` iterations; any remainder runs unfused so the
-        requested step count is always honoured exactly.
+        metadata is used (passing ``boundary=``/``fill_value=`` too raises
+        ``ValueError``).  Fused passes cover ``steps // depth`` iterations;
+        any remainder runs unfused so the requested step count is always
+        honoured exactly.
         """
+        from repro.runtime import execute
+
         if steps < 0:
             raise ValueError(f"steps must be non-negative, got {steps}")
         if isinstance(grid, Grid):
             data = grid.data
-            boundary = grid.boundary
-            fill_value = grid.fill_value
+            bc, fill = _resolve_boundary(
+                "run", grid.boundary, grid.fill_value, boundary, fill_value
+            )
         else:
             data = np.asarray(grid, dtype=np.float64)
-            boundary = BoundaryCondition(boundary)
+            bc, fill = _resolve_boundary("run", None, None, boundary, fill_value)
         if data.ndim != self.kernel.ndim:
             raise KernelError(
                 f"{self.kernel.ndim}-D kernel applied to {data.ndim}-D grid"
             )
-        depth = self.plan.depth
-        fused_passes, remainder = divmod(steps, depth)
-        with telemetry.span(
-            "convstencil.run",
-            kernel=self.kernel.name,
-            shape=data.shape,
-            steps=steps,
-            fusion_depth=depth,
-        ):
-            out = data
-            for _ in range(fused_passes):
-                out = self._pass(out, self.plan.fused, boundary, fill_value)
-            for _ in range(remainder):
-                out = self._pass(out, self.kernel, boundary, fill_value)
-        return out
+        ep = self._plan_for(data.shape, bc)
+        return execute(ep, data, steps, fill, self.backend)
 
     def run_batch(
         self,
-        batch: np.ndarray,
+        batch: "np.ndarray | Grid | Sequence[Grid] | Sequence[np.ndarray]",
         steps: int,
-        boundary: BoundaryCondition | str = BoundaryCondition.CONSTANT,
-        fill_value: float = 0.0,
+        boundary: "BoundaryCondition | str | None" = None,
+        fill_value: "float | None" = None,
     ) -> np.ndarray:
         """Advance a batch of independent grids (leading batch axis).
 
+        ``batch`` may be an array of shape ``(batch, *grid)``, a
+        :class:`~repro.stencils.grid.Grid` holding such a stack, or a list
+        of same-shape grids/:class:`Grid` objects.  Boundary precedence is
+        identical to :meth:`run`: Grid metadata is authoritative (and must
+        agree across a list); explicit keywords alongside Grids raise
+        ``ValueError``.
+
         For 2-D kernels the whole batch shares each pass's tessellation
         sweep (one einsum over the stacked slices — the ensemble-simulation
-        fast path); other dimensionalities fall back to a per-grid loop.
+        fast path) and padding is a single vectorised call; other
+        dimensionalities loop per grid inside the backend.
         """
-        batch = np.asarray(batch, dtype=np.float64)
-        if batch.ndim != self.kernel.ndim + 1:
-            raise KernelError(
-                f"run_batch expects (batch, *grid) data: {self.kernel.ndim + 1}-D, "
-                f"got {batch.ndim}-D"
-            )
+        from repro.runtime import execute_batch
+
         if steps < 0:
             raise ValueError(f"steps must be non-negative, got {steps}")
-        boundary = BoundaryCondition(boundary)
-        if self.kernel.ndim != 2:
-            return np.stack(
-                [self.run(g, steps, boundary, fill_value) for g in batch]
-            )
-        from repro.core.engine2d import convstencil_valid_2d_batched
+        data, bc, fill = self._coerce_batch(batch, boundary, fill_value)
+        ep = self._plan_for(data.shape[1:], bc)
+        return execute_batch(ep, data, steps, fill, self.backend)
 
-        def batched_pass(stack: np.ndarray, kernel: StencilKernel) -> np.ndarray:
-            with telemetry.span(
-                "convstencil.pass",
-                kernel=kernel.name,
-                radius=kernel.radius,
-                shape=stack.shape,
-                batched=True,
-            ):
-                r = kernel.radius
-                padded = np.stack(
-                    [pad_halo(g, r, boundary, fill_value) for g in stack]
+    def _coerce_batch(
+        self,
+        batch,
+        boundary,
+        fill_value,
+    ) -> Tuple[np.ndarray, BoundaryCondition, float]:
+        """Normalise every accepted batch form to (stack, boundary, fill)."""
+        want = self.kernel.ndim + 1
+        if isinstance(batch, Grid):
+            if batch.ndim != want:
+                raise KernelError(
+                    f"run_batch expects (batch, *grid) data: {want}-D, got a "
+                    f"{batch.ndim}-D Grid"
                 )
-                return convstencil_valid_2d_batched(padded, kernel)
-
-        depth = self.plan.depth
-        fused_passes, remainder = divmod(steps, depth)
-        with telemetry.span(
-            "convstencil.run",
-            kernel=self.kernel.name,
-            shape=batch.shape,
-            steps=steps,
-            fusion_depth=depth,
-            batched=True,
-        ):
-            out = batch
-            for _ in range(fused_passes):
-                out = batched_pass(out, self.plan.fused)
-            for _ in range(remainder):
-                out = batched_pass(out, self.kernel)
-        return out
+            bc, fill = _resolve_boundary(
+                "run_batch", batch.boundary, batch.fill_value, boundary, fill_value
+            )
+            return batch.data, bc, fill
+        if isinstance(batch, (list, tuple)):
+            if not batch:
+                raise KernelError("run_batch received an empty batch")
+            if all(isinstance(g, Grid) for g in batch):
+                first = batch[0]
+                for g in batch[1:]:
+                    if (
+                        g.boundary is not first.boundary
+                        or g.fill_value != first.fill_value
+                    ):
+                        raise ValueError(
+                            "run_batch received Grids with differing boundary "
+                            f"metadata ({first.boundary.value!r}/"
+                            f"{first.fill_value!r} vs {g.boundary.value!r}/"
+                            f"{g.fill_value!r}); batches share one boundary "
+                            "condition"
+                        )
+                bc, fill = _resolve_boundary(
+                    "run_batch", first.boundary, first.fill_value, boundary,
+                    fill_value,
+                )
+                arrays = [g.data for g in batch]
+            else:
+                bc, fill = _resolve_boundary(
+                    "run_batch", None, None, boundary, fill_value
+                )
+                arrays = [np.asarray(g, dtype=np.float64) for g in batch]
+            shapes = {a.shape for a in arrays}
+            if len(shapes) != 1:
+                raise KernelError(
+                    f"run_batch grids must share one shape, got {sorted(shapes)}"
+                )
+            data = np.stack(arrays)
+        else:
+            bc, fill = _resolve_boundary("run_batch", None, None, boundary, fill_value)
+            data = np.asarray(batch, dtype=np.float64)
+        if data.ndim != want:
+            raise KernelError(
+                f"run_batch expects (batch, *grid) data: {want}-D, "
+                f"got {data.ndim}-D"
+            )
+        return data, bc, fill

@@ -19,11 +19,19 @@ from repro.stencils.kernel import StencilKernel
 __all__ = ["convstencil_valid_1d"]
 
 
-def convstencil_valid_1d(padded: np.ndarray, kernel: StencilKernel) -> np.ndarray:
+def convstencil_valid_1d(
+    padded: np.ndarray,
+    kernel: StencilKernel,
+    *,
+    offsets: np.ndarray | None = None,
+    weights: tuple | None = None,
+) -> np.ndarray:
     """Valid-region stencil of a halo-padded 1-D input via dual tessellation.
 
     Returns an array of length ``len(padded) - edge + 1`` equal (to FP64
-    reassociation error) to the direct sliding-window stencil.
+    reassociation error) to the direct sliding-window stencil.  ``offsets``
+    (a stencil2row gather LUT) and ``weights`` (the ``(WA, WB)`` pair) may
+    be supplied precomputed by an :class:`~repro.runtime.ExecutionPlan`.
     """
     if kernel.ndim != 1:
         raise TessellationError("convstencil_valid_1d requires a 1-D kernel")
@@ -35,8 +43,8 @@ def convstencil_valid_1d(padded: np.ndarray, kernel: StencilKernel) -> np.ndarra
     if n < k:
         raise TessellationError(f"input length {n} < kernel edge {k}")
     n_valid = n - k + 1
-    a, b = stencil2row_matrices_1d(padded, k)
-    wa, wb = weight_matrices_1d(kernel)
+    a, b = stencil2row_matrices_1d(padded, k, offsets)
+    wa, wb = weights if weights is not None else weight_matrices_1d(kernel)
     with telemetry.span("dual_tessellation", kernel=kernel.name, shape=(n,)):
         # Vitrolite A accumulated with vitrolite B — a single fused MMA chain.
         vit = a @ wa

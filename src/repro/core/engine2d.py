@@ -36,12 +36,19 @@ _CHUNK = 128
 
 
 def convstencil_valid_2d(
-    padded: np.ndarray, kernel: StencilKernel, chunk: int = _CHUNK
+    padded: np.ndarray,
+    kernel: StencilKernel,
+    chunk: int = _CHUNK,
+    *,
+    offsets: np.ndarray | None = None,
+    weights: tuple | None = None,
 ) -> np.ndarray:
     """Valid-region stencil of a halo-padded 2-D input via dual tessellation.
 
     Returns an ``(m - k + 1, n - k + 1)`` array equal (to FP64 reassociation
-    error) to the direct stencil.
+    error) to the direct stencil.  ``offsets`` (a stencil2row gather LUT)
+    and ``weights`` (the ``(WA3, WB3)`` blocks) may be supplied precomputed
+    by an :class:`~repro.runtime.ExecutionPlan`.
     """
     if kernel.ndim != 2:
         raise TessellationError("convstencil_valid_2d requires a 2-D kernel")
@@ -56,8 +63,8 @@ def convstencil_valid_2d(
     x_valid = m - k + 1
     y_valid = n - k + 1
 
-    a3, b3 = stencil2row_views_2d(padded, k)  # (m, R, k)
-    wa3, wb3 = weight_blocks_2d(kernel)  # (k, k, g)
+    a3, b3 = stencil2row_views_2d(padded, k, offsets)  # (m, R, k)
+    wa3, wb3 = weights if weights is not None else weight_blocks_2d(kernel)
     r_groups = a3.shape[1]
 
     # Window over the x axis: SA[t, x', r, i] = A3[t + x', r, i].
@@ -79,14 +86,21 @@ def convstencil_valid_2d(
 
 
 def convstencil_valid_2d_batched(
-    stack: np.ndarray, kernel: StencilKernel, chunk: int = _CHUNK
+    stack: np.ndarray,
+    kernel: StencilKernel,
+    chunk: int = _CHUNK,
+    *,
+    offsets: np.ndarray | None = None,
+    weights: tuple | None = None,
 ) -> np.ndarray:
     """Dual tessellation over a batch of independent 2-D slices.
 
     ``stack`` has shape ``(batch, m, n)``; the return value is
     ``(batch, m - k + 1, n - k + 1)``.  One einsum per shift-chunk covers
     the whole batch — this is how the 3-D engine (§4.2) evaluates a dense
-    kernel plane across every output plane at once.
+    kernel plane across every output plane at once.  ``offsets``/``weights``
+    accept plan-precomputed tables exactly as in
+    :func:`convstencil_valid_2d`.
     """
     if kernel.ndim != 2:
         raise TessellationError("convstencil_valid_2d_batched requires a 2-D kernel")
@@ -102,17 +116,21 @@ def convstencil_valid_2d_batched(
         raise TessellationError(f"kernel edge {k} does not fit slices of {stack.shape[1:]}")
     x_valid, y_valid = m - k + 1, n - k + 1
 
-    from repro.core.stencil2row import _extend_columns, _gather_columns, stencil2row_shape
+    from repro.core.stencil2row import (
+        _extend_columns,
+        stencil2row_offsets,
+        stencil2row_shape,
+    )
 
     with telemetry.span(
         "stencil2row", kernel=kernel.name, stage="views-2d-batched", shape=stack.shape
     ):
         r_groups, _ = stencil2row_shape((m, n), k)
         ext = _extend_columns(stack, (r_groups - 1) * g + 2 * k)
-        cols = _gather_columns(r_groups, k)
+        cols = offsets if offsets is not None else stencil2row_offsets(r_groups, k)
         a3 = ext[:, :, cols]  # (batch, m, R, k)
         b3 = ext[:, :, cols + k]
-    wa3, wb3 = weight_blocks_2d(kernel)
+    wa3, wb3 = weights if weights is not None else weight_blocks_2d(kernel)
 
     sa = sliding_windows(a3, k, axis=1)  # (batch, x_valid, k, R, k)
     sb = sliding_windows(b3, k, axis=1)

@@ -53,10 +53,22 @@ def plane_decomposition(kernel: StencilKernel) -> list:
     return items
 
 
-def convstencil_valid_3d(padded: np.ndarray, kernel: StencilKernel) -> np.ndarray:
+def convstencil_valid_3d(
+    padded: np.ndarray,
+    kernel: StencilKernel,
+    *,
+    planes: list | None = None,
+    offsets: np.ndarray | None = None,
+    weights_by_plane: dict | None = None,
+) -> np.ndarray:
     """Valid-region stencil of a halo-padded 3-D input.
 
     Returns an array of shape ``tuple(s - edge + 1 for s in padded.shape)``.
+    ``planes`` (a precomputed :func:`plane_decomposition`), ``offsets`` (the
+    shared 2-D stencil2row gather LUT), and ``weights_by_plane`` (``dz`` →
+    2-D weight blocks) may be supplied by an
+    :class:`~repro.runtime.ExecutionPlan` so a time loop never redoes the
+    per-pass decomposition or table builds.
     """
     if kernel.ndim != 3:
         raise TessellationError("convstencil_valid_3d requires a 3-D kernel")
@@ -68,18 +80,23 @@ def convstencil_valid_3d(padded: np.ndarray, kernel: StencilKernel) -> np.ndarra
         raise TessellationError(f"kernel edge {k} does not fit input {padded.shape}")
     pz, px, py = (s - k + 1 for s in padded.shape)
     out = np.zeros((pz, px, py), dtype=np.float64)
-    for dz, kind, payload in plane_decomposition(kernel):
+    if planes is None:
+        planes = plane_decomposition(kernel)
+    for dz, kind, payload in planes:
         if kind == "skip":
             continue
-        planes = padded[dz : dz + pz]
+        plane_stack = padded[dz : dz + pz]
         if kind == "axpy":
             dx, dy, w = payload
             with telemetry.span(
                 "plane_axpy", kernel=kernel.name, dz=dz, shape=padded.shape
             ):
-                out += w * planes[:, dx : dx + px, dy : dy + py]
+                out += w * plane_stack[:, dx : dx + px, dy : dy + py]
         else:
             # batched dual tessellation: one einsum sweep covers this
             # kernel plane's contribution to every output plane
-            out += convstencil_valid_2d_batched(planes, payload)
+            w2 = weights_by_plane.get(dz) if weights_by_plane else None
+            out += convstencil_valid_2d_batched(
+                plane_stack, payload, offsets=offsets, weights=w2
+            )
     return out

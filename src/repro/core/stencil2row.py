@@ -40,6 +40,7 @@ __all__ = [
     "stencil2row_expansion_factor",
     "stencil2row_matrices_1d",
     "stencil2row_matrices_2d",
+    "stencil2row_offsets",
     "stencil2row_shape",
     "stencil2row_views_2d",
     "memory_saving_vs_im2row",
@@ -103,11 +104,16 @@ def _extend_columns(padded: np.ndarray, needed: int) -> np.ndarray:
     return np.pad(padded, pad, mode="constant")
 
 
-def stencil2row_matrices_1d(padded: np.ndarray, edge: int) -> tuple:
+def stencil2row_matrices_1d(
+    padded: np.ndarray, edge: int, offsets: np.ndarray | None = None
+) -> tuple:
     """Build the paper-layout 1-D stencil2row matrices ``(A, B)``.
 
     ``A[r, i] = padded[r*(edge+1) + i]`` and
     ``B[r, u] = padded[r*(edge+1) + edge + u]`` for ``i, u in [0, edge)``.
+    ``offsets`` may supply a precomputed :func:`stencil2row_offsets` LUT
+    (an :class:`~repro.runtime.ExecutionPlan` does, so a time loop never
+    rebuilds it).
     """
     padded = np.asarray(padded, dtype=np.float64)
     if padded.ndim != 1:
@@ -116,9 +122,10 @@ def stencil2row_matrices_1d(padded: np.ndarray, edge: int) -> tuple:
         "stencil2row", stage="matrices-1d", shape=padded.shape, edge=edge
     ):
         g = edge + 1
-        rows, cols = stencil2row_shape(padded.shape, edge)
+        rows, _ = stencil2row_shape(padded.shape, edge)
         ext = _extend_columns(padded, (rows - 1) * g + 2 * edge)
-        offsets = np.arange(rows)[:, None] * g + np.arange(edge)[None, :]
+        if offsets is None:
+            offsets = stencil2row_offsets(rows, edge)
         a = ext[offsets]
         b = ext[offsets + edge]
         return a, b
@@ -144,11 +151,13 @@ def stencil2row_matrices_2d(padded: np.ndarray, edge: int) -> tuple:
 
 
 @lru_cache(maxsize=256)
-def _gather_columns(rows: int, edge: int) -> np.ndarray:
-    """Column-index grid ``cols[r, i] = r*(edge+1) + i`` for matrix A.
+def stencil2row_offsets(rows: int, edge: int) -> np.ndarray:
+    """Gather-offset LUT ``cols[r, i] = r*(edge+1) + i`` for matrix A.
 
-    Cached per (rows, edge): a time loop over a fixed grid shape reuses the
-    same gather indices every pass.
+    Matrix B gathers from ``cols + edge``.  This is the host-precomputed
+    lookup table of §3.4 in index form: cached per ``(rows, edge)`` and also
+    stored inside :class:`~repro.runtime.ExecutionPlan` so a time loop over
+    a fixed grid shape reuses the same gather indices every pass.
     """
     g = edge + 1
     cols = np.arange(rows)[:, None] * g + np.arange(edge)[None, :]
@@ -156,11 +165,18 @@ def _gather_columns(rows: int, edge: int) -> np.ndarray:
     return cols
 
 
-def stencil2row_views_2d(padded: np.ndarray, edge: int) -> tuple:
+#: Backwards-compatible private alias (pre-runtime name).
+_gather_columns = stencil2row_offsets
+
+
+def stencil2row_views_2d(
+    padded: np.ndarray, edge: int, offsets: np.ndarray | None = None
+) -> tuple:
     """Grouped gathers ``(A3, B3)`` of shape ``(m, rows, edge)``.
 
     ``A3[x, r, i] = padded[x, r*(edge+1) + i]`` — the same data as the paper
-    layout, shaped for the vectorised dual-tessellation einsum.
+    layout, shaped for the vectorised dual-tessellation einsum.  ``offsets``
+    may supply a precomputed :func:`stencil2row_offsets` LUT.
     """
     padded = np.asarray(padded, dtype=np.float64)
     if padded.ndim != 2:
@@ -171,9 +187,10 @@ def stencil2row_views_2d(padded: np.ndarray, edge: int) -> tuple:
         g = edge + 1
         rows, _ = stencil2row_shape(padded.shape, edge)
         ext = _extend_columns(padded, (rows - 1) * g + 2 * edge)
-        cols = _gather_columns(rows, edge)
-        a3 = ext[:, cols]
-        b3 = ext[:, cols + edge]
+        if offsets is None:
+            offsets = stencil2row_offsets(rows, edge)
+        a3 = ext[:, offsets]
+        b3 = ext[:, offsets + edge]
         return a3, b3
 
 

@@ -5,6 +5,15 @@ engine on every rank's extended slab, keep the valid region.  Temporal
 fusion composes with decomposition exactly as on one device — a fused pass
 just needs a ``depth · r`` halo, trading deeper halos (more communication
 per exchange) for fewer exchanges, the classic ghost-zone trade-off.
+
+.. deprecated::
+    For actual multi-core execution prefer
+    ``ConvStencil(kernel, backend="tiled")`` — the :mod:`repro.runtime`
+    tiled backend runs the same halo-overlapped decomposition across a
+    process pool with bit-identical results.  :class:`DistributedStencil`
+    remains as the rank-accounting *simulator* (explicit exchange stats and
+    per-rank slabs) and emits a one-time :class:`DeprecationWarning` when
+    constructed.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from repro.distributed.decomposition import (
 from repro.errors import GridError
 from repro.stencils.grid import BoundaryCondition, Grid
 from repro.stencils.kernel import StencilKernel
+from repro.utils.deprecation import warn_once
 
 __all__ = ["DistributedStencil"]
 
@@ -39,6 +49,12 @@ class DistributedStencil:
     def __init__(
         self, kernel: StencilKernel, ranks: int, fusion: int | str = 1
     ) -> None:
+        warn_once(
+            "DistributedStencil",
+            "DistributedStencil is deprecated as an execution path; use "
+            'ConvStencil(kernel, backend="tiled") for multi-core runs. It '
+            "remains available as the halo-exchange accounting simulator.",
+        )
         if ranks < 1:
             raise GridError(f"ranks must be >= 1, got {ranks}")
         self.kernel = kernel

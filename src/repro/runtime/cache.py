@@ -1,0 +1,125 @@
+"""Bounded, telemetry-instrumented cache of :class:`ExecutionPlan`\\ s.
+
+The paper amortises its host-side precomputation (LUTs, weight matrices)
+across all time iterations (§3.4); :class:`PlanCache` extends that reuse
+across *runs*: any :class:`~repro.core.api.ConvStencil` hitting the same
+``(kernel, grid_shape, boundary, fusion_depth)`` key reuses the same plan.
+
+The cache is a thread-safe LRU bounded by entry count.  Every hit, miss,
+and eviction is mirrored into the process-wide telemetry metrics registry
+(``runtime.plan_cache.hits`` / ``.misses`` / ``.evictions`` plus a
+``.size`` gauge), so benchmarks report hit rates from the same counters
+production monitoring would scrape.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Optional
+
+from repro import telemetry
+from repro.runtime.plan import ExecutionPlan
+
+__all__ = ["PlanCache", "get_plan_cache", "set_plan_cache"]
+
+#: Default number of plans kept resident.  Plans are small (tables scale
+#: with kernel volume and one row of the grid), so 64 distinct
+#: (kernel, shape, boundary, depth) working sets fit comfortably.
+DEFAULT_CAPACITY = 64
+
+
+class PlanCache:
+    """LRU map from plan keys to :class:`ExecutionPlan`.
+
+    ``get_or_build(key, builder)`` is the only lookup path: it returns the
+    cached plan or invokes ``builder()`` under the miss, inserting the
+    result and evicting the least-recently-used entry past ``capacity``.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"plan cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._plans: "OrderedDict[tuple, ExecutionPlan]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get_or_build(
+        self, key: tuple, builder: Callable[[], ExecutionPlan]
+    ) -> ExecutionPlan:
+        """Cached plan for ``key``, building (and inserting) it on a miss."""
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self._hits += 1
+                telemetry.counter("runtime.plan_cache.hits").inc()
+                return plan
+            self._misses += 1
+        # Build outside the lock: plans are deterministic, so a racing
+        # duplicate build is wasteful but harmless.
+        plan = builder()
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self._evictions += 1
+                telemetry.counter("runtime.plan_cache.evictions").inc()
+            telemetry.counter("runtime.plan_cache.misses").inc()
+            telemetry.gauge("runtime.plan_cache.size").set(len(self._plans))
+        return plan
+
+    def clear(self) -> None:
+        """Drop every cached plan and reset hit/miss/eviction statistics."""
+        with self._lock:
+            self._plans.clear()
+            self._hits = self._misses = self._evictions = 0
+            telemetry.gauge("runtime.plan_cache.size").set(0)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._plans
+
+    @property
+    def stats(self) -> Dict[str, float]:
+        """Hit/miss/eviction counts plus the derived hit rate."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "size": len(self._plans),
+                "capacity": self.capacity,
+                "hit_rate": (self._hits / total) if total else 0.0,
+            }
+
+
+_global_cache: Optional[PlanCache] = None
+_global_lock = threading.Lock()
+
+
+def get_plan_cache() -> PlanCache:
+    """The process-wide plan cache (created on first use)."""
+    global _global_cache
+    with _global_lock:
+        if _global_cache is None:
+            _global_cache = PlanCache()
+        return _global_cache
+
+
+def set_plan_cache(cache: Optional[PlanCache]) -> PlanCache:
+    """Install a new process-wide cache (``None`` → fresh default) and
+    return it.  Tests use this to isolate hit-rate assertions."""
+    global _global_cache
+    with _global_lock:
+        _global_cache = cache if cache is not None else PlanCache()
+        return _global_cache

@@ -1,0 +1,151 @@
+"""Plan execution: boundary handling, pass sequencing, backend dispatch.
+
+This is the single code path every :class:`~repro.core.api.ConvStencil`
+entry point (``run``, ``run_batch``, ``apply_valid``) funnels through:
+fetch a cached plan, pad per pass with the plan's boundary semantics, and
+hand each pass to the selected :class:`~repro.runtime.backends.Backend`.
+Keeping one sequencer guarantees every backend sees identical ghost-zone
+semantics — the property the differential test suite leans on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.fusion import FusionPlan
+from repro.runtime.backends import Backend, get_backend
+from repro.runtime.cache import get_plan_cache
+from repro.runtime.plan import ExecutionPlan, PassPlan, build_plan, plan_key
+from repro.stencils.grid import BoundaryCondition, pad_halo, pad_halo_batch
+from repro.stencils.kernel import StencilKernel
+
+__all__ = ["execute", "execute_batch", "execute_pass", "plan_for"]
+
+
+def _default_tiles() -> int:
+    """Tile count baked into cached plans (the tiled backend's pool size)."""
+    import os
+
+    from repro.runtime.tiled import WORKERS_ENV
+
+    return int(os.environ.get(WORKERS_ENV, 0)) or (os.cpu_count() or 1)
+
+
+def plan_for(
+    kernel: StencilKernel,
+    grid_shape: Tuple[int, ...],
+    boundary: BoundaryCondition = BoundaryCondition.CONSTANT,
+    fusion: "int | str | FusionPlan" = 1,
+) -> ExecutionPlan:
+    """The cached :class:`ExecutionPlan` for a problem, built on first use.
+
+    Keyed by ``(kernel, grid_shape, boundary, fusion_depth)`` in the global
+    :class:`~repro.runtime.cache.PlanCache`; repeated runs over the same
+    problem reuse one plan's LUTs, weight matrices, and tile bounds.
+    """
+    if isinstance(fusion, FusionPlan):
+        depth = fusion.depth
+    else:
+        from repro.core.fusion import plan_fusion
+
+        fusion = plan_fusion(kernel, fusion)
+        depth = fusion.depth
+    key = plan_key(kernel, grid_shape, boundary, depth)
+    return get_plan_cache().get_or_build(
+        key,
+        lambda: build_plan(
+            kernel, grid_shape, boundary, fusion, tiles=_default_tiles()
+        ),
+    )
+
+
+def execute_pass(
+    pp: PassPlan,
+    padded: np.ndarray,
+    backend: Union[str, Backend, None] = None,
+) -> np.ndarray:
+    """One valid-region pass over an already-padded array."""
+    return get_backend(backend).apply_pass(pp, np.asarray(padded, dtype=np.float64))
+
+
+def _run_passes(
+    plan: ExecutionPlan,
+    data: np.ndarray,
+    steps: int,
+    fill_value: float,
+    backend: Backend,
+    batched: bool,
+) -> np.ndarray:
+    out = data
+    pad = pad_halo_batch if batched else pad_halo
+    for pp in plan.passes_for(steps):
+        with telemetry.span(
+            "convstencil.pass",
+            kernel=pp.kernel.name,
+            radius=pp.halo,
+            shape=out.shape,
+            backend=backend.name,
+            **({"batched": True} if batched else {}),
+        ):
+            padded = pad(out, pp.halo, plan.boundary, fill_value)
+            out = (
+                backend.apply_pass_batch(pp, padded)
+                if batched
+                else backend.apply_pass(pp, padded)
+            )
+    return out
+
+
+def execute(
+    plan: ExecutionPlan,
+    data: np.ndarray,
+    steps: int,
+    fill_value: float = 0.0,
+    backend: Union[str, Backend, None] = None,
+) -> np.ndarray:
+    """Advance one grid ``steps`` time steps under ``plan``.
+
+    The pass sequence (fused passes plus unfused remainder), padding, and
+    backend hand-off all live here; the result is the same-shape array
+    after exactly ``steps`` steps.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be non-negative, got {steps}")
+    resolved = get_backend(backend)
+    data = np.asarray(data, dtype=np.float64)
+    with telemetry.span(
+        "convstencil.run",
+        kernel=plan.kernel.name,
+        shape=data.shape,
+        steps=steps,
+        fusion_depth=plan.fusion_depth,
+        backend=resolved.name,
+    ):
+        return _run_passes(plan, data, steps, fill_value, resolved, batched=False)
+
+
+def execute_batch(
+    plan: ExecutionPlan,
+    batch: np.ndarray,
+    steps: int,
+    fill_value: float = 0.0,
+    backend: Union[str, Backend, None] = None,
+) -> np.ndarray:
+    """Advance a batch of independent grids (leading batch axis)."""
+    if steps < 0:
+        raise ValueError(f"steps must be non-negative, got {steps}")
+    resolved = get_backend(backend)
+    batch = np.asarray(batch, dtype=np.float64)
+    with telemetry.span(
+        "convstencil.run",
+        kernel=plan.kernel.name,
+        shape=batch.shape,
+        steps=steps,
+        fusion_depth=plan.fusion_depth,
+        backend=resolved.name,
+        batched=True,
+    ):
+        return _run_passes(plan, batch, steps, fill_value, resolved, batched=True)

@@ -1,0 +1,243 @@
+"""Execution plans: everything shape-invariant, precomputed once (§3.4).
+
+The paper's host side precomputes lookup tables and weight matrices once
+and reuses them across every time iteration (§3.4, Table 5).  An
+:class:`ExecutionPlan` is that idea applied to the whole runtime: for a
+``(kernel, grid_shape, boundary, fusion_depth)`` key it captures
+
+* the fused/base **pass kernels** and their halo geometry,
+* the stencil2row **gather-offset LUTs** per pass,
+* the triangular **weight matrices** (1-D pairs, 2-D blocks, 3-D
+  per-plane blocks + plane decomposition),
+* a **tile decomposition** of axis 0 for multi-core backends, aligned so
+  tiled execution stays bit-identical to serial execution.
+
+Plans are immutable and reusable: engines receive the precomputed tables
+explicitly, so a 50-step run builds every table exactly once (via the
+:class:`~repro.runtime.cache.PlanCache`) instead of once per pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine3d import plane_decomposition
+from repro.core.fusion import FusionPlan, plan_fusion
+from repro.core.stencil2row import stencil2row_offsets, stencil2row_shape
+from repro.core.weights import weight_blocks_2d, weight_matrices_1d
+from repro.distributed.decomposition import DomainDecomposition
+from repro.errors import KernelError
+from repro.stencils.grid import BoundaryCondition
+from repro.stencils.kernel import StencilKernel
+
+__all__ = ["ExecutionPlan", "PassPlan", "build_plan", "plan_key", "tile_bounds"]
+
+
+def plan_key(
+    kernel: StencilKernel,
+    grid_shape: Tuple[int, ...],
+    boundary: BoundaryCondition,
+    fusion_depth: int,
+) -> tuple:
+    """Cache key of a plan.
+
+    Kernels hash by identity (they are immutable and interned per
+    :class:`~repro.core.api.ConvStencil` instance), so the key is cheap and
+    collision-free.
+    """
+    return (kernel, tuple(grid_shape), BoundaryCondition(boundary), int(fusion_depth))
+
+
+def tile_bounds(
+    extent: int, tiles: int, align: int = 1, min_rows: int = 1
+) -> Tuple[Tuple[int, int], ...]:
+    """Partition ``extent`` output rows into ``(lo, hi)`` tile bounds.
+
+    Reuses :class:`~repro.distributed.decomposition.DomainDecomposition`
+    for the balanced split, then rounds interior cut points *down* to a
+    multiple of ``align``.  1-D dual tessellation groups input columns in
+    runs of ``edge + 1``; aligning the cuts to that group width keeps every
+    output element's A/B summation split — and therefore the bits of the
+    result — independent of the tiling.
+    """
+    tiles = max(1, min(int(tiles), max(1, extent // max(align, min_rows))))
+    if tiles <= 1:
+        return ((0, extent),)
+    deco = DomainDecomposition((extent,), tiles)
+    cuts = sorted({(s // align) * align for s in deco.starts[1:-1]} - {0})
+    starts = [0] + [c for c in cuts if c < extent] + [extent]
+    return tuple(
+        (lo, hi) for lo, hi in zip(starts[:-1], starts[1:]) if hi > lo
+    )
+
+
+@dataclass(frozen=True)
+class PassPlan:
+    """Precomputed state for one dual-tessellation pass of one kernel.
+
+    Everything here depends only on the kernel and the grid shape — never
+    on the grid values — so it is computed once per plan and shared by all
+    backends and every time step.
+    """
+
+    kernel: StencilKernel
+    grid_shape: Tuple[int, ...]
+    #: Halo width the pass reads (``kernel.radius``).
+    halo: int
+    #: Shape of the halo-padded input the engines consume.
+    padded_shape: Tuple[int, ...]
+    #: Stencil2row gather LUT (1-D/2-D: for the pass kernel; 3-D: for the
+    #: 2-D planes).  ``None`` only when the pass needs no gather (pure-axpy
+    #: 3-D planes).
+    offsets: Optional[np.ndarray] = None
+    #: Triangular weight matrices: 1-D ``(WA, WB)``; 2-D ``(WA3, WB3)``.
+    weights: Optional[tuple] = None
+    #: 3-D only: precomputed plane decomposition of the pass kernel.
+    planes: Optional[tuple] = None
+    #: 3-D only: ``dz`` → 2-D weight blocks for the dense planes.
+    weights_by_plane: Optional[Dict[int, tuple]] = None
+    #: Axis-0 tile decomposition ``((lo, hi), ...)`` over *output* rows,
+    #: aligned so tiled execution is bit-identical to serial.
+    tiles: Tuple[Tuple[int, int], ...] = field(default_factory=tuple)
+    #: Alignment (in output rows) any re-tiling of this pass must respect.
+    tile_align: int = 1
+
+    @property
+    def ndim(self) -> int:
+        return self.kernel.ndim
+
+    def retile(self, tiles: int) -> Tuple[Tuple[int, int], ...]:
+        """Tile bounds for a different tile count (same alignment rule)."""
+        return tile_bounds(self.grid_shape[0], tiles, self.tile_align)
+
+
+def _build_pass(
+    kernel: StencilKernel, grid_shape: Tuple[int, ...], tiles: int
+) -> PassPlan:
+    halo = kernel.radius
+    padded_shape = tuple(s + 2 * halo for s in grid_shape)
+    k = kernel.edge
+    offsets = weights = planes = weights_by_plane = None
+    align = 1
+    if kernel.ndim == 1:
+        rows, _ = stencil2row_shape(padded_shape, k)
+        offsets = stencil2row_offsets(rows, k)
+        weights = weight_matrices_1d(kernel)
+        # 1-D tiling shifts the stencil2row group phase; align cuts to the
+        # group width so the A/B summation split is tiling-invariant.
+        align = k + 1
+    elif kernel.ndim == 2:
+        rows, _ = stencil2row_shape(padded_shape, k)
+        offsets = stencil2row_offsets(rows, k)
+        weights = weight_blocks_2d(kernel)
+    else:
+        planes = tuple(plane_decomposition(kernel))
+        rows, _ = stencil2row_shape(padded_shape[1:], k)
+        offsets = stencil2row_offsets(rows, k)
+        weights_by_plane = {
+            dz: weight_blocks_2d(payload)
+            for dz, kind, payload in planes
+            if kind == "conv2d"
+        }
+    return PassPlan(
+        kernel=kernel,
+        grid_shape=tuple(grid_shape),
+        halo=halo,
+        padded_shape=padded_shape,
+        offsets=offsets,
+        weights=weights,
+        planes=planes,
+        weights_by_plane=weights_by_plane,
+        tiles=tile_bounds(grid_shape[0], tiles, align),
+        tile_align=align,
+    )
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """All shape-invariant state for running one stencil on one grid shape.
+
+    A plan covers both pass kernels a fused run needs: the ``fused`` pass
+    (advancing ``depth`` steps at once) and the ``base`` pass (the unfused
+    remainder).  ``passes_for(steps)`` yields the exact pass sequence that
+    honours a requested step count.
+    """
+
+    key: tuple
+    kernel: StencilKernel
+    grid_shape: Tuple[int, ...]
+    boundary: BoundaryCondition
+    fusion: FusionPlan
+    fused_pass: PassPlan
+    base_pass: PassPlan
+
+    @property
+    def fusion_depth(self) -> int:
+        return self.fusion.depth
+
+    def passes_for(self, steps: int) -> Iterator[PassPlan]:
+        """The pass sequence advancing exactly ``steps`` time steps."""
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        fused_passes, remainder = divmod(steps, self.fusion.depth)
+        for _ in range(fused_passes):
+            yield self.fused_pass
+        for _ in range(remainder):
+            yield self.base_pass
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate footprint of the precomputed tables (cache telemetry)."""
+        total = 0
+        passes = (
+            (self.fused_pass,)
+            if self.base_pass is self.fused_pass
+            else (self.fused_pass, self.base_pass)
+        )
+        for pp in passes:
+            for arr in (pp.offsets, *(pp.weights or ())):
+                if isinstance(arr, np.ndarray):
+                    total += arr.nbytes
+            for pair in (pp.weights_by_plane or {}).values():
+                total += sum(w.nbytes for w in pair)
+        return total
+
+
+def build_plan(
+    kernel: StencilKernel,
+    grid_shape: Tuple[int, ...],
+    boundary: BoundaryCondition = BoundaryCondition.CONSTANT,
+    fusion: "int | str | FusionPlan" = 1,
+    tiles: int = 1,
+) -> ExecutionPlan:
+    """Construct an :class:`ExecutionPlan` (uncached — see ``plan_for``).
+
+    ``fusion`` accepts a depth, ``"auto"``, or an already-resolved
+    :class:`~repro.core.fusion.FusionPlan`; ``tiles`` sizes the default
+    axis-0 tile decomposition (backends may re-tile via ``PassPlan.retile``).
+    """
+    grid_shape = tuple(int(s) for s in grid_shape)
+    if kernel.ndim != len(grid_shape):
+        raise KernelError(
+            f"{kernel.ndim}-D kernel planned against {len(grid_shape)}-D shape"
+        )
+    fplan = fusion if isinstance(fusion, FusionPlan) else plan_fusion(kernel, fusion)
+    boundary = BoundaryCondition(boundary)
+    fused_pass = _build_pass(fplan.fused, grid_shape, tiles)
+    base_pass = (
+        fused_pass
+        if fplan.depth == 1
+        else _build_pass(fplan.base, grid_shape, tiles)
+    )
+    return ExecutionPlan(
+        key=plan_key(kernel, grid_shape, boundary, fplan.depth),
+        kernel=kernel,
+        grid_shape=grid_shape,
+        boundary=boundary,
+        fusion=fplan,
+        fused_pass=fused_pass,
+        base_pass=base_pass,
+    )

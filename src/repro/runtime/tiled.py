@@ -1,0 +1,363 @@
+"""Multi-core tiled execution over halo-overlapped axis-0 tiles.
+
+The grid's leading axis is partitioned into contiguous tiles (reusing the
+balanced split of :mod:`repro.distributed.decomposition` via
+``ExecutionPlan``'s tile bounds).  Each tile's *input* is the halo-padded
+rows ``[lo, hi + edge - 1)`` of the globally padded array — the same
+ghost-zone overlap a distributed slab run reads — and each tile's output
+rows ``[lo, hi)`` are stitched into the result.  Because every output row
+of dual tessellation depends only on its own ``edge`` input rows (and 1-D
+tile cuts are group-aligned by the plan), tiled output is **bit-identical**
+to serial output.
+
+Tiles run across a :class:`concurrent.futures.ProcessPoolExecutor` whose
+workers communicate through :mod:`multiprocessing.shared_memory` buffers:
+the parent publishes one padded-input segment and one output segment per
+pass; workers gather from the input and scatter their valid rows into the
+output, so no grid data crosses the pickle pipe.  Environments without
+working process pools or shared memory (restricted sandboxes) degrade to
+an in-process thread pool over plain arrays — same tiling, same bits.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.engine1d import convstencil_valid_1d
+from repro.core.engine2d import convstencil_valid_2d, convstencil_valid_2d_batched
+from repro.core.engine3d import convstencil_valid_3d
+from repro.runtime.backends import SerialBackend, register_backend
+from repro.runtime.plan import PassPlan
+from repro.stencils.kernel import StencilKernel
+from repro.telemetry.log import get_logger
+
+__all__ = ["TiledBackend"]
+
+_log = get_logger("runtime.tiled")
+
+#: Environment overrides for CI and benchmarks.
+WORKERS_ENV = "REPRO_TILED_WORKERS"
+MIN_ROWS_ENV = "REPRO_TILED_MIN_ROWS"
+
+#: Below this many output rows per tile, pool/IPC overhead dominates and
+#: the pass runs serially instead.
+DEFAULT_MIN_ROWS_PER_TILE = 128
+
+
+def _engine_for(ndim: int):
+    return {
+        1: convstencil_valid_1d,
+        2: convstencil_valid_2d,
+        3: convstencil_valid_3d,
+    }[ndim]
+
+
+def _attach_shared(name: str):
+    """Attach an existing shared-memory segment without tracker side effects.
+
+    On Python < 3.13 attaching registers the segment with the process's
+    ``resource_tracker``, which then "cleans up" (unlinks) segments it never
+    owned and prints leak warnings at worker exit.  Forked workers share the
+    parent's tracker, so unregistering after attach would strip the creator's
+    own registration and make the final ``unlink`` complain instead; silencing
+    registration during the attach keeps ownership purely create-side.
+    """
+    from multiprocessing import shared_memory
+
+    try:  # pragma: no cover - depends on stdlib internals
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name, create=False)
+        finally:
+            resource_tracker.register = original
+    except (ImportError, AttributeError):
+        return shared_memory.SharedMemory(name=name, create=False)
+
+
+def _run_tile_shm(task: dict) -> Tuple[int, int]:
+    """Worker body: one axis-0 tile of one pass, via shared memory.
+
+    Gathers padded rows ``[lo, hi + edge - 1)`` from the input segment,
+    applies the engine, and scatters output rows ``[lo, hi)`` into the
+    output segment.  Returns the bounds for bookkeeping.
+    """
+    lo, hi = task["lo"], task["hi"]
+    kernel: StencilKernel = task["kernel"]
+    k = kernel.edge
+    seg_in = _attach_shared(task["in_name"])
+    seg_out = _attach_shared(task["out_name"])
+    try:
+        padded = np.ndarray(task["in_shape"], dtype=np.float64, buffer=seg_in.buf)
+        out = np.ndarray(task["out_shape"], dtype=np.float64, buffer=seg_out.buf)
+        engine = _engine_for(kernel.ndim)
+        out[lo:hi] = engine(padded[lo : hi + k - 1], kernel)
+    finally:
+        seg_in.close()
+        seg_out.close()
+    return lo, hi
+
+
+def _run_batch_tile_shm(task: dict) -> Tuple[int, int]:
+    """Worker body: one batch-axis tile of one ensemble pass."""
+    lo, hi = task["lo"], task["hi"]
+    kernel: StencilKernel = task["kernel"]
+    seg_in = _attach_shared(task["in_name"])
+    seg_out = _attach_shared(task["out_name"])
+    try:
+        padded = np.ndarray(task["in_shape"], dtype=np.float64, buffer=seg_in.buf)
+        out = np.ndarray(task["out_shape"], dtype=np.float64, buffer=seg_out.buf)
+        if kernel.ndim == 2:
+            out[lo:hi] = convstencil_valid_2d_batched(padded[lo:hi], kernel)
+        else:
+            engine = _engine_for(kernel.ndim)
+            for b in range(lo, hi):
+                out[b] = engine(padded[b], kernel)
+    finally:
+        seg_in.close()
+        seg_out.close()
+    return lo, hi
+
+
+class TiledBackend(SerialBackend):
+    """Halo-overlapped tiled execution across a worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  ``None`` reads ``REPRO_TILED_WORKERS``, falling back to
+        :func:`os.cpu_count`.  With one worker the backend degrades to the
+        (inherited) plan-driven serial path.
+    min_rows_per_tile:
+        Smallest tile worth dispatching; grids thinner than two such tiles
+        run serially.  ``None`` reads ``REPRO_TILED_MIN_ROWS``.
+    use_processes:
+        ``False`` forces the in-process thread pool (used by tests and as
+        the automatic degradation when process pools are unavailable).
+    """
+
+    name = "tiled"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        min_rows_per_tile: Optional[int] = None,
+        use_processes: bool = True,
+    ) -> None:
+        if workers is None:
+            workers = int(os.environ.get(WORKERS_ENV, 0)) or (os.cpu_count() or 1)
+        if min_rows_per_tile is None:
+            min_rows_per_tile = int(
+                os.environ.get(MIN_ROWS_ENV, DEFAULT_MIN_ROWS_PER_TILE)
+            )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if min_rows_per_tile < 1:
+            raise ValueError(
+                f"min_rows_per_tile must be >= 1, got {min_rows_per_tile}"
+            )
+        self.workers = int(workers)
+        self.min_rows_per_tile = int(min_rows_per_tile)
+        self._use_processes = bool(use_processes)
+        self._pool = None
+        self._pool_lock = threading.Lock()
+        atexit.register(self.close)
+
+    # -- pool management ---------------------------------------------------
+
+    def _get_pool(self):
+        """The lazily created pool, degrading processes → threads once."""
+        with self._pool_lock:
+            if self._pool is None:
+                if self._use_processes:
+                    try:
+                        import multiprocessing as mp
+
+                        ctx = (
+                            mp.get_context("fork")
+                            if "fork" in mp.get_all_start_methods()
+                            else mp.get_context()
+                        )
+                        self._pool = ProcessPoolExecutor(
+                            max_workers=self.workers, mp_context=ctx
+                        )
+                    except (OSError, ValueError, ImportError) as exc:
+                        _log.warning(
+                            "tiled: process pool unavailable (%s); "
+                            "degrading to threads",
+                            exc,
+                        )
+                        self._use_processes = False
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(max_workers=self.workers)
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- tile dispatch -----------------------------------------------------
+
+    def _bounds(self, pp: PassPlan, extent: int) -> Tuple[Tuple[int, int], ...]:
+        """Tile bounds honouring this backend's worker count and floor."""
+        want = min(self.workers, max(1, extent // self.min_rows_per_tile))
+        if want <= 1:
+            return ((0, extent),)
+        bounds = pp.tiles if len(pp.tiles) == want else pp.retile(want)
+        return bounds
+
+    def _dispatch(self, worker, tasks: List[dict]) -> None:
+        pool = self._get_pool()
+        try:
+            for future in [pool.submit(worker, t) for t in tasks]:
+                future.result()
+        except (OSError, RuntimeError) as exc:
+            # A broken pool (killed worker, fork restrictions) degrades to
+            # threads for the rest of the process; the pass is retried.
+            _log.warning("tiled: pool failed (%s); degrading to threads", exc)
+            self.close()
+            self._use_processes = False
+            pool = self._get_pool()
+            for future in [pool.submit(worker, t) for t in tasks]:
+                future.result()
+
+    def _run_shared(
+        self,
+        worker,
+        padded: np.ndarray,
+        out_shape: Tuple[int, ...],
+        bounds: Tuple[Tuple[int, int], ...],
+        kernel: StencilKernel,
+    ) -> np.ndarray:
+        """Publish input/output shared segments, fan tiles out, stitch."""
+        if not self._use_processes:
+            return self._run_threaded(worker, padded, out_shape, bounds, kernel)
+        from multiprocessing import shared_memory
+
+        try:
+            seg_in = shared_memory.SharedMemory(create=True, size=padded.nbytes)
+            seg_out = shared_memory.SharedMemory(
+                create=True, size=int(np.prod(out_shape)) * 8
+            )
+        except OSError as exc:
+            _log.warning(
+                "tiled: shared memory unavailable (%s); degrading to threads", exc
+            )
+            self._use_processes = False
+            self.close()
+            return self._run_threaded(worker, padded, out_shape, bounds, kernel)
+        try:
+            shared_in = np.ndarray(padded.shape, dtype=np.float64, buffer=seg_in.buf)
+            shared_in[...] = padded
+            tasks = [
+                {
+                    "lo": lo,
+                    "hi": hi,
+                    "kernel": kernel,
+                    "in_name": seg_in.name,
+                    "in_shape": padded.shape,
+                    "out_name": seg_out.name,
+                    "out_shape": out_shape,
+                }
+                for lo, hi in bounds
+            ]
+            # If the pool degrades to threads mid-pass, the retry still
+            # works: shared segments are attachable from this process too.
+            self._dispatch(worker, tasks)
+            out = np.ndarray(out_shape, dtype=np.float64, buffer=seg_out.buf)
+            return np.array(out)  # copy out before the segment is unlinked
+        finally:
+            seg_in.close()
+            seg_out.close()
+            try:
+                seg_in.unlink()
+                seg_out.unlink()
+            except FileNotFoundError:  # pragma: no cover - double clean-up
+                pass
+
+    def _run_threaded(
+        self, worker, padded, out_shape, bounds, kernel
+    ) -> np.ndarray:
+        """Thread-pool tiling over plain arrays (same tiles, same bits)."""
+        out = np.empty(out_shape, dtype=np.float64)
+        k = kernel.edge
+        engine = _engine_for(kernel.ndim)
+
+        def run_tile(b):
+            lo, hi = b
+            if worker is _run_batch_tile_shm:
+                if kernel.ndim == 2:
+                    out[lo:hi] = convstencil_valid_2d_batched(padded[lo:hi], kernel)
+                else:
+                    for i in range(lo, hi):
+                        out[i] = engine(padded[i], kernel)
+            else:
+                out[lo:hi] = engine(padded[lo : hi + k - 1], kernel)
+
+        pool = self._get_pool()
+        for future in [pool.submit(run_tile, b) for b in bounds]:
+            future.result()
+        return out
+
+    # -- Backend interface -------------------------------------------------
+
+    def apply_pass(self, pp: PassPlan, padded: np.ndarray) -> np.ndarray:
+        extent = pp.grid_shape[0]
+        bounds = self._bounds(pp, extent)
+        if self.workers <= 1 or len(bounds) <= 1:
+            return super().apply_pass(pp, padded)
+        out_shape = tuple(
+            s - pp.kernel.edge + 1 for s in padded.shape
+        )
+        with telemetry.span(
+            "runtime.tiled.pass",
+            kernel=pp.kernel.name,
+            tiles=len(bounds),
+            workers=self.workers,
+            shape=padded.shape,
+        ):
+            return self._run_shared(
+                _run_tile_shm, np.ascontiguousarray(padded), out_shape, bounds,
+                pp.kernel,
+            )
+
+    def apply_pass_batch(self, pp: PassPlan, padded: np.ndarray) -> np.ndarray:
+        batch = padded.shape[0]
+        ntiles = min(self.workers, batch)
+        if self.workers <= 1 or ntiles <= 1:
+            return super().apply_pass_batch(pp, padded)
+        # Balanced batch split — no alignment constraints on the batch axis.
+        cuts = [round(i * batch / ntiles) for i in range(ntiles + 1)]
+        bounds = tuple(
+            (lo, hi) for lo, hi in zip(cuts[:-1], cuts[1:]) if hi > lo
+        )
+        out_shape = (batch,) + tuple(
+            s - pp.kernel.edge + 1 for s in padded.shape[1:]
+        )
+        with telemetry.span(
+            "runtime.tiled.pass",
+            kernel=pp.kernel.name,
+            tiles=len(bounds),
+            workers=self.workers,
+            shape=padded.shape,
+            batched=True,
+        ):
+            return self._run_shared(
+                _run_batch_tile_shm, np.ascontiguousarray(padded), out_shape,
+                bounds, pp.kernel,
+            )
+
+
+register_backend("tiled", TiledBackend)

@@ -1,0 +1,37 @@
+"""Warn-once deprecation helpers.
+
+A deprecated entry point should tell each process about its replacement
+exactly once — a tight loop over a shimmed API must not flood stderr.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from typing import Set
+
+__all__ = ["reset_warned", "warn_once"]
+
+_lock = threading.Lock()
+_warned: Set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> bool:
+    """Emit ``DeprecationWarning(message)`` the first time ``key`` is seen.
+
+    Returns ``True`` if the warning fired, ``False`` if this ``key`` already
+    warned earlier in the process.  ``stacklevel`` defaults to 3 so the
+    warning points at the caller of the deprecated API, not the shim.
+    """
+    with _lock:
+        if key in _warned:
+            return False
+        _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    return True
+
+
+def reset_warned() -> None:
+    """Forget every emitted key (test isolation)."""
+    with _lock:
+        _warned.clear()

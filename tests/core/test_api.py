@@ -88,3 +88,26 @@ class TestProperties:
         lhs = cs.run(2.5 * x + y, 1)
         rhs = 2.5 * cs.run(x, 1) + cs.run(y, 1)
         np.testing.assert_allclose(lhs, rhs, rtol=1e-12)
+
+
+class TestBoundaryPrecedence:
+    """Explicit boundary keywords alongside a Grid are a contradiction."""
+
+    def test_run_grid_plus_boundary_raises(self, rng):
+        cs = ConvStencil(get_kernel("heat-1d"))
+        g = Grid(rng.random(40), boundary="periodic")
+        with pytest.raises(ValueError, match="boundary"):
+            cs.run(g, 1, boundary="constant")
+
+    def test_run_grid_plus_fill_value_raises(self, rng):
+        cs = ConvStencil(get_kernel("heat-1d"))
+        g = Grid(rng.random(40))
+        with pytest.raises(ValueError, match="fill_value"):
+            cs.run(g, 1, fill_value=1.0)
+
+    def test_raw_array_keywords_still_work(self, rng):
+        kernel = get_kernel("heat-1d")
+        x = rng.random(40)
+        got = ConvStencil(kernel).run(x, 2, boundary="periodic")
+        want = ConvStencil(kernel).run(Grid(x, boundary="periodic"), 2)
+        np.testing.assert_array_equal(got, want)

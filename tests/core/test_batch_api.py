@@ -53,3 +53,70 @@ class TestRunBatch:
             cs.run_batch(rng.random((10, 10)), 1)
         with pytest.raises(ValueError):
             cs.run_batch(rng.random((2, 10, 10)), -1)
+
+
+class TestBatchInputForms:
+    """run/run_batch signature unification: Grids, lists, boundary precedence."""
+
+    def test_grid_stack_carries_boundary(self, rng):
+        from repro.stencils.grid import Grid
+
+        kernel = get_kernel("heat-2d")
+        data = rng.random((3, 16, 16))
+        got = ConvStencil(kernel).run_batch(Grid(data, boundary="periodic"), 2)
+        want = ConvStencil(kernel).run_batch(data, 2, boundary="periodic")
+        np.testing.assert_array_equal(got, want)
+
+    def test_grid_stack_plus_boundary_keyword_conflicts(self, rng):
+        from repro.stencils.grid import Grid
+
+        cs = ConvStencil(get_kernel("heat-2d"))
+        g = Grid(rng.random((2, 12, 12)), boundary="periodic")
+        with pytest.raises(ValueError, match="boundary"):
+            cs.run_batch(g, 1, boundary="constant")
+        with pytest.raises(ValueError, match="fill_value"):
+            cs.run_batch(g, 1, fill_value=2.0)
+
+    def test_list_of_grids(self, rng):
+        from repro.stencils.grid import Grid
+
+        kernel = get_kernel("heat-2d")
+        arrays = [rng.random((14, 15)) for _ in range(3)]
+        grids = [Grid(a, boundary="reflect") for a in arrays]
+        got = ConvStencil(kernel).run_batch(grids, 2)
+        want = ConvStencil(kernel).run_batch(np.stack(arrays), 2, boundary="reflect")
+        np.testing.assert_array_equal(got, want)
+
+    def test_list_of_arrays(self, rng):
+        kernel = get_kernel("heat-2d")
+        arrays = [rng.random((14, 15)) for _ in range(3)]
+        got = ConvStencil(kernel).run_batch(arrays, 2)
+        want = ConvStencil(kernel).run_batch(np.stack(arrays), 2)
+        np.testing.assert_array_equal(got, want)
+
+    def test_mixed_boundaries_rejected(self, rng):
+        from repro.stencils.grid import Grid
+
+        cs = ConvStencil(get_kernel("heat-2d"))
+        grids = [
+            Grid(rng.random((12, 12)), boundary="periodic"),
+            Grid(rng.random((12, 12)), boundary="constant"),
+        ]
+        with pytest.raises(ValueError, match="differing boundary"):
+            cs.run_batch(grids, 1)
+
+    def test_mismatched_shapes_rejected(self, rng):
+        cs = ConvStencil(get_kernel("heat-2d"))
+        with pytest.raises(KernelError, match="share one shape"):
+            cs.run_batch([rng.random((12, 12)), rng.random((12, 13))], 1)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(KernelError, match="empty"):
+            ConvStencil(get_kernel("heat-2d")).run_batch([], 1)
+
+    def test_grid_stack_wrong_ndim(self, rng):
+        from repro.stencils.grid import Grid
+
+        cs = ConvStencil(get_kernel("heat-2d"))
+        with pytest.raises(KernelError, match="run_batch"):
+            cs.run_batch(Grid(rng.random((12, 12))), 1)

@@ -1,0 +1,103 @@
+"""PlanCache: LRU eviction, telemetry counters, hit rates."""
+
+import numpy as np
+import pytest
+
+from repro import ConvStencil, telemetry
+from repro.runtime import PlanCache, get_plan_cache, set_plan_cache
+from repro.stencils.catalog import get_kernel
+from repro.utils.rng import default_rng
+
+
+@pytest.fixture
+def fresh_cache():
+    """Swap in an isolated cache, restoring the previous one afterwards."""
+    previous = get_plan_cache()
+    cache = PlanCache(capacity=4)
+    set_plan_cache(cache)
+    yield cache
+    set_plan_cache(previous)
+
+
+class TestPlanCache:
+    def test_get_or_build_builds_once(self, fresh_cache):
+        calls = []
+        for _ in range(3):
+            got = fresh_cache.get_or_build("k", lambda: calls.append(1) or "plan")
+            assert got == "plan"
+        assert len(calls) == 1
+        assert fresh_cache.stats["hits"] == 2
+        assert fresh_cache.stats["misses"] == 1
+
+    def test_lru_eviction_order(self, fresh_cache):
+        for i in range(4):
+            fresh_cache.get_or_build(i, lambda i=i: f"plan{i}")
+        fresh_cache.get_or_build(0, lambda: "refetched")  # 0 is now most recent
+        fresh_cache.get_or_build(99, lambda: "new")  # evicts 1, the LRU entry
+        assert 0 in fresh_cache and 99 in fresh_cache
+        assert 1 not in fresh_cache
+        assert fresh_cache.stats["evictions"] == 1
+        assert len(fresh_cache) == 4
+
+    def test_clear(self, fresh_cache):
+        fresh_cache.get_or_build("a", lambda: 1)
+        fresh_cache.clear()
+        assert len(fresh_cache) == 0 and "a" not in fresh_cache
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_hit_rate_property(self, fresh_cache):
+        fresh_cache.get_or_build("a", lambda: 1)
+        for _ in range(9):
+            fresh_cache.get_or_build("a", lambda: 1)
+        assert fresh_cache.stats["hit_rate"] == pytest.approx(0.9)
+
+
+class TestCacheIntegration:
+    def test_50_step_run_loop_hit_rate(self, fresh_cache):
+        """Acceptance: >90% plan-cache hit rate across a 50-step run loop."""
+        cs = ConvStencil(get_kernel("heat-2d"))
+        x = default_rng(0).random((32, 32))
+        for _ in range(50):
+            x = cs.run(x, 1)
+        stats = fresh_cache.stats
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] > 0.9
+
+    def test_telemetry_counters_update(self, fresh_cache):
+        was_enabled = telemetry.enabled()
+        telemetry.enable()
+        try:
+            reg = telemetry.get_registry()
+            before_m = reg.counter("runtime.plan_cache.misses").value
+            before_h = reg.counter("runtime.plan_cache.hits").value
+            cs = ConvStencil(get_kernel("heat-1d"))
+            x = default_rng(0).random(64)
+            cs.run(x, 1)
+            cs.run(x, 1)
+            assert reg.counter("runtime.plan_cache.misses").value == before_m + 1
+            assert reg.counter("runtime.plan_cache.hits").value == before_h + 1
+        finally:
+            if not was_enabled:
+                telemetry.disable()
+
+    def test_distinct_problems_distinct_plans(self, fresh_cache):
+        cs = ConvStencil(get_kernel("heat-2d"))
+        rng = default_rng(0)
+        cs.run(rng.random((16, 16)), 1)
+        cs.run(rng.random((16, 17)), 1)
+        cs.run(rng.random((16, 16)), 1, boundary="periodic")
+        assert fresh_cache.stats["misses"] == 3
+
+    def test_eviction_keeps_results_correct(self, fresh_cache):
+        """A plan rebuilt after eviction gives the same answer."""
+        cs = ConvStencil(get_kernel("heat-1d"))
+        x = default_rng(0).random(40)
+        first = cs.run(x, 1)
+        # Evict the plan by filling the (capacity-4) cache with new shapes.
+        for extent in (41, 42, 43, 44, 45):
+            cs.run(default_rng(1).random(extent), 1)
+        assert fresh_cache.stats["evictions"] >= 1
+        np.testing.assert_array_equal(cs.run(x, 1), first)

@@ -1,0 +1,115 @@
+"""Tiled backend machinery: pools, degradation, tiling thresholds."""
+
+import numpy as np
+import pytest
+
+from repro import ConvStencil
+from repro.runtime import SerialBackend, TiledBackend
+from repro.runtime.tiled import MIN_ROWS_ENV, WORKERS_ENV
+from repro.stencils.catalog import get_kernel
+from repro.utils.rng import default_rng
+
+
+def _run_pair(backend, kernel_name="heat-2d", shape=(40, 41), steps=2):
+    kernel = get_kernel(kernel_name)
+    x = default_rng(9).random(shape)
+    tiled_out = ConvStencil(kernel, backend=backend).run(x, steps)
+    serial_out = ConvStencil(kernel, backend="serial").run(x, steps)
+    return tiled_out, serial_out
+
+
+class TestProcessPool:
+    def test_shared_memory_path_bit_identical(self):
+        backend = TiledBackend(workers=2, min_rows_per_tile=2, use_processes=True)
+        try:
+            got, want = _run_pair(backend)
+            np.testing.assert_array_equal(got, want)
+        finally:
+            backend.close()
+
+    def test_batch_shared_memory_path(self):
+        backend = TiledBackend(workers=2, min_rows_per_tile=2, use_processes=True)
+        try:
+            kernel = get_kernel("heat-2d")
+            batch = default_rng(9).random((4, 20, 20))
+            got = ConvStencil(kernel, backend=backend).run_batch(batch, 2)
+            want = ConvStencil(kernel, backend="serial").run_batch(batch, 2)
+            np.testing.assert_array_equal(got, want)
+        finally:
+            backend.close()
+
+
+class TestThreadPool:
+    def test_thread_fallback_bit_identical(self):
+        backend = TiledBackend(workers=2, min_rows_per_tile=2, use_processes=False)
+        try:
+            for name, shape in [
+                ("1d5p", (600,)),
+                ("heat-2d", (40, 41)),
+                ("heat-3d", (12, 13, 14)),
+            ]:
+                got, want = _run_pair(backend, name, shape)
+                np.testing.assert_array_equal(got, want)
+        finally:
+            backend.close()
+
+    def test_thread_batch_paths(self):
+        backend = TiledBackend(workers=2, min_rows_per_tile=2, use_processes=False)
+        try:
+            for name, shape in [("heat-2d", (3, 20, 20)), ("heat-1d", (3, 80))]:
+                kernel = get_kernel(name)
+                batch = default_rng(9).random(shape)
+                got = ConvStencil(kernel, backend=backend).run_batch(batch, 2)
+                want = ConvStencil(kernel, backend="serial").run_batch(batch, 2)
+                np.testing.assert_array_equal(got, want)
+        finally:
+            backend.close()
+
+
+class TestTilingPolicy:
+    def test_small_grid_runs_serially(self):
+        """Below the per-tile row floor the serial path is used untiled."""
+        backend = TiledBackend(workers=4, min_rows_per_tile=1000)
+        try:
+            got, want = _run_pair(backend, shape=(30, 30))
+            np.testing.assert_array_equal(got, want)
+        finally:
+            backend.close()
+
+    def test_single_worker_is_serial(self):
+        backend = TiledBackend(workers=1)
+        try:
+            got, want = _run_pair(backend)
+            np.testing.assert_array_equal(got, want)
+        finally:
+            backend.close()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TiledBackend(workers=0)
+        with pytest.raises(ValueError):
+            TiledBackend(workers=2, min_rows_per_tile=0)
+
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        monkeypatch.setenv(MIN_ROWS_ENV, "7")
+        backend = TiledBackend()
+        try:
+            assert backend.workers == 3
+            assert backend.min_rows_per_tile == 7
+        finally:
+            backend.close()
+
+    def test_is_a_serial_backend(self):
+        """Tiled degrades to the plan-driven serial path, not a fourth engine."""
+        assert issubclass(TiledBackend, SerialBackend)
+
+    def test_close_idempotent(self):
+        backend = TiledBackend(workers=2, min_rows_per_tile=2, use_processes=False)
+        _run_pair(backend)
+        backend.close()
+        backend.close()
+        # a closed backend lazily re-creates its pool on next use
+        got, want = _run_pair(backend)
+        np.testing.assert_array_equal(got, want)
+        backend.close()
