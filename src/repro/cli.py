@@ -29,6 +29,12 @@ telemetry, executes the requested run *functionally* at the given extents
 the metrics registry and prints the snapshot; and the separate
 ``telemetry-report TRACE`` subcommand renders a Fig.-6-style phase
 breakdown from a previously saved trace.
+
+Conformance (see :mod:`repro.verify`): the ``verify`` subcommand runs the
+seeded differential harness — random cases across every registered
+backend against the reference oracles, plus a mutation smoke-check —
+e.g. ``python -m repro verify --quick --seed 0`` or
+``python -m repro verify --cases 50 --report verify.json``.
 """
 
 from __future__ import annotations
@@ -190,11 +196,106 @@ def _run_telemetry_report(argv: List[str]) -> List[str]:
     return telemetry.render_phase_report(args.trace, top=args.top).splitlines()
 
 
+def _run_verify(argv: List[str]) -> List[str]:
+    """The ``verify`` subcommand: the seeded differential conformance sweep."""
+    parser = argparse.ArgumentParser(
+        prog="convstencil verify",
+        description=(
+            "Differential conformance: random cases across all registered "
+            "backends vs the reference oracles, with failure shrinking and "
+            "a mutation smoke-check"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="generator seed (default 0)"
+    )
+    parser.add_argument(
+        "--cases",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of random cases (default 25, or 8 with --quick)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "small extents and the tiled backend's thread pool — the CI "
+            "smoke configuration"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        action="append",
+        choices=list_backends(),
+        default=None,
+        metavar="NAME",
+        help="restrict to this backend (repeatable; default: all registered)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="FILE.json",
+        help="also write the full report (including minimal repros) as JSON",
+    )
+    parser.add_argument(
+        "--max-ulp",
+        type=float,
+        default=None,
+        metavar="U",
+        help="override the mirror-oracle ULP budget",
+    )
+    parser.add_argument(
+        "--no-mutation",
+        action="store_true",
+        help="skip the stencil2row LUT mutation smoke-check",
+    )
+    parser.add_argument(
+        "--inject",
+        action="append",
+        choices=["worker", "attach", "spawn"],
+        default=None,
+        metavar="KIND",
+        help=(
+            "arm a tiled-runtime fault for the whole sweep (repeatable): "
+            "worker, attach, or spawn — bits must still match while the "
+            "backend degrades"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.cases is not None and args.cases < 1:
+        raise ReproError(f"--cases must be positive, got {args.cases}")
+
+    from repro.verify import run_verification
+
+    report = run_verification(
+        seed=args.seed,
+        cases=args.cases if args.cases is not None else (8 if args.quick else 25),
+        backends=args.backend,
+        quick=args.quick,
+        tight_ulp=args.max_ulp,
+        mutation=not args.no_mutation,
+        inject=args.inject,
+    )
+    lines = report.summary_lines()
+    if args.report:
+        lines.append(f"REPORT: wrote {report.write(args.report)}")
+    if not report.ok:
+        for line in lines:
+            print(line)
+        raise ReproError(
+            f"differential verification failed ({len(report.failures)} "
+            "failing case(s))"
+        )
+    return lines
+
+
 def run(argv: Sequence[str]) -> List[str]:
     """Execute the CLI and return the output lines (also printed by main)."""
     argv = list(argv)
     if argv and argv[0] == "telemetry-report":
         return _run_telemetry_report(argv[1:])
+    if argv and argv[0] == "verify":
+        return _run_verify(argv[1:])
     args = build_parser().parse_args(argv)
     if args.trace or args.metrics:
         telemetry.enable()

@@ -214,6 +214,11 @@ class ConvStencil:
         sweep (one einsum over the stacked slices — the ensemble-simulation
         fast path) and padding is a single vectorised call; other
         dimensionalities loop per grid inside the backend.
+
+        A shaped empty array (``np.empty((0, *grid))``) is a well-defined
+        no-op returning an empty float64 result of the same shape; an empty
+        *list* raises :class:`~repro.errors.ReproError` because it carries
+        no grid shape.  ``steps=0`` returns a float64 copy of the input.
         """
         from repro.runtime import execute_batch
 
@@ -243,7 +248,11 @@ class ConvStencil:
             return batch.data, bc, fill
         if isinstance(batch, (list, tuple)):
             if not batch:
-                raise KernelError("run_batch received an empty batch")
+                raise KernelError(
+                    "run_batch received an empty list, which carries no grid "
+                    "shape; pass a shaped empty array instead (e.g. "
+                    "np.empty((0, 32, 32))) to get an empty result back"
+                )
             if all(isinstance(g, Grid) for g in batch):
                 first = batch[0]
                 for g in batch[1:]:

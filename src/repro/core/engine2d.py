@@ -7,11 +7,23 @@ every tile shift ``t`` (Eq. 12), the fused MMA chain::
 
 but vectorised over *all* bands and shifts at once: the stencil2row gathers
 are shaped ``(m, R, k)``, a zero-copy sliding window adds the ``t`` axis, and
-one einsum per matrix contracts the ``(x', i)`` patch axes against the
-per-row triangular weight blocks.  The arithmetic is exactly the
+one GEMM per matrix contracts the flattened ``(x', i)`` patch axes against
+the per-row triangular weight blocks.  The arithmetic is exactly the
 dual-tessellation arithmetic — each output element is a vitrolite-A partial
 sum completed by its vitrolite-B complement — evaluated in a cache-friendly
 batched GEMM instead of a Python tile loop.
+
+The contraction is an **explicit stacked matmul** — one
+``(R, k²) @ (k², g)`` GEMM per tile shift — not an
+``einsum(..., optimize=True)``: the einsum path optimiser switches
+contraction strategies with operand *size*, which made per-grid bits
+depend on the batch extent (and row-count tails made any flattening that
+folds the shift axis into GEMM rows depend on the tile height).  The
+differential harness in :mod:`repro.verify` flushed both out as
+bit-identity breaks between the tiled and serial backends.  With the
+GEMM's shape a pure function of the grid *width*, results are invariant
+under axis-0 tiling, batch splitting, and the chunk parameter, and
+batched/single-grid execution agree bit for bit.
 
 Memory is bounded by chunking the shift axis: each chunk materialises at
 most ``chunk × R × k²`` window elements.
@@ -66,6 +78,10 @@ def convstencil_valid_2d(
     a3, b3 = stencil2row_views_2d(padded, k, offsets)  # (m, R, k)
     wa3, wb3 = weights if weights is not None else weight_blocks_2d(kernel)
     r_groups = a3.shape[1]
+    # Weight blocks (x, i, j) flattened to the GEMM's (k², g) right operand;
+    # row-major flattening matches the (x-major, i-minor) patch axis below.
+    wa_flat = np.ascontiguousarray(wa3).reshape(k * k, g)
+    wb_flat = np.ascontiguousarray(wb3).reshape(k * k, g)
 
     # Window over the x axis: SA[t, x', r, i] = A3[t + x', r, i].
     sa = sliding_windows(a3, k, axis=0)  # (x_valid, k, R, k)
@@ -79,9 +95,21 @@ def convstencil_valid_2d(
     ):
         for t0 in range(0, x_valid, chunk):
             t1 = min(t0 + chunk, x_valid)
-            block = np.einsum("txri,xij->trj", sa[t0:t1], wa3, optimize=True)
-            block += np.einsum("txru,xuj->trj", sb[t0:t1], wb3, optimize=True)
-            out[t0:t1] = block.reshape(t1 - t0, r_groups * g)
+            c = t1 - t0
+            # (c, x, R, i) -> (c, R, x, i) -> (c, R, k²): a stacked matmul
+            # runs one (R, k²) @ (k², g) GEMM per shift.  Keeping the shift
+            # axis *stacked* (not folded into GEMM rows) makes every GEMM's
+            # shape a pure function of the grid width, so bits are invariant
+            # under axis-0 tiling and the chunk parameter.
+            flat_a = np.ascontiguousarray(
+                sa[t0:t1].transpose(0, 2, 1, 3)
+            ).reshape(c, r_groups, k * k)
+            flat_b = np.ascontiguousarray(
+                sb[t0:t1].transpose(0, 2, 1, 3)
+            ).reshape(c, r_groups, k * k)
+            block = flat_a @ wa_flat
+            block += flat_b @ wb_flat
+            out[t0:t1] = block.reshape(c, r_groups * g)
     return out[:, :y_valid]
 
 
@@ -96,11 +124,14 @@ def convstencil_valid_2d_batched(
     """Dual tessellation over a batch of independent 2-D slices.
 
     ``stack`` has shape ``(batch, m, n)``; the return value is
-    ``(batch, m - k + 1, n - k + 1)``.  One einsum per shift-chunk covers
-    the whole batch — this is how the 3-D engine (§4.2) evaluates a dense
-    kernel plane across every output plane at once.  ``offsets``/``weights``
-    accept plan-precomputed tables exactly as in
-    :func:`convstencil_valid_2d`.
+    ``(batch, m - k + 1, n - k + 1)``.  One stacked GEMM per shift-chunk
+    covers the whole batch — this is how the 3-D engine (§4.2) evaluates a
+    dense kernel plane across every output plane at once.  Each batch slice
+    is an identically-shaped ``(rows, k²) @ (k², g)`` GEMM, so per-grid
+    bits are invariant under batch splitting and equal to
+    :func:`convstencil_valid_2d` on the slice — the property the tiled
+    backend's ensemble path relies on.  ``offsets``/``weights`` accept
+    plan-precomputed tables exactly as in :func:`convstencil_valid_2d`.
     """
     if kernel.ndim != 2:
         raise TessellationError("convstencil_valid_2d_batched requires a 2-D kernel")
@@ -131,6 +162,8 @@ def convstencil_valid_2d_batched(
         a3 = ext[:, :, cols]  # (batch, m, R, k)
         b3 = ext[:, :, cols + k]
     wa3, wb3 = weights if weights is not None else weight_blocks_2d(kernel)
+    wa_flat = np.ascontiguousarray(wa3).reshape(k * k, g)
+    wb_flat = np.ascontiguousarray(wb3).reshape(k * k, g)
 
     sa = sliding_windows(a3, k, axis=1)  # (batch, x_valid, k, R, k)
     sb = sliding_windows(b3, k, axis=1)
@@ -140,7 +173,18 @@ def convstencil_valid_2d_batched(
     ):
         for t0 in range(0, x_valid, chunk):
             t1 = min(t0 + chunk, x_valid)
-            block = np.einsum("btxri,xij->btrj", sa[:, t0:t1], wa3, optimize=True)
-            block += np.einsum("btxru,xuj->btrj", sb[:, t0:t1], wb3, optimize=True)
-            out[:, t0:t1] = block.reshape(batch, t1 - t0, r_groups * g)
+            c = t1 - t0
+            # (b, c, x, R, i) -> (b, c, R, x, i) -> (b, c, R, k²): the
+            # stacked matmul runs one (R, k²) @ (k², g) GEMM per (grid,
+            # shift) — exactly the single-grid engine's GEMM shape — so
+            # per-grid bits are independent of the batch extent.
+            flat_a = np.ascontiguousarray(
+                sa[:, t0:t1].transpose(0, 1, 3, 2, 4)
+            ).reshape(batch, c, r_groups, k * k)
+            flat_b = np.ascontiguousarray(
+                sb[:, t0:t1].transpose(0, 1, 3, 2, 4)
+            ).reshape(batch, c, r_groups, k * k)
+            block = flat_a @ wa_flat
+            block += flat_b @ wb_flat
+            out[:, t0:t1] = block.reshape(batch, c, r_groups * g)
     return out[:, :, :y_valid]

@@ -44,6 +44,7 @@ from repro.core.engine2d import convstencil_valid_2d, convstencil_valid_2d_batch
 from repro.core.engine3d import convstencil_valid_3d
 from repro.errors import ReproError
 from repro.runtime.plan import PassPlan
+from repro.telemetry.log import get_logger
 
 __all__ = [
     "Backend",
@@ -58,6 +59,15 @@ __all__ = [
 #: Environment variable selecting the default backend (CI runs the whole
 #: suite under ``REPRO_BACKEND=tiled`` to enforce backend parity).
 BACKEND_ENV = "REPRO_BACKEND"
+
+_log = get_logger("runtime.backends")
+
+
+def _empty_batch_result(pp: PassPlan, padded: np.ndarray) -> np.ndarray:
+    """The well-defined result of a pass over zero grids: an empty float64
+    stack with the valid-region spatial shape."""
+    valid = tuple(s - pp.kernel.edge + 1 for s in padded.shape[1:])
+    return np.empty((0,) + valid, dtype=np.float64)
 
 
 class Backend(abc.ABC):
@@ -80,8 +90,11 @@ class Backend(abc.ABC):
 
         The default loops :meth:`apply_pass` per grid; backends with a
         faster ensemble path (one einsum across the stack, tile-per-worker)
-        override this.
+        override this.  An empty batch short-circuits to an empty result
+        rather than surfacing a raw ``np.stack`` error.
         """
+        if padded.shape[0] == 0:
+            return _empty_batch_result(pp, padded)
         return np.stack([self.apply_pass(pp, grid) for grid in padded])
 
     def close(self) -> None:
@@ -120,6 +133,8 @@ class SerialBackend(Backend):
         )
 
     def apply_pass_batch(self, pp: PassPlan, padded: np.ndarray) -> np.ndarray:
+        if padded.shape[0] == 0:
+            return _empty_batch_result(pp, padded)
         if pp.ndim == 2:
             # Ensemble fast path: one einsum sweep covers the whole batch.
             return convstencil_valid_2d_batched(
@@ -148,6 +163,8 @@ class ReferenceBackend(Backend):
         return convstencil_valid_3d(padded, pp.kernel)
 
     def apply_pass_batch(self, pp: PassPlan, padded: np.ndarray) -> np.ndarray:
+        if padded.shape[0] == 0:
+            return _empty_batch_result(pp, padded)
         if pp.ndim == 2:
             return convstencil_valid_2d_batched(padded, pp.kernel)
         return super().apply_pass_batch(pp, padded)
@@ -198,10 +215,32 @@ def get_backend(backend: Union[str, Backend, None] = None) -> Backend:
     return instance
 
 
+_warned_unknown_default: set = set()
+
+
 def default_backend_name() -> str:
-    """``REPRO_BACKEND`` if set (and registered), else ``"serial"``."""
+    """``REPRO_BACKEND`` if set and registered, else ``"serial"``.
+
+    An unregistered name in the environment variable logs a warning (once
+    per name) and falls back to ``"serial"`` instead of exploding deep
+    inside a run — an explicit ``backend=`` argument still raises.
+    """
     name = os.environ.get(BACKEND_ENV, "").strip()
-    return name if name else "serial"
+    if not name:
+        return "serial"
+    with _registry_lock:
+        registered = name in _factories
+        known = ", ".join(sorted(_factories))
+    if not registered:
+        if name not in _warned_unknown_default:
+            _warned_unknown_default.add(name)
+            _log.warning(
+                "%s=%r is not a registered backend (registered: %s); "
+                "falling back to 'serial'",
+                BACKEND_ENV, name, known,
+            )
+        return "serial"
+    return name
 
 
 register_backend("serial", SerialBackend)

@@ -10,6 +10,12 @@ and eviction is mirrored into the process-wide telemetry metrics registry
 (``runtime.plan_cache.hits`` / ``.misses`` / ``.evictions`` plus a
 ``.size`` gauge), so benchmarks report hit rates from the same counters
 production monitoring would scrape.
+
+Plan builds run **outside** the global cache lock, serialised per key: a
+slow build for one ``(kernel, shape, boundary, depth)`` problem never
+blocks lookups or builds for unrelated keys, while concurrent requests
+for the *same* key wait on a per-key build lock and share one build
+(double-checked against the cache once the lock is held).
 """
 
 from __future__ import annotations
@@ -43,34 +49,55 @@ class PlanCache:
         self.capacity = int(capacity)
         self._lock = threading.Lock()
         self._plans: "OrderedDict[tuple, ExecutionPlan]" = OrderedDict()
+        self._building: Dict[tuple, threading.Lock] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
 
+    def _record_hit(self, key: tuple) -> ExecutionPlan:
+        """Touch ``key`` (caller holds ``self._lock``, entry exists)."""
+        self._plans.move_to_end(key)
+        self._hits += 1
+        telemetry.counter("runtime.plan_cache.hits").inc()
+        return self._plans[key]
+
     def get_or_build(
         self, key: tuple, builder: Callable[[], ExecutionPlan]
     ) -> ExecutionPlan:
-        """Cached plan for ``key``, building (and inserting) it on a miss."""
+        """Cached plan for ``key``, building (and inserting) it on a miss.
+
+        The build runs outside the global lock under a per-key lock, so a
+        slow ``builder`` only blocks callers asking for the *same* key;
+        those waiters re-check the cache once the build lock is theirs and
+        share the finished plan.  A raising builder still counts exactly
+        one miss and leaves the key rebuildable.
+        """
         with self._lock:
-            plan = self._plans.get(key)
-            if plan is not None:
-                self._plans.move_to_end(key)
-                self._hits += 1
-                telemetry.counter("runtime.plan_cache.hits").inc()
-                return plan
-            self._misses += 1
-        # Build outside the lock: plans are deterministic, so a racing
-        # duplicate build is wasteful but harmless.
-        plan = builder()
-        with self._lock:
-            self._plans[key] = plan
-            self._plans.move_to_end(key)
-            while len(self._plans) > self.capacity:
-                self._plans.popitem(last=False)
-                self._evictions += 1
-                telemetry.counter("runtime.plan_cache.evictions").inc()
-            telemetry.counter("runtime.plan_cache.misses").inc()
-            telemetry.gauge("runtime.plan_cache.size").set(len(self._plans))
+            if key in self._plans:
+                return self._record_hit(key)
+            build_lock = self._building.get(key)
+            if build_lock is None:
+                build_lock = self._building[key] = threading.Lock()
+        with build_lock:
+            with self._lock:
+                if key in self._plans:
+                    # Another thread finished this key while we waited.
+                    return self._record_hit(key)
+                self._misses += 1
+                telemetry.counter("runtime.plan_cache.misses").inc()
+            try:
+                plan = builder()
+                with self._lock:
+                    self._plans[key] = plan
+                    self._plans.move_to_end(key)
+                    while len(self._plans) > self.capacity:
+                        self._plans.popitem(last=False)
+                        self._evictions += 1
+                        telemetry.counter("runtime.plan_cache.evictions").inc()
+                    telemetry.gauge("runtime.plan_cache.size").set(len(self._plans))
+            finally:
+                with self._lock:
+                    self._building.pop(key, None)
         return plan
 
     def clear(self) -> None:

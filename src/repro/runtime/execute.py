@@ -27,11 +27,9 @@ __all__ = ["execute", "execute_batch", "execute_pass", "plan_for"]
 
 def _default_tiles() -> int:
     """Tile count baked into cached plans (the tiled backend's pool size)."""
-    import os
+    from repro.runtime.tiled import default_worker_count
 
-    from repro.runtime.tiled import WORKERS_ENV
-
-    return int(os.environ.get(WORKERS_ENV, 0)) or (os.cpu_count() or 1)
+    return default_worker_count()
 
 
 def plan_for(
@@ -96,6 +94,10 @@ def _run_passes(
                 if batched
                 else backend.apply_pass(pp, padded)
             )
+    if out is data:
+        # Zero passes (steps=0): a no-op run still returns a fresh float64
+        # array, never an alias of the caller's input.
+        out = np.array(data, dtype=np.float64)
     return out
 
 
@@ -134,11 +136,18 @@ def execute_batch(
     fill_value: float = 0.0,
     backend: Union[str, Backend, None] = None,
 ) -> np.ndarray:
-    """Advance a batch of independent grids (leading batch axis)."""
+    """Advance a batch of independent grids (leading batch axis).
+
+    An empty batch (leading extent 0) is a well-defined no-op: the result
+    is an empty float64 array of the same shape, whatever ``steps`` says
+    (stencil passes preserve grid shape, so zero grids stay zero grids).
+    """
     if steps < 0:
         raise ValueError(f"steps must be non-negative, got {steps}")
     resolved = get_backend(backend)
     batch = np.asarray(batch, dtype=np.float64)
+    if batch.ndim >= 1 and batch.shape[0] == 0:
+        return np.array(batch, dtype=np.float64)
     with telemetry.span(
         "convstencil.run",
         kernel=plan.kernel.name,

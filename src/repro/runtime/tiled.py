@@ -38,7 +38,7 @@ from repro.runtime.plan import PassPlan
 from repro.stencils.kernel import StencilKernel
 from repro.telemetry.log import get_logger
 
-__all__ = ["TiledBackend"]
+__all__ = ["TiledBackend", "default_worker_count"]
 
 _log = get_logger("runtime.tiled")
 
@@ -46,9 +46,59 @@ _log = get_logger("runtime.tiled")
 WORKERS_ENV = "REPRO_TILED_WORKERS"
 MIN_ROWS_ENV = "REPRO_TILED_MIN_ROWS"
 
+#: Fault-injection switch consumed by :mod:`repro.verify.faults` — a
+#: comma-separated list of fault kinds (``worker``, ``attach``, ``spawn``)
+#: the conformance harness plants at the hook points below.  Unset (the
+#: default) costs one environment lookup per hook.
+FAULTS_ENV = "REPRO_TILED_FAULTS"
+
 #: Below this many output rows per tile, pool/IPC overhead dominates and
 #: the pass runs serially instead.
 DEFAULT_MIN_ROWS_PER_TILE = 128
+
+
+def _env_int(name: str, default: int) -> int:
+    """Integer environment override with warn-and-default error handling.
+
+    A malformed or out-of-range value deep inside a run must not abort it:
+    log a warning and use ``default``.  ``"0"`` and the empty string mean
+    "unset" (the historical convention for ``REPRO_TILED_WORKERS=0``).
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        _log.warning(
+            "%s=%r is not an integer; falling back to the default %d",
+            name, raw, default,
+        )
+        return default
+    if value == 0:
+        return default
+    if value < 0:
+        _log.warning(
+            "%s=%r must be positive; falling back to the default %d",
+            name, raw, default,
+        )
+        return default
+    return value
+
+
+def default_worker_count() -> int:
+    """Pool size the tiled backend uses when none is given explicitly."""
+    return _env_int(WORKERS_ENV, os.cpu_count() or 1)
+
+
+def _injected_fault(point: str) -> None:
+    """Raise an injected fault if the verify harness armed ``point``."""
+    spec = os.environ.get(FAULTS_ENV)
+    if not spec:
+        return
+    from repro.verify.faults import raise_if_injected
+
+    raise_if_injected(point, spec)
 
 
 def _engine_for(ndim: int):
@@ -69,6 +119,7 @@ def _attach_shared(name: str):
     own registration and make the final ``unlink`` complain instead; silencing
     registration during the attach keeps ownership purely create-side.
     """
+    _injected_fault("attach")
     from multiprocessing import shared_memory
 
     try:  # pragma: no cover - depends on stdlib internals
@@ -84,6 +135,28 @@ def _attach_shared(name: str):
         return shared_memory.SharedMemory(name=name, create=False)
 
 
+def _unlink_segments(*segments) -> None:
+    """Close and unlink creator-owned shared-memory segments.
+
+    Tolerates ``None`` (never created) and already-unlinked segments, and
+    keeps going past a failing segment so one unlink error cannot leak the
+    remaining ones.
+    """
+    for seg in segments:
+        if seg is None:
+            continue
+        try:
+            seg.close()
+        except OSError:  # pragma: no cover - close on a dead mapping
+            pass
+        try:
+            seg.unlink()
+        except FileNotFoundError:
+            pass  # double clean-up (e.g. resource tracker got there first)
+        except OSError as exc:  # pragma: no cover - platform-specific
+            _log.warning("tiled: failed to unlink segment %s (%s)", seg.name, exc)
+
+
 def _run_tile_shm(task: dict) -> Tuple[int, int]:
     """Worker body: one axis-0 tile of one pass, via shared memory.
 
@@ -91,6 +164,7 @@ def _run_tile_shm(task: dict) -> Tuple[int, int]:
     applies the engine, and scatters output rows ``[lo, hi)`` into the
     output segment.  Returns the bounds for bookkeeping.
     """
+    _injected_fault("worker")
     lo, hi = task["lo"], task["hi"]
     kernel: StencilKernel = task["kernel"]
     k = kernel.edge
@@ -109,6 +183,7 @@ def _run_tile_shm(task: dict) -> Tuple[int, int]:
 
 def _run_batch_tile_shm(task: dict) -> Tuple[int, int]:
     """Worker body: one batch-axis tile of one ensemble pass."""
+    _injected_fault("worker")
     lo, hi = task["lo"], task["hi"]
     kernel: StencilKernel = task["kernel"]
     seg_in = _attach_shared(task["in_name"])
@@ -154,11 +229,9 @@ class TiledBackend(SerialBackend):
         use_processes: bool = True,
     ) -> None:
         if workers is None:
-            workers = int(os.environ.get(WORKERS_ENV, 0)) or (os.cpu_count() or 1)
+            workers = default_worker_count()
         if min_rows_per_tile is None:
-            min_rows_per_tile = int(
-                os.environ.get(MIN_ROWS_ENV, DEFAULT_MIN_ROWS_PER_TILE)
-            )
+            min_rows_per_tile = _env_int(MIN_ROWS_ENV, DEFAULT_MIN_ROWS_PER_TILE)
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if min_rows_per_tile < 1:
@@ -182,6 +255,7 @@ class TiledBackend(SerialBackend):
                     try:
                         import multiprocessing as mp
 
+                        _injected_fault("spawn")
                         ctx = (
                             mp.get_context("fork")
                             if "fork" in mp.get_all_start_methods()
@@ -223,10 +297,21 @@ class TiledBackend(SerialBackend):
         try:
             for future in [pool.submit(worker, t) for t in tasks]:
                 future.result()
-        except (OSError, RuntimeError) as exc:
-            # A broken pool (killed worker, fork restrictions) degrades to
-            # threads for the rest of the process; the pass is retried.
-            _log.warning("tiled: pool failed (%s); degrading to threads", exc)
+        except Exception as exc:
+            if not self._use_processes:
+                # Thread-pool failures are genuine engine errors: the
+                # computation is deterministic, so a retry cannot help.
+                raise
+            # Any failure crossing the process pool — a broken pool (killed
+            # worker, fork restrictions), a shared-memory attach error, or
+            # an exception raised inside a worker — degrades to threads for
+            # the rest of the process and the pass is retried in full
+            # (tiles are idempotent writes into disjoint output rows).
+            _log.warning(
+                "tiled: pool failed (%s: %s); degrading to threads",
+                type(exc).__name__, exc,
+            )
+            telemetry.counter("runtime.tiled.degradations").inc()
             self.close()
             self._use_processes = False
             pool = self._get_pool()
@@ -246,12 +331,16 @@ class TiledBackend(SerialBackend):
             return self._run_threaded(worker, padded, out_shape, bounds, kernel)
         from multiprocessing import shared_memory
 
+        seg_in = seg_out = None
         try:
             seg_in = shared_memory.SharedMemory(create=True, size=padded.nbytes)
             seg_out = shared_memory.SharedMemory(
                 create=True, size=int(np.prod(out_shape)) * 8
             )
         except OSError as exc:
+            # A half-created pair (input segment created, output segment
+            # failed) must be released here, not left to atexit.
+            _unlink_segments(seg_in, seg_out)
             _log.warning(
                 "tiled: shared memory unavailable (%s); degrading to threads", exc
             )
@@ -279,13 +368,9 @@ class TiledBackend(SerialBackend):
             out = np.ndarray(out_shape, dtype=np.float64, buffer=seg_out.buf)
             return np.array(out)  # copy out before the segment is unlinked
         finally:
-            seg_in.close()
-            seg_out.close()
-            try:
-                seg_in.unlink()
-                seg_out.unlink()
-            except FileNotFoundError:  # pragma: no cover - double clean-up
-                pass
+            # Unlink on every exit path — success, worker failure, or
+            # degradation mid-pass — so no segment outlives the pass.
+            _unlink_segments(seg_in, seg_out)
 
     def _run_threaded(
         self, worker, padded, out_shape, bounds, kernel

@@ -1,0 +1,168 @@
+"""Fault injection for the tiled multiprocess runtime.
+
+The tiled backend promises *graceful degradation*: when its process pool,
+shared memory, or workers fail, execution falls back to an in-process
+thread pool — same tiles, same bits — and no shared-memory segment
+outlives the pass.  This module makes those failure paths testable on
+demand by arming hook points inside :mod:`repro.runtime.tiled` through
+the ``REPRO_TILED_FAULTS`` environment variable (environment variables
+survive both ``fork`` and ``spawn``, so the hooks fire inside worker
+processes too):
+
+========  =============================================  ================
+kind      hook point                                     injected error
+========  =============================================  ================
+worker    worker body start (child processes only)       InjectedFault
+attach    shared-memory attach (child processes only)    OSError
+spawn     process-pool creation (parent)                 OSError
+========  =============================================  ================
+
+``worker`` and ``attach`` faults fire only in worker *processes*: the
+parent pid is recorded when the fault is armed, so the degraded
+thread-pool retry (which runs the same worker bodies in-process) succeeds
+— exactly the semantics of a crashed or unreachable worker whose work is
+recomputed locally.
+
+Typical use::
+
+    from repro.verify import faults
+
+    with faults.assert_no_leaked_shm(), faults.inject("worker"):
+        out = ConvStencil(kernel, backend=tiled).run(x, steps)
+    np.testing.assert_array_equal(out, serial_out)   # identical bits
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import FrozenSet, Iterable, Iterator, Set
+
+from repro.runtime.tiled import FAULTS_ENV
+
+__all__ = [
+    "FAULT_KINDS",
+    "InjectedFault",
+    "assert_no_leaked_shm",
+    "inject",
+    "leaked_shm_segments",
+    "raise_if_injected",
+    "shm_segments",
+]
+
+#: Fault kinds understood by the tiled runtime's hook points.
+FAULT_KINDS: FrozenSet[str] = frozenset({"worker", "attach", "spawn"})
+
+#: Records the pid that armed the faults, so child-only kinds can tell a
+#: worker process from the parent's degraded in-process retry.
+PARENT_ENV = "REPRO_TILED_FAULTS_PARENT"
+
+
+class InjectedFault(Exception):
+    """Deliberate failure planted by the verification harness.
+
+    Deriving from plain :class:`Exception` (not ``OSError``/
+    ``RuntimeError``) proves the tiled backend degrades on *generic*
+    worker failures, not only on the historically whitelisted types.
+    """
+
+
+def _parse(spec: str) -> Set[str]:
+    kinds = {k.strip().lower() for k in spec.split(",") if k.strip()}
+    unknown = kinds - FAULT_KINDS
+    if unknown:
+        raise ValueError(
+            f"unknown fault kind(s) {sorted(unknown)}; "
+            f"valid kinds: {sorted(FAULT_KINDS)}"
+        )
+    return kinds
+
+
+def raise_if_injected(point: str, spec: str) -> None:
+    """Raise the armed fault for ``point``, if any (called by the runtime).
+
+    ``worker`` and ``attach`` faults are suppressed in the process that
+    armed them (see :data:`PARENT_ENV`): they model worker-side failures,
+    and the parent's thread-pool retry must be able to complete the pass.
+    When the spec came from a bare environment variable (no parent pid
+    recorded — e.g. ``REPRO_TILED_FAULTS=worker`` exported in CI), any
+    process that is not a :mod:`multiprocessing` child counts as the
+    parent.
+    """
+    try:
+        kinds = _parse(spec)
+    except ValueError:
+        return  # a malformed spec never breaks a production run
+    if point not in kinds:
+        return
+    if point in ("worker", "attach"):
+        parent = os.environ.get(PARENT_ENV)
+        if parent is not None:
+            if str(os.getpid()) == parent:
+                return
+        else:
+            import multiprocessing
+
+            if multiprocessing.parent_process() is None:
+                return
+    if point == "worker":
+        raise InjectedFault("injected worker fault (mid-pass)")
+    raise OSError(f"injected {point} fault")
+
+
+@contextmanager
+def inject(*kinds: str) -> Iterator[None]:
+    """Arm fault kinds for the duration of the ``with`` block.
+
+    Sets ``REPRO_TILED_FAULTS`` (inherited by worker processes) and
+    records this process as the parent, then restores both variables —
+    even if the block raises.
+    """
+    armed = set()
+    for kind in kinds:
+        armed |= _parse(kind)
+    if not armed:
+        raise ValueError("inject() needs at least one fault kind")
+    saved = {
+        name: os.environ.get(name) for name in (FAULTS_ENV, PARENT_ENV)
+    }
+    os.environ[FAULTS_ENV] = ",".join(sorted(armed))
+    os.environ[PARENT_ENV] = str(os.getpid())
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+def shm_segments() -> Set[str]:
+    """Names of currently-live POSIX shared-memory segments.
+
+    On Linux these appear under ``/dev/shm`` (Python's segments as
+    ``psm_*``); on platforms without that directory an empty set is
+    returned and leak checks are vacuous.
+    """
+    try:
+        return {n for n in os.listdir("/dev/shm") if not n.startswith("sem.")}
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return set()
+
+
+def leaked_shm_segments(before: Set[str]) -> Set[str]:
+    """Segments alive now that were not alive at ``before``."""
+    return shm_segments() - set(before)
+
+
+@contextmanager
+def assert_no_leaked_shm() -> Iterator[None]:
+    """Assert the ``with`` block leaves no new shared-memory segments."""
+    before = shm_segments()
+    yield
+    leaked = leaked_shm_segments(before)
+    if leaked:
+        raise AssertionError(
+            f"shared-memory segments leaked: {sorted(leaked)}"
+        )

@@ -101,3 +101,96 @@ class TestCacheIntegration:
             cs.run(default_rng(1).random(extent), 1)
         assert fresh_cache.stats["evictions"] >= 1
         np.testing.assert_array_equal(cs.run(x, 1), first)
+
+
+class TestCacheConcurrency:
+    """The per-key build-lock rewrite: builds run outside the global lock."""
+
+    def test_slow_build_does_not_block_other_keys(self, fresh_cache):
+        import threading
+        import time
+
+        gate = threading.Event()
+        order = []
+
+        def slow_builder():
+            gate.wait(timeout=5.0)
+            order.append("slow")
+            return "slow-plan"
+
+        t = threading.Thread(
+            target=fresh_cache.get_or_build, args=("slow", slow_builder)
+        )
+        t.start()
+        time.sleep(0.05)  # let the slow build take its per-key lock
+        # A different key must complete while "slow" is still building.
+        got = fresh_cache.get_or_build("fast", lambda: order.append("fast") or "fast-plan")
+        assert got == "fast-plan"
+        assert order == ["fast"]
+        gate.set()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert "slow" in fresh_cache and "fast" in fresh_cache
+
+    def test_same_key_shares_one_build(self, fresh_cache):
+        import threading
+
+        builds = []
+        barrier = threading.Barrier(8)
+        results = []
+
+        def request():
+            barrier.wait()
+            results.append(
+                fresh_cache.get_or_build("k", lambda: builds.append(1) or "plan")
+            )
+
+        threads = [threading.Thread(target=request) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert len(builds) == 1
+        assert results == ["plan"] * 8
+        stats = fresh_cache.stats
+        assert stats["misses"] == 1
+        assert stats["hits"] == 7
+
+    def test_raising_builder_counts_one_miss_and_allows_retry(self, fresh_cache):
+        def explode():
+            raise RuntimeError("builder boom")
+
+        with pytest.raises(RuntimeError, match="builder boom"):
+            fresh_cache.get_or_build("k", explode)
+        stats = fresh_cache.stats
+        assert stats["misses"] == 1
+        assert stats["hits"] == 0
+        assert "k" not in fresh_cache
+        # The key is rebuildable afterwards — no stuck build lock.
+        assert fresh_cache.get_or_build("k", lambda: "recovered") == "recovered"
+        assert fresh_cache.stats["misses"] == 2
+
+    def test_hammering_many_keys_from_many_threads(self, fresh_cache):
+        import threading
+
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(50):
+                    key = ("k", i % 6)
+                    plan = fresh_cache.get_or_build(key, lambda key=key: ("plan", key))
+                    assert plan == ("plan", key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not errors
+        stats = fresh_cache.stats
+        # Counters stay consistent under contention: every request is
+        # exactly one hit or one miss.
+        assert stats["hits"] + stats["misses"] == 8 * 50

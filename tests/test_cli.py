@@ -118,3 +118,40 @@ class TestExtendedFlags:
         assert out.exists()
         assert "Table 3" in out.read_text()
         assert any("REPORT: wrote" in ln for ln in lines)
+
+
+class TestVerifySubcommand:
+    def test_quick_verify_passes(self):
+        lines = run(["verify", "--quick", "--seed", "0", "--cases", "4"])
+        assert any("VERIFY:" in ln for ln in lines)
+        assert any("result: OK" in ln for ln in lines)
+        assert any("mutation smoke-check" in ln and "caught" in ln for ln in lines)
+
+    def test_backend_restriction_and_report(self, tmp_path):
+        import json
+
+        out = tmp_path / "verify.json"
+        lines = run([
+            "verify", "--quick", "--seed", "1", "--cases", "3",
+            "--backend", "serial", "--backend", "reference",
+            "--report", str(out),
+        ])
+        assert any("REPORT: wrote" in ln for ln in lines)
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is True
+        assert payload["backends"] == ["reference", "serial"]
+        assert payload["cases"] == 3
+
+    def test_no_mutation_flag(self):
+        lines = run([
+            "verify", "--quick", "--seed", "0", "--cases", "2", "--no-mutation",
+        ])
+        assert not any("mutation" in ln for ln in lines)
+
+    def test_bad_cases_value(self):
+        with pytest.raises(ReproError, match="positive"):
+            run(["verify", "--cases", "-3"])
+
+    def test_main_exit_zero(self, capsys):
+        assert main(["verify", "--quick", "--seed", "0", "--cases", "2"]) == 0
+        assert "VERIFY:" in capsys.readouterr().out

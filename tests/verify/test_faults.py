@@ -1,0 +1,216 @@
+"""Fault-injection tests: the tiled runtime degrades gracefully.
+
+Every scenario asserts the full contract, not just "no crash": the run
+completes, the bits are identical to the serial backend, and no
+shared-memory segment outlives the pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import ConvStencil
+from repro.runtime.backends import SerialBackend
+from repro.runtime.tiled import (
+    MIN_ROWS_ENV,
+    WORKERS_ENV,
+    TiledBackend,
+    _env_int,
+    default_worker_count,
+)
+from repro.stencils.catalog import get_kernel
+from repro.utils.rng import default_rng
+from repro.verify import faults
+from repro.verify.faults import InjectedFault, assert_no_leaked_shm, inject
+
+
+@pytest.fixture
+def serial_out():
+    kernel = get_kernel("heat-2d")
+    x = default_rng(0).random((48, 31))
+    return x, ConvStencil(kernel, backend=SerialBackend()).run(x, 3)
+
+
+def _fresh_tiled(**kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("min_rows_per_tile", 2)
+    return TiledBackend(**kwargs)
+
+
+def _run_tiled(backend, x, steps=3):
+    kernel = get_kernel("heat-2d")
+    try:
+        return ConvStencil(kernel, backend=backend).run(x, steps)
+    finally:
+        backend.close()
+
+
+class TestInjectedFaults:
+    def test_worker_crash_degrades_with_identical_bits(self, serial_out):
+        x, expected = serial_out
+        from repro import telemetry
+
+        before = telemetry.counter("runtime.tiled.degradations").value
+        backend = _fresh_tiled()
+        with assert_no_leaked_shm(), inject("worker"):
+            out = _run_tiled(backend, x)
+        np.testing.assert_array_equal(out, expected)
+        assert not backend._use_processes  # degraded for the rest of the run
+        assert telemetry.counter("runtime.tiled.degradations").value > before
+
+    def test_attach_failure_degrades_with_identical_bits(self, serial_out):
+        x, expected = serial_out
+        backend = _fresh_tiled()
+        with assert_no_leaked_shm(), inject("attach"):
+            out = _run_tiled(backend, x)
+        np.testing.assert_array_equal(out, expected)
+        assert not backend._use_processes
+
+    def test_spawn_failure_runs_on_threads(self, serial_out):
+        x, expected = serial_out
+        backend = _fresh_tiled()
+        with assert_no_leaked_shm(), inject("spawn"):
+            out = _run_tiled(backend, x)
+        np.testing.assert_array_equal(out, expected)
+        assert not backend._use_processes
+
+    def test_all_faults_at_once(self, serial_out):
+        x, expected = serial_out
+        backend = _fresh_tiled()
+        with assert_no_leaked_shm(), inject("worker", "attach", "spawn"):
+            out = _run_tiled(backend, x)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_batch_path_worker_crash(self):
+        kernel = get_kernel("heat-2d")
+        stack = default_rng(1).random((6, 20, 21))
+        expected = ConvStencil(kernel, backend=SerialBackend()).run_batch(stack, 2)
+        backend = _fresh_tiled()
+        with assert_no_leaked_shm(), inject("worker"):
+            try:
+                out = ConvStencil(kernel, backend=backend).run_batch(stack, 2)
+            finally:
+                backend.close()
+        np.testing.assert_array_equal(out, expected)
+
+    def test_no_segments_leaked_on_success_either(self, serial_out):
+        x, expected = serial_out
+        backend = _fresh_tiled()
+        with assert_no_leaked_shm():
+            out = _run_tiled(backend, x)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_thread_pool_failures_propagate(self):
+        # Once on threads the computation is deterministic, so a failure is
+        # genuine: _dispatch must raise it rather than retry forever.
+        backend = _fresh_tiled(use_processes=False)
+        calls = []
+
+        def bad_worker(task):
+            calls.append(task)
+            raise InjectedFault("genuine thread-side failure")
+
+        try:
+            with pytest.raises(InjectedFault):
+                backend._dispatch(bad_worker, [{"lo": 0, "hi": 1}])
+            assert len(calls) == 1  # no retry
+        finally:
+            backend.close()
+
+
+class TestFaultsModule:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            with inject("meteor-strike"):
+                pass  # pragma: no cover
+
+    def test_inject_needs_a_kind(self):
+        with pytest.raises(ValueError, match="at least one"):
+            with inject():
+                pass  # pragma: no cover
+
+    def test_env_restored_after_block(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+        with inject("spawn"):
+            assert os.environ[faults.FAULTS_ENV] == "spawn"
+            assert os.environ[faults.PARENT_ENV] == str(os.getpid())
+        assert faults.FAULTS_ENV not in os.environ
+        assert faults.PARENT_ENV not in os.environ
+
+    def test_env_restored_even_when_block_raises(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv(faults.FAULTS_ENV, "attach")
+        with pytest.raises(RuntimeError):
+            with inject("spawn"):
+                raise RuntimeError("boom")
+        assert os.environ[faults.FAULTS_ENV] == "attach"
+
+    def test_malformed_spec_is_inert(self):
+        # A stray REPRO_TILED_FAULTS value must never break production runs.
+        faults.raise_if_injected("worker", "not,a,real,kind")
+
+    def test_spec_not_matching_point_is_inert(self):
+        faults.raise_if_injected("worker", "spawn")
+
+    def test_parent_pid_suppresses_child_only_faults(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv(faults.PARENT_ENV, str(os.getpid()))
+        faults.raise_if_injected("worker", "worker")  # suppressed: we ARE the parent
+        faults.raise_if_injected("attach", "attach")
+        with pytest.raises(OSError):
+            faults.raise_if_injected("spawn", "spawn")  # parent-side kind
+
+
+class TestEnvFallbacks:
+    def test_non_integer_workers_warns_and_defaults(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "banana")
+        import os
+
+        assert default_worker_count() == (os.cpu_count() or 1)
+
+    def test_negative_min_rows_warns_and_defaults(self, monkeypatch):
+        monkeypatch.setenv(MIN_ROWS_ENV, "-5")
+        backend = TiledBackend(workers=2)
+        try:
+            assert backend.min_rows_per_tile == 128
+        finally:
+            backend.close()
+
+    def test_zero_means_unset(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        import os
+
+        assert default_worker_count() == (os.cpu_count() or 1)
+
+    def test_valid_value_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert default_worker_count() == 3
+
+    def test_env_int_direct(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_ENV_INT", "  ")
+        assert _env_int("REPRO_TEST_ENV_INT", 7) == 7
+        monkeypatch.setenv("REPRO_TEST_ENV_INT", "12")
+        assert _env_int("REPRO_TEST_ENV_INT", 7) == 12
+
+    def test_explicit_invalid_args_still_raise(self):
+        with pytest.raises(ValueError):
+            TiledBackend(workers=0)
+        with pytest.raises(ValueError):
+            TiledBackend(workers=2, min_rows_per_tile=0)
+
+    def test_oversubscribed_workers_still_correct(self, serial_out):
+        x, expected = serial_out
+        backend = TiledBackend(
+            workers=16, min_rows_per_tile=2, use_processes=False
+        )
+        out = _run_tiled(backend, x)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_single_worker_serial_path(self, serial_out):
+        x, expected = serial_out
+        backend = TiledBackend(workers=1)
+        out = _run_tiled(backend, x)
+        np.testing.assert_array_equal(out, expected)
