@@ -35,6 +35,11 @@ seeded differential harness — random cases across every registered
 backend against the reference oracles, plus a mutation smoke-check —
 e.g. ``python -m repro verify --quick --seed 0`` or
 ``python -m repro verify --cases 50 --report verify.json``.
+
+Static analysis (see :mod:`repro.staticcheck`): the ``lint`` subcommand
+runs the determinism/safety linter and the plan-invariant verifier as a
+gate — e.g. ``python -m repro lint --format json`` — exiting nonzero on
+error-severity findings while keeping stdout machine-parseable.
 """
 
 from __future__ import annotations
@@ -48,7 +53,7 @@ import numpy as np
 from repro import telemetry
 from repro.analysis.breakdown import run_breakdown
 from repro.core.api import ConvStencil
-from repro.errors import ReproError
+from repro.errors import ReproError, StaticCheckError
 from repro.gpu.specs import A100, H100, V100, DeviceSpec
 from repro.model.convstencil_model import convstencil_throughput
 from repro.runtime import list_backends
@@ -289,6 +294,87 @@ def _run_verify(argv: List[str]) -> List[str]:
     return lines
 
 
+def _run_lint(argv: List[str]) -> List[str]:
+    """The ``lint`` subcommand: all three staticcheck layers as a gate.
+
+    Report lines (text or one JSON document) go to stdout only; on
+    error-severity findings the report is still printed before the
+    nonzero-exit :class:`~repro.errors.StaticCheckError` is raised, whose
+    message ``main`` routes to stderr — so ``--format json`` stdout stays
+    machine-parseable either way.
+    """
+    parser = argparse.ArgumentParser(
+        prog="convstencil lint",
+        description=(
+            "Static determinism & safety checks: the AST linter "
+            "(RPR001-006), the plan/LUT verifier over the kernel catalog "
+            "(RPR201-206), and the concurrency discipline rules "
+            "(RPR101-103)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to scan (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text; json emits one document)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline file of known findings to suppress "
+        "(default .staticcheck-baseline.json if present)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--no-plans",
+        action="store_true",
+        help="skip the plan-invariant layer (AST rules only)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.staticcheck import (
+        load_baseline,
+        render_json,
+        render_text,
+        run_lint,
+        write_baseline,
+    )
+    from repro.staticcheck.report import DEFAULT_BASELINE
+
+    baseline_path = args.baseline if args.baseline else DEFAULT_BASELINE
+    baseline = [] if args.write_baseline else load_baseline(baseline_path)
+    result = run_lint(
+        paths=args.paths or None,
+        include_plans=not args.no_plans,
+        baseline=baseline,
+    )
+    if args.write_baseline:
+        n = write_baseline(baseline_path, result)
+        return [f"staticcheck: wrote baseline {baseline_path} ({n} findings)"]
+    lines = (
+        render_json(result).splitlines()
+        if args.format == "json"
+        else render_text(result)
+    )
+    if not result.ok:
+        for line in lines:
+            print(line)
+        raise StaticCheckError(
+            f"staticcheck found {len(result.errors)} error-severity finding(s)"
+        )
+    return lines
+
+
 def run(argv: Sequence[str]) -> List[str]:
     """Execute the CLI and return the output lines (also printed by main)."""
     argv = list(argv)
@@ -296,6 +382,8 @@ def run(argv: Sequence[str]) -> List[str]:
         return _run_telemetry_report(argv[1:])
     if argv and argv[0] == "verify":
         return _run_verify(argv[1:])
+    if argv and argv[0] == "lint":
+        return _run_lint(argv[1:])
     args = build_parser().parse_args(argv)
     if args.trace or args.metrics:
         telemetry.enable()
@@ -418,7 +506,13 @@ def run(argv: Sequence[str]) -> List[str]:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Console entry point."""
+    """Console entry point.
+
+    Failures exit nonzero with the error on **stderr**; library log
+    records are routed to stderr too, so stdout carries nothing but the
+    report lines (the ``--format json`` machine-parseability contract).
+    """
+    telemetry.configure_logging("WARNING")  # stderr; stdout stays machine-readable
     try:
         for line in run(sys.argv[1:] if argv is None else list(argv)):
             print(line)

@@ -378,8 +378,19 @@ def run_simulated_2d(
 
         sa = sliding_windows(np.ascontiguousarray(a_data), k, axis=0)
         sb = sliding_windows(np.ascontiguousarray(b_data), k, axis=0)
-        out = np.einsum("txri,xij->trj", sa, wa3, optimize=True)
-        out += np.einsum("txru,xuj->trj", sb, wb3, optimize=True)
+        # staticcheck: gemm-shape-pinned — stacked (R, k²) @ (k², k+1)
+        # GEMMs whose operand shapes depend only on the kernel edge, so
+        # the contraction order (and the FP64 bits) cannot vary with the
+        # grid extent.  An einsum with optimize= here chose size-dependent
+        # paths — the PR 3 bug class.
+        sa_flat = np.ascontiguousarray(sa.transpose(0, 2, 1, 3)).reshape(
+            x_valid, bands * 8, k2
+        )
+        sb_flat = np.ascontiguousarray(sb.transpose(0, 2, 1, 3)).reshape(
+            x_valid, bands * 8, k2
+        )
+        out = sa_flat @ wa3.reshape(k2, g)
+        out += sb_flat @ wb3.reshape(k2, g)
         out = out.reshape(x_valid, bands * 8 * g)
         # the two triangular halves contribute k^2 MACs total per output;
         # scalar loads cannot share fragments, so each MAC reads its own

@@ -40,3 +40,9 @@ class ModelError(ReproError):
 
 class BaselineError(ReproError):
     """Raised by baseline engines for unsupported stencil configurations."""
+
+
+class StaticCheckError(ReproError):
+    """Raised when static analysis finds error-severity violations —
+    by ``repro lint`` (gating the exit code) and by the plan cache when
+    ``REPRO_STATICCHECK=1`` rejects a plan on insert."""

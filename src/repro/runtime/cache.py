@@ -16,18 +16,48 @@ slow build for one ``(kernel, shape, boundary, depth)`` problem never
 blocks lookups or builds for unrelated keys, while concurrent requests
 for the *same* key wait on a per-key build lock and share one build
 (double-checked against the cache once the lock is held).
+
+Under ``REPRO_STATICCHECK=1`` every freshly built plan is verified
+against the paper's static invariants (LUT bounds, dirty-zone coverage,
+triangular weights — see :func:`repro.staticcheck.check_plan`) before it
+is inserted; a violating plan raises instead of being cached.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from typing import Callable, Dict, Optional
 
 from repro import telemetry
+from repro.errors import StaticCheckError
 from repro.runtime.plan import ExecutionPlan
 
 __all__ = ["PlanCache", "get_plan_cache", "set_plan_cache"]
+
+
+def _staticcheck_plan(plan: ExecutionPlan) -> None:
+    """Verify a freshly built plan when ``REPRO_STATICCHECK=1``.
+
+    Runs the :mod:`repro.staticcheck.plan_invariants` layer on every cache
+    insert (imported lazily — the common path pays one env lookup) and
+    refuses to cache a plan violating a paper invariant: a corrupted LUT
+    or weight table must never reach an engine.
+    """
+    if os.environ.get("REPRO_STATICCHECK", "").strip() not in ("1", "true", "on"):
+        return
+    from repro.staticcheck.plan_invariants import check_plan
+
+    findings = check_plan(plan)
+    telemetry.counter("staticcheck.findings").inc(len(findings))
+    errors = [f for f in findings if f.severity == "error"]
+    if errors:
+        detail = "; ".join(f"{f.rule_id} {f.message}" for f in errors[:3])
+        raise StaticCheckError(
+            f"plan for kernel {plan.kernel.name!r} on {plan.grid_shape} "
+            f"violates {len(errors)} invariant(s): {detail}"
+        )
 
 #: Default number of plans kept resident.  Plans are small (tables scale
 #: with kernel volume and one row of the grid), so 64 distinct
@@ -87,6 +117,9 @@ class PlanCache:
                 telemetry.counter("runtime.plan_cache.misses").inc()
             try:
                 plan = builder()
+                # Outside the global lock, like the build itself: the
+                # invariant sweep may touch every precomputed table.
+                _staticcheck_plan(plan)
                 with self._lock:
                     self._plans[key] = plan
                     self._plans.move_to_end(key)

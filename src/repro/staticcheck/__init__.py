@@ -1,0 +1,67 @@
+"""repro.staticcheck — the determinism & safety static analyzer.
+
+Three layers behind one finding model and one reporter (see DESIGN.md
+"Static checks"):
+
+1. **AST determinism/numerics linter** (:mod:`.rules_ast`, RPR001–006) —
+   the bit-stability hazard classes the PR 3 differential harness caught
+   dynamically, flagged in source text before anything runs.
+2. **Plan/LUT static verifier** (:mod:`.plan_invariants`, RPR201–206) —
+   proves the paper's stencil2row/dirty-zone/triangular-weights
+   invariants on built (never executed) execution plans; auto-runs on
+   every :class:`~repro.runtime.cache.PlanCache` insert under
+   ``REPRO_STATICCHECK=1``.
+3. **Concurrency discipline checker** (:mod:`.rules_concurrency`,
+   RPR101–103) — shared-memory lifetime, `with`-only ordered locking,
+   and no blocking under the PlanCache global lock.
+
+Entry points: ``repro lint`` on the command line, :func:`run_lint` /
+:func:`check_plan` from tests.  Suppress intentionally exempt lines with
+``# staticcheck: disable=RPR00x``.
+"""
+
+from repro.staticcheck.engine import (
+    GEMM_PINNED_MARK,
+    STATICCHECK_ENV,
+    LintResult,
+    ModuleSource,
+    all_rules,
+    default_paths,
+    lint_paths,
+    run_lint,
+)
+from repro.staticcheck.finding import Finding, SEVERITIES, sort_findings
+from repro.staticcheck.plan_invariants import (
+    check_plan,
+    check_plan_catalog,
+    eq13_mma_count,
+)
+from repro.staticcheck.report import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    render_json,
+    render_text,
+    write_baseline,
+)
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "Finding",
+    "GEMM_PINNED_MARK",
+    "LintResult",
+    "ModuleSource",
+    "SEVERITIES",
+    "STATICCHECK_ENV",
+    "all_rules",
+    "check_plan",
+    "check_plan_catalog",
+    "default_paths",
+    "eq13_mma_count",
+    "lint_paths",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "sort_findings",
+    "write_baseline",
+]

@@ -1,0 +1,89 @@
+"""The unified finding model every staticcheck layer emits.
+
+A :class:`Finding` is one diagnosed hazard: which rule fired
+(``rule_id``, e.g. ``RPR001``), how bad it is (``severity``), where it
+lives (``file``/``line`` — plan-level findings use a ``plan:<kernel>``
+pseudo-path and line 0), what is wrong (``message``), and what to do
+about it (``fix_hint``).  All three layers — the AST determinism linter,
+the plan/LUT verifier, and the concurrency discipline checker — emit this
+one shape, so the reporter, the baseline file, and the JSON gate never
+special-case a layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["Finding", "SEVERITIES", "severity_rank", "sort_findings"]
+
+#: Recognised severities, most severe first.  Only ``error`` findings make
+#: the lint gate exit nonzero; ``warning`` is advisory, ``info`` contextual.
+SEVERITIES: Tuple[str, ...] = ("error", "warning", "info")
+
+
+def severity_rank(severity: str) -> int:
+    """Sort rank of a severity (lower is more severe; unknown sorts last)."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        return len(SEVERITIES)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis finding (JSON-serialisable).
+
+    ``baseline_key`` deliberately omits the line number: baselines must
+    survive unrelated edits shifting code up or down a file.
+    """
+
+    rule_id: str
+    severity: str
+    file: str
+    line: int
+    message: str
+    fix_hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; expected one of {SEVERITIES}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form used by the JSON reporter and the baseline file."""
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(d: Dict[str, object]) -> "Finding":
+        """Inverse of :meth:`to_dict` (ignores unknown keys)."""
+        return Finding(
+            rule_id=str(d["rule_id"]),
+            severity=str(d["severity"]),
+            file=str(d["file"]),
+            line=int(d.get("line", 0)),
+            message=str(d["message"]),
+            fix_hint=str(d.get("fix_hint", "")),
+        )
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Identity used by the baseline file: ``(rule_id, file, message)``."""
+        return (self.rule_id, self.file, self.message)
+
+    def format(self) -> str:
+        """One-line human rendering: ``file:line: severity RPRxxx message``."""
+        hint = f"  [{self.fix_hint}]" if self.fix_hint else ""
+        return (
+            f"{self.file}:{self.line}: {self.severity} {self.rule_id} "
+            f"{self.message}{hint}"
+        )
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Stable ordering: severity first, then file, line, rule id."""
+    return sorted(
+        findings,
+        key=lambda f: (severity_rank(f.severity), f.file, f.line, f.rule_id),
+    )

@@ -1,0 +1,75 @@
+"""Rendering and baseline persistence for staticcheck results.
+
+One reporter serves all three layers: the text form for humans (one
+``file:line: severity RPRxxx message`` line per finding plus a summary),
+the JSON form for the CI gate (``repro lint --format json`` — a single
+machine-parseable document on stdout, never interleaved with logs), and
+the baseline file that lets a tree adopt the gate green and burn existing
+findings down incrementally (matched by :attr:`Finding.baseline_key`, so
+line-number drift does not resurrect them).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List
+
+from repro.staticcheck.engine import LintResult
+from repro.staticcheck.finding import Finding, sort_findings
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]
+
+#: Baseline file ``repro lint`` reads when none is given explicitly.
+DEFAULT_BASELINE = ".staticcheck-baseline.json"
+
+
+def render_text(result: LintResult) -> List[str]:
+    """Human-readable report lines: findings first, then the summary."""
+    lines = [f.format() for f in sort_findings(result.findings)]
+    counts = result.counts()
+    summary = (
+        f"staticcheck: {result.files_scanned} files, "
+        f"{result.plans_checked} plans, "
+        f"{counts['error']} errors, {counts['warning']} warnings"
+    )
+    if result.baseline_suppressed:
+        summary += f" ({result.baseline_suppressed} baselined)"
+    lines.append(summary)
+    lines.append("OK" if result.ok else "FAIL")
+    return lines
+
+
+def render_json(result: LintResult) -> str:
+    """The machine-readable report: one JSON document, stable key order."""
+    return json.dumps(result.to_dict(), indent=2, sort_keys=True)
+
+
+def load_baseline(path: str = DEFAULT_BASELINE) -> List[Finding]:
+    """Findings recorded in the baseline file (missing file → empty)."""
+    p = Path(path)
+    if not p.exists():
+        return []
+    payload = json.loads(p.read_text())
+    return [Finding.from_dict(d) for d in payload.get("findings", [])]
+
+
+def write_baseline(path: str, result: LintResult) -> int:
+    """Record ``result``'s findings as the new baseline; returns the count."""
+    findings = sort_findings(result.findings)
+    payload = {
+        "comment": (
+            "staticcheck baseline: findings listed here are suppressed by "
+            "`repro lint` (matched by rule_id+file+message). Burn them "
+            "down; do not add to them."
+        ),
+        "findings": [f.to_dict() for f in findings],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return len(findings)

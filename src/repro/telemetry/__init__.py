@@ -45,6 +45,7 @@ from repro.telemetry.report import (
     load_trace,
     phase_breakdown,
     render_phase_report,
+    staticcheck_summary,
 )
 from repro.telemetry.trace import (
     Span,
@@ -83,4 +84,5 @@ __all__ = [
     "phase_breakdown",
     "render_phase_report",
     "span",
+    "staticcheck_summary",
 ]

@@ -171,7 +171,10 @@ class MetricsRegistry:
                         f"{type(existing).__name__}, requested {kind.__name__}"
                     )
                 return existing
-            metric = factory()
+            # The factories are the lambdas below — allocation-only
+            # instrument constructors, never user code, so running one
+            # under the registry lock cannot block other lookups.
+            metric = factory()  # staticcheck: disable=RPR103
             self._metrics[name] = metric
             return metric
 

@@ -24,7 +24,13 @@ from typing import Any, Dict, List
 from repro.errors import ReproError
 from repro.utils.tables import format_table
 
-__all__ = ["PhaseStat", "load_trace", "phase_breakdown", "render_phase_report"]
+__all__ = [
+    "PhaseStat",
+    "load_trace",
+    "phase_breakdown",
+    "render_phase_report",
+    "staticcheck_summary",
+]
 
 
 @dataclass(frozen=True)
@@ -138,8 +144,32 @@ def phase_breakdown(spans: List[Dict[str, Any]]) -> List[PhaseStat]:
     return sorted(stats, key=lambda s: s.total, reverse=True)
 
 
+def staticcheck_summary(spans: List[Dict[str, Any]]) -> Dict[str, int]:
+    """Aggregate ``staticcheck.*`` span attributes from a trace.
+
+    Returns zeroed totals when the trace contains no staticcheck spans
+    (the common case for plain functional runs).
+    """
+    totals = {"runs": 0, "files": 0, "plans_checked": 0, "findings": 0}
+    for sp in spans:
+        if not str(sp.get("name", "")).startswith("staticcheck."):
+            continue
+        totals["runs"] += 1
+        attrs = sp.get("attributes", {}) or {}
+        for key in ("files", "plans_checked", "findings"):
+            try:
+                totals[key] += int(attrs.get(key, 0))
+            except (TypeError, ValueError):
+                pass
+    return totals
+
+
 def render_phase_report(trace_path: "str | Path", top: int = 0) -> str:
-    """Render the Fig.-6-style phase table for a saved trace file."""
+    """Render the Fig.-6-style phase table for a saved trace file.
+
+    Traces containing ``staticcheck.*`` spans get a one-line footer with
+    the aggregated files / plans-checked / findings totals.
+    """
     spans = load_trace(trace_path)
     stats = phase_breakdown(spans)
     if top > 0:
@@ -154,8 +184,15 @@ def render_phase_report(trace_path: "str | Path", top: int = 0) -> str:
         )
         for s in stats
     ]
-    return format_table(
+    table = format_table(
         ["phase", "count", "total [ms]", "mean [ms]", "% of run"],
         rows,
         title=f"Phase breakdown ({len(spans)} spans, Fig. 6 style) — {trace_path}",
     )
+    sc = staticcheck_summary(spans)
+    if sc["runs"]:
+        table += (
+            f"\nStatic checks: {sc['runs']} run(s), {sc['files']} files, "
+            f"{sc['plans_checked']} plans checked, {sc['findings']} findings"
+        )
+    return table

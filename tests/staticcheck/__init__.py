@@ -1,0 +1,1 @@
+"""Tests for the repro.staticcheck determinism & safety analyzer."""

@@ -1,0 +1,21 @@
+"""Shared helpers: run one staticcheck rule against an inline snippet."""
+
+from __future__ import annotations
+
+import textwrap
+from typing import List
+
+from repro.staticcheck import Finding, ModuleSource, all_rules
+
+
+def findings_for(source: str, rule_id: str, path: str = "snippet.py") -> List[Finding]:
+    """Findings of ``rule_id`` for an inline source snippet.
+
+    Applies the engine's suppression filtering, so snippets can exercise
+    ``# staticcheck: disable=...`` comments too.
+    """
+    module = ModuleSource.parse(path, textwrap.dedent(source))
+    rule = all_rules()[rule_id]
+    return [
+        f for f in rule.check(module) if not module.is_suppressed(f.rule_id, f.line)
+    ]

@@ -1,0 +1,158 @@
+"""Layer-2 plan invariants: catalog acceptance and mutation rejection."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import StaticCheckError
+from repro.runtime.cache import PlanCache
+from repro.runtime.plan import build_plan, plan_key
+from repro.staticcheck import check_plan, check_plan_catalog, eq13_mma_count
+from repro.stencils.catalog import get_kernel
+from repro.verify.differential import generate_cases
+
+
+def _mutate_base_pass(plan, **changes):
+    """A copy of ``plan`` whose base (and fused, if shared) pass differs."""
+    new_pass = dataclasses.replace(plan.base_pass, **changes)
+    fused = new_pass if plan.fused_pass is plan.base_pass else plan.fused_pass
+    return dataclasses.replace(plan, base_pass=new_pass, fused_pass=fused)
+
+
+def test_catalog_plans_all_pass(kernel_name):
+    kernel = get_kernel(kernel_name)
+    shapes = {1: (67,), 2: (16, 21), 3: (8, 9, 11)}
+    for depth in (1, 2):
+        plan = build_plan(kernel, shapes[kernel.ndim], fusion=depth, tiles=3)
+        assert check_plan(plan) == [], f"{kernel_name} depth={depth}"
+
+
+def test_check_plan_catalog_sweep_is_clean():
+    findings, checked = check_plan_catalog()
+    assert findings == []
+    assert checked > 0
+
+
+def test_verify_harness_case_catalog_accepted():
+    """Every plan the differential harness would build passes check_plan."""
+    for case in generate_cases(seed=0, n=12, quick=True):
+        plan = build_plan(
+            case.resolve_kernel(), case.shape, case.boundary, case.fusion
+        )
+        assert check_plan(plan) == [], case.describe()
+
+
+class TestMutationsRejected:
+    def setup_method(self):
+        self.plan = build_plan(get_kernel("heat-2d"), (16, 21), tiles=2)
+
+    def _rules(self, plan):
+        return {f.rule_id for f in check_plan(plan)}
+
+    def test_mutated_lut_offset_caught(self):
+        mutated = np.array(self.plan.base_pass.offsets)
+        mutated[0, 0] += 1
+        rules = self._rules(_mutate_base_pass(self.plan, offsets=mutated))
+        assert "RPR201" in rules
+        # column 0 is now gathered by neither matrix: coverage fires too
+        assert "RPR202" in rules
+
+    def test_out_of_bounds_lut_caught(self):
+        mutated = np.array(self.plan.base_pass.offsets)
+        mutated[-1, -1] += 1000
+        assert "RPR201" in self._rules(_mutate_base_pass(self.plan, offsets=mutated))
+
+    def test_mutated_weights_caught(self):
+        wa, wb = self.plan.base_pass.weights
+        bad_wa = np.array(wa)
+        bad_wa[0, 0, 0] += 0.5
+        rules = self._rules(_mutate_base_pass(self.plan, weights=(bad_wa, wb)))
+        assert "RPR203" in rules
+
+    def test_non_triangular_weights_caught(self):
+        wa, wb = self.plan.base_pass.weights
+        bad_wa = np.array(wa)
+        bad_wa[0, 0, -1] = 1.0  # last column of A must be zero
+        assert "RPR203" in self._rules(
+            _mutate_base_pass(self.plan, weights=(bad_wa, wb))
+        )
+
+    def test_wrong_halo_caught(self):
+        assert "RPR204" in self._rules(_mutate_base_pass(self.plan, halo=2))
+
+    def test_gapped_tiles_caught(self):
+        assert "RPR205" in self._rules(
+            _mutate_base_pass(self.plan, tiles=((0, 4), (6, 14)))
+        )
+
+    def test_misaligned_1d_tiles_caught(self):
+        plan = build_plan(get_kernel("heat-1d"), (67,), tiles=2)
+        align = plan.base_pass.tile_align
+        assert align > 1
+        bad = ((0, align + 1), (align + 1, 67))
+        rules = {
+            f.rule_id
+            for f in check_plan(_mutate_base_pass(plan, tiles=bad))
+        }
+        assert "RPR205" in rules
+
+    def test_3d_plane_weights_mismatch_caught(self):
+        plan = build_plan(get_kernel("heat-3d"), (8, 9, 11))
+        pp = plan.base_pass
+        assert pp.weights_by_plane  # heat-3d has at least one dense plane
+        dz = next(iter(pp.weights_by_plane))
+        broken = dict(pp.weights_by_plane)
+        del broken[dz]
+        assert "RPR206" in {
+            f.rule_id
+            for f in check_plan(_mutate_base_pass(plan, weights_by_plane=broken))
+        }
+
+
+def test_eq13_count_matches_paper_values():
+    # Eq. 13: 2 * ceil(k^2/4) * ceil((k+1)/8)
+    # k=3: 2*3*1 = 6 ; k=5: 2*7*1 = 14 ; k=7: 2*13*1 = 26 ; k=9: 2*21*2 = 84
+    assert eq13_mma_count(3) == 6
+    assert eq13_mma_count(5) == 14
+    assert eq13_mma_count(7) == 26
+    assert eq13_mma_count(9) == 84
+
+
+class TestPlanCacheHook:
+    def test_hook_rejects_mutated_plan(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STATICCHECK", "1")
+        kernel = get_kernel("heat-2d")
+        good = build_plan(kernel, (16, 21))
+        mutated = np.array(good.base_pass.offsets)
+        mutated[0, 0] += 1
+        bad = _mutate_base_pass(good, offsets=mutated)
+        cache = PlanCache()
+        key = plan_key(kernel, (16, 21), "constant", 1)
+        with pytest.raises(StaticCheckError):
+            cache.get_or_build(key, lambda: bad)
+        assert key not in cache  # rejected plans are never cached
+        # the key stays rebuildable with a good plan
+        assert cache.get_or_build(key, lambda: good) is good
+
+    def test_hook_accepts_good_plan(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STATICCHECK", "1")
+        kernel = get_kernel("heat-1d")
+        cache = PlanCache()
+        key = plan_key(kernel, (67,), "constant", 1)
+        plan = cache.get_or_build(key, lambda: build_plan(kernel, (67,)))
+        assert key in cache
+        assert check_plan(plan) == []
+
+    def test_hook_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STATICCHECK", raising=False)
+        kernel = get_kernel("heat-2d")
+        good = build_plan(kernel, (16, 21))
+        mutated = np.array(good.base_pass.offsets)
+        mutated[0, 0] += 1
+        bad = _mutate_base_pass(good, offsets=mutated)
+        cache = PlanCache()
+        key = plan_key(kernel, (16, 21), "constant", 1)
+        assert cache.get_or_build(key, lambda: bad) is bad

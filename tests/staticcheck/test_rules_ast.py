@@ -1,0 +1,305 @@
+"""Layer-1 AST rules: each RPR00x fires on its fixture, not on the clean twin."""
+
+from __future__ import annotations
+
+from tests.staticcheck.helpers import findings_for
+
+
+class TestRPR001Einsum:
+    def test_optimize_true_flagged(self):
+        src = """
+            import numpy as np
+
+            def f(a, b):
+                return np.einsum("ij,jk->ik", a, b, optimize=True)
+        """
+        (finding,) = findings_for(src, "RPR001")
+        assert finding.severity == "error"
+        assert "optimize=True" in finding.message
+
+    def test_optimize_variable_flagged(self):
+        src = """
+            import numpy as np
+
+            def f(a, b, opt):
+                return np.einsum("ij,jk->ik", a, b, optimize=opt)
+        """
+        (finding,) = findings_for(src, "RPR001")
+        assert "a variable" in finding.message
+
+    def test_optimize_string_flagged(self):
+        src = """
+            import numpy as np
+
+            def f(a, b):
+                return np.einsum("ij,jk->ik", a, b, optimize="greedy")
+        """
+        assert len(findings_for(src, "RPR001")) == 1
+
+    def test_clean_twins(self):
+        src = """
+            import numpy as np
+
+            def f(a, b):
+                no_kw = np.einsum("ij,jk->ik", a, b)
+                pinned = np.einsum("ij,jk->ik", a, b, optimize=False)
+                return no_kw + pinned
+        """
+        assert findings_for(src, "RPR001") == []
+
+    def test_inline_suppression(self):
+        one_line = """
+            import numpy as np
+
+            def f(a, b):
+                return np.einsum("ij,jk->ik", a, b, optimize=True)  # staticcheck: disable=RPR001
+        """
+        assert findings_for(one_line, "RPR001") == []
+
+    def test_suppression_must_sit_on_the_anchor_line(self):
+        # Findings anchor on the call line; a comment on the closing
+        # paren of a multi-line call does not suppress.
+        src = """
+            import numpy as np
+
+            def f(a, b):
+                return np.einsum(
+                    "ij,jk->ik", a, b, optimize=True
+                )  # staticcheck: disable=RPR001
+        """
+        assert len(findings_for(src, "RPR001")) == 1
+
+    def test_file_level_suppression(self):
+        src = """
+            # staticcheck: disable-file=RPR001
+            import numpy as np
+
+            def f(a, b):
+                return np.einsum("ij,jk->ik", a, b, optimize=True)
+        """
+        assert findings_for(src, "RPR001") == []
+
+
+class TestRPR002UnpinnedGemm:
+    FLAGGED = """
+        import numpy as np
+
+        def run(a, w, batch):
+            chunk = batch * 2
+            return a[:chunk] @ w
+    """
+
+    def test_hot_path_without_marker_flagged(self):
+        (finding,) = findings_for(self.FLAGGED, "RPR002", path="core/engine_x.py")
+        assert finding.severity == "warning"
+        assert "batch" in finding.message
+
+    def test_non_hot_path_not_flagged(self):
+        assert findings_for(self.FLAGGED, "RPR002", path="analysis/tables.py") == []
+
+    def test_marker_clears_it(self):
+        src = """
+            import numpy as np
+
+            def run(a, w, batch):
+                chunk = batch * 2
+                # staticcheck: gemm-shape-pinned
+                return a[:chunk] @ w
+        """
+        assert findings_for(src, "RPR002", path="core/engine_x.py") == []
+
+    def test_gemm_without_batch_vars_not_flagged(self):
+        src = """
+            import numpy as np
+
+            def run(a, w):
+                return a @ w
+        """
+        assert findings_for(src, "RPR002", path="core/engine_x.py") == []
+
+
+class TestRPR003SumMixing:
+    def test_float_start_flagged(self):
+        src = """
+            def f(xs):
+                return sum(xs, 0.0)
+        """
+        (finding,) = findings_for(src, "RPR003")
+        assert "float start" in finding.message
+
+    def test_fsum_mixing_flagged(self):
+        src = """
+            import math
+
+            def f(xs, ys):
+                return math.fsum(xs) + sum(ys)
+        """
+        (finding,) = findings_for(src, "RPR003")
+        assert "fsum" in finding.message
+
+    def test_clean_twins(self):
+        src = """
+            import math
+
+            def ints(xs):
+                return sum(xs)
+
+            def compensated(xs):
+                return math.fsum(xs)
+        """
+        assert findings_for(src, "RPR003") == []
+
+
+class TestRPR004Nondeterminism:
+    def test_unseeded_default_rng_flagged(self):
+        src = """
+            import numpy as np
+
+            def f():
+                return np.random.default_rng().random(3)
+        """
+        (finding,) = findings_for(src, "RPR004")
+        assert finding.severity == "error"
+
+    def test_legacy_global_rng_flagged(self):
+        src = """
+            import numpy as np
+
+            def f():
+                return np.random.rand(3)
+        """
+        (finding,) = findings_for(src, "RPR004")
+        assert "global-state" in finding.message
+
+    def test_stdlib_random_flagged(self):
+        src = """
+            import random
+
+            def f():
+                return random.random()
+        """
+        (finding,) = findings_for(src, "RPR004")
+        assert "Mersenne" in finding.message
+
+    def test_clock_read_is_warning(self):
+        src = """
+            import time
+
+            def f():
+                return time.perf_counter()
+        """
+        (finding,) = findings_for(src, "RPR004")
+        assert finding.severity == "warning"
+
+    def test_clean_twins(self):
+        src = """
+            import numpy as np
+
+            def f(seed):
+                rng = np.random.default_rng(seed)
+                return rng.random(3)
+        """
+        assert findings_for(src, "RPR004") == []
+
+    def test_method_named_random_on_generator_not_flagged(self):
+        src = """
+            def f(rng):
+                return rng.random(3)
+        """
+        assert findings_for(src, "RPR004") == []
+
+
+class TestRPR005UnorderedReduction:
+    def test_sum_over_set_literal_flagged(self):
+        src = """
+            def f():
+                return sum({0.1, 0.2, 0.3})
+        """
+        (finding,) = findings_for(src, "RPR005")
+        assert "set" in finding.message
+
+    def test_sum_over_set_comprehension_flagged(self):
+        src = """
+            def f(xs):
+                return sum(x * x for x in {abs(x) for x in xs})
+        """
+        assert len(findings_for(src, "RPR005")) == 1
+
+    def test_accumulating_loop_over_set_flagged(self):
+        src = """
+            def f(xs):
+                acc = 0.0
+                for x in set(xs):
+                    acc += x
+                return acc
+        """
+        assert len(findings_for(src, "RPR005")) == 1
+
+    def test_clean_twins(self):
+        src = """
+            def f(xs):
+                total = sum(sorted(set(xs)))
+                for x in sorted({1, 2, 3}):
+                    total += x
+                names = {n for n in xs}
+                for n in names:
+                    print(n)  # no numeric accumulation
+                return total
+        """
+        assert findings_for(src, "RPR005") == []
+
+
+class TestRPR006SwallowedExceptions:
+    def test_bare_except_is_error(self):
+        src = """
+            def f():
+                try:
+                    work()
+                except:
+                    pass
+        """
+        (finding,) = findings_for(src, "RPR006")
+        assert finding.severity == "error"
+
+    def test_broad_swallow_is_warning(self):
+        src = """
+            def f():
+                try:
+                    work()
+                except Exception:
+                    pass
+        """
+        (finding,) = findings_for(src, "RPR006")
+        assert finding.severity == "warning"
+
+    def test_handled_broad_except_not_flagged(self):
+        src = """
+            def f(log):
+                try:
+                    work()
+                except Exception as exc:
+                    log.warning("failed: %s", exc)
+                    raise
+        """
+        assert findings_for(src, "RPR006") == []
+
+    def test_narrow_except_not_flagged(self):
+        src = """
+            def f():
+                try:
+                    work()
+                except FileNotFoundError:
+                    pass
+        """
+        assert findings_for(src, "RPR006") == []
+
+
+def test_parse_failure_becomes_rpr000(tmp_path):
+    from repro.staticcheck import lint_paths
+
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    result = lint_paths([str(bad)])
+    (finding,) = result.findings
+    assert finding.rule_id == "RPR000"
+    assert finding.severity == "error"
