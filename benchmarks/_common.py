@@ -46,15 +46,32 @@ def _results_dir() -> Path:
 
 
 def emit(name: str, text: str) -> None:
-    """Print a result table uncaptured and persist it under results/."""
-    (_results_dir() / f"{name}.txt").write_text(text + "\n")
+    """Print a result table uncaptured and persist it under results/.
+
+    Routed through telemetry (a ``bench.emit`` span + counter) so a traced
+    benchmark run records *which* tables it produced and when.
+    """
+    with telemetry.span("bench.emit", bench=name, kind="text"):
+        (_results_dir() / f"{name}.txt").write_text(text + "\n")
+    telemetry.counter("bench.emit").inc()
     sys.__stdout__.write("\n" + text + "\n")
     sys.__stdout__.flush()
 
 
 def emit_json(name: str, rows, **metadata) -> None:
-    """Persist an experiment's structured rows as results/<name>.json."""
-    dump_json(_results_dir() / f"{name}.json", experiment_record(name, rows, **metadata))
+    """Persist an experiment's structured rows as results/<name>.json.
+
+    JSON results are written durably (fsync + atomic rename): a benchmark
+    process killed mid-write must never leave a truncated
+    ``results/*.json`` that poisons later tooling.
+    """
+    with telemetry.span("bench.emit", bench=name, kind="json"):
+        dump_json(
+            _results_dir() / f"{name}.json",
+            experiment_record(name, rows, **metadata),
+            fsync=True,
+        )
+    telemetry.counter("bench.emit").inc()
 
 
 def emit_telemetry(name: str) -> None:

@@ -1,0 +1,246 @@
+"""Schema-versioned benchmark baselines (``BENCH_PR<N>.json``) and the
+noise-aware regression gate.
+
+Every perfwatch run persists one self-describing JSON document at the
+repo root: a ``schema`` version, the suite flavour, an **environment
+fingerprint** (CPU, python, numpy, ``REPRO_*`` knobs — so a diff between
+two baselines can first ask *did the machine change?*), and one entry per
+workload cell carrying the timing distribution and the paper-derived
+counters.
+
+:func:`compare` implements the gate: a workload regressed only when its
+bootstrap confidence intervals are **disjoint** from the baseline's *and*
+the median slowdown exceeds the threshold (see
+:func:`repro.perfwatch.stats.gate`).  Schema mismatches fail loudly with
+a migration hint rather than guessing at field meanings.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro._version import __version__
+from repro.errors import ReproError
+from repro.perfwatch.stats import Interval, gate
+from repro.perfwatch.timer import Timing
+from repro.utils.io import dump_json, load_json
+
+__all__ = [
+    "CURRENT_PR",
+    "SCHEMA_VERSION",
+    "ComparisonResult",
+    "Verdict",
+    "compare",
+    "default_baseline_path",
+    "environment_fingerprint",
+    "load_baseline",
+    "make_report",
+    "write_baseline",
+]
+
+#: Baseline document schema.  Bump on any breaking change to the entry
+#: layout, and extend :func:`load_baseline`'s hint with the migration.
+SCHEMA_VERSION = 1
+
+#: The PR this tree is being grown in — names the default baseline file
+#: (``BENCH_PR<N>.json``).  Bumped once per perfwatch-writing PR.
+CURRENT_PR = 5
+
+#: Default regression threshold: CI-disjoint slowdowns under 20% are
+#: reported but do not gate (two-worker CI runners jitter that much).
+DEFAULT_THRESHOLD = 0.20
+
+
+def default_baseline_path(directory: "str | Path | None" = None) -> Path:
+    """``BENCH_PR<CURRENT_PR>.json`` under ``directory`` (default: cwd,
+    which is the repo root for every documented invocation)."""
+    base = Path(directory) if directory is not None else Path.cwd()
+    return base / f"BENCH_PR{CURRENT_PR}.json"
+
+
+def environment_fingerprint() -> Dict[str, object]:
+    """The measurement environment, for apples-to-apples comparisons."""
+    return {
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "repro_version": __version__,
+        "cpu_count": os.cpu_count(),
+        "repro_env": {
+            key: value
+            for key, value in sorted(os.environ.items())
+            if key.startswith("REPRO_")
+        },
+    }
+
+
+def make_report(body: Dict) -> Dict:
+    """Wrap a suite body (:func:`repro.perfwatch.suite.run_suite`) in the
+    schema envelope."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "generator": "repro bench",
+        "pr": CURRENT_PR,
+        "environment": environment_fingerprint(),
+        **body,
+    }
+
+
+def write_baseline(path: "str | Path", report: Dict) -> Path:
+    """Persist a schema-enveloped report, durably (fsync + atomic rename)."""
+    if report.get("schema") != SCHEMA_VERSION:
+        raise ReproError(
+            f"refusing to write baseline with schema {report.get('schema')!r}; "
+            f"this build writes schema {SCHEMA_VERSION}"
+        )
+    return dump_json(path, report, fsync=True)
+
+
+def load_baseline(path: "str | Path") -> Dict:
+    """Load and validate a baseline document.
+
+    An unknown schema version is a hard error with a migration hint — the
+    gate must never silently compare fields whose meaning changed.
+    """
+    path = Path(path)
+    try:
+        payload = load_json(path)
+    except OSError as exc:
+        raise ReproError(f"cannot read baseline {path}: {exc}")
+    except ValueError as exc:
+        raise ReproError(f"baseline {path} is not valid JSON: {exc}")
+    if not isinstance(payload, dict) or "schema" not in payload:
+        raise ReproError(
+            f"baseline {path} carries no schema field; regenerate it with "
+            "`python -m repro bench --quick`"
+        )
+    version = payload.get("schema")
+    if version != SCHEMA_VERSION:
+        raise ReproError(
+            f"baseline {path} has schema {version}, this build reads schema "
+            f"{SCHEMA_VERSION}; regenerate the baseline with `python -m repro "
+            "bench --quick` (or check out the matching repro version to "
+            "compare historical data)"
+        )
+    if not isinstance(payload.get("entries"), list):
+        raise ReproError(f"baseline {path} has no entries list")
+    return payload
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Gate outcome for one workload cell."""
+
+    key: str
+    status: str  # "ok" | "regression" | "improved" | "missing" | "new"
+    slowdown: Optional[float] = None
+    baseline_point: Optional[float] = None
+    current_point: Optional[float] = None
+
+    def describe(self) -> str:
+        if self.status in ("missing", "new"):
+            return f"{self.key}: {self.status}"
+        pct = 100.0 * (self.slowdown or 0.0)
+        return (
+            f"{self.key}: {self.status} "
+            f"({self.baseline_point * 1e3:.3f} ms -> "
+            f"{self.current_point * 1e3:.3f} ms, {pct:+.1f}%)"
+        )
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Full gate output: one verdict per workload key."""
+
+    verdicts: List[Verdict] = field(default_factory=list)
+    threshold: float = DEFAULT_THRESHOLD
+
+    @property
+    def regressions(self) -> List[Verdict]:
+        return [v for v in self.verdicts if v.status == "regression"]
+
+    @property
+    def missing(self) -> List[Verdict]:
+        return [v for v in self.verdicts if v.status == "missing"]
+
+    @property
+    def ok(self) -> bool:
+        """Gate passes: no regressions and no baseline cell went missing."""
+        return not self.regressions and not self.missing
+
+    def to_dict(self) -> Dict:
+        return {
+            "ok": self.ok,
+            "threshold": self.threshold,
+            "regressions": len(self.regressions),
+            "verdicts": [
+                {
+                    "key": v.key,
+                    "status": v.status,
+                    "slowdown": v.slowdown,
+                    "baseline_point": v.baseline_point,
+                    "current_point": v.current_point,
+                }
+                for v in self.verdicts
+            ],
+        }
+
+
+def _entries_by_key(report: Dict) -> Dict[str, Dict]:
+    out: Dict[str, Dict] = {}
+    for entry in report.get("entries", []):
+        key = entry.get("key")
+        if key:
+            out[str(key)] = entry
+    return out
+
+
+def compare(
+    baseline: Dict, current: Dict, threshold: float = DEFAULT_THRESHOLD
+) -> ComparisonResult:
+    """Gate ``current`` against ``baseline`` (both schema-validated dicts).
+
+    Per shared workload key, :func:`repro.perfwatch.stats.gate` decides
+    ``ok`` / ``regression`` / ``improved``.  Baseline keys absent from the
+    current run are ``missing`` (a silently shrunk suite must not pass);
+    new keys are reported as ``new`` and never gate.
+    """
+    if threshold < 0.0:
+        raise ReproError(f"threshold must be >= 0, got {threshold}")
+    base_entries = _entries_by_key(baseline)
+    cur_entries = _entries_by_key(current)
+    verdicts: List[Verdict] = []
+    for key in sorted(set(base_entries) | set(cur_entries)):
+        if key not in cur_entries:
+            verdicts.append(Verdict(key=key, status="missing"))
+            continue
+        if key not in base_entries:
+            verdicts.append(Verdict(key=key, status="new"))
+            continue
+        base_t = Timing.from_dict(base_entries[key]["timing"])
+        cur_t = Timing.from_dict(cur_entries[key]["timing"])
+        status, slowdown = gate(
+            base_t.point,
+            Interval(base_t.ci_low, base_t.ci_high),
+            cur_t.point,
+            Interval(cur_t.ci_low, cur_t.ci_high),
+            threshold,
+        )
+        verdicts.append(
+            Verdict(
+                key=key,
+                status=status,
+                slowdown=slowdown,
+                baseline_point=base_t.point,
+                current_point=cur_t.point,
+            )
+        )
+    return ComparisonResult(verdicts=verdicts, threshold=threshold)

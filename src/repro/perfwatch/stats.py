@@ -1,0 +1,134 @@
+"""Statistics for noise-aware benchmark gating.
+
+Related work ("Do We Need Tensor Cores for Stencil Computations?") shows
+Tensor-Core stencil speedups appearing and evaporating under small
+methodology changes — single-sample timings are how that happens.  The
+perfwatch timing protocol therefore reports a *median-of-batches* point
+estimate with a *bootstrap percentile confidence interval*, and the
+regression gate only fires when two runs' intervals are disjoint **and**
+the central slowdown clears a threshold: noise overlap is never a
+regression, and a real regression cannot hide behind a lucky sample.
+
+Everything here is deterministic: the bootstrap resampler draws from the
+package's seeded generator (:mod:`repro.utils.rng`), so re-running a
+comparison on the same samples yields bit-identical verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.utils.rng import default_rng
+
+__all__ = [
+    "Interval",
+    "bootstrap_ci",
+    "gate",
+    "intervals_disjoint",
+    "median",
+    "relative_change",
+]
+
+#: Bootstrap resample count — enough for stable 95% percentile bounds on
+#: the handful-of-batches samples the timer produces.
+DEFAULT_RESAMPLES = 1000
+
+#: Seed for the bootstrap resampler (fixed: verdicts must be replayable).
+BOOTSTRAP_SEED = 0xB007
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed confidence interval ``[low, high]`` around a point estimate."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ReproError(
+                f"interval high {self.high} below low {self.low}"
+            )
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two closed intervals share any value."""
+        return self.low <= other.high and other.low <= self.high
+
+
+def median(samples: Sequence[float]) -> float:
+    """Median of ``samples`` (the timer's point estimator)."""
+    if not len(samples):
+        raise ReproError("median of zero samples is undefined")
+    return float(np.median(np.asarray(samples, dtype=np.float64)))
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = DEFAULT_RESAMPLES,
+    seed: int = BOOTSTRAP_SEED,
+) -> Interval:
+    """Percentile-bootstrap confidence interval of the median.
+
+    Resamples ``samples`` with replacement ``resamples`` times, takes each
+    resample's median, and returns the ``(1±confidence)/2`` percentiles.
+    A single sample degenerates to a zero-width interval at that sample —
+    honest about carrying no spread information.
+    """
+    xs = np.asarray(samples, dtype=np.float64)
+    if xs.size == 0:
+        raise ReproError("bootstrap_ci needs at least one sample")
+    if not 0.0 < confidence < 1.0:
+        raise ReproError(f"confidence must be in (0, 1), got {confidence}")
+    if xs.size == 1:
+        return Interval(float(xs[0]), float(xs[0]))
+    rng = default_rng(seed)
+    idx = rng.integers(0, xs.size, size=(int(resamples), xs.size))
+    medians = np.median(xs[idx], axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(medians, [alpha, 1.0 - alpha])
+    return Interval(float(lo), float(hi))
+
+
+def intervals_disjoint(a: Interval, b: Interval) -> bool:
+    """True when the two confidence intervals share no value."""
+    return not a.overlaps(b)
+
+
+def relative_change(baseline: float, current: float) -> float:
+    """Fractional change ``current/baseline - 1`` (positive = slower when
+    the quantities are wall times)."""
+    if baseline <= 0.0:
+        raise ReproError(
+            f"relative change against non-positive baseline {baseline}"
+        )
+    return current / baseline - 1.0
+
+
+def gate(
+    baseline_point: float,
+    baseline_ci: Interval,
+    current_point: float,
+    current_ci: Interval,
+    threshold: float,
+) -> Tuple[str, float]:
+    """Noise-aware regression verdict for one workload's wall time.
+
+    Returns ``(verdict, slowdown)`` where ``verdict`` is
+
+    * ``"regression"`` — intervals disjoint **and** slowdown > threshold;
+    * ``"improved"`` — intervals disjoint and the current run is faster;
+    * ``"ok"`` — everything else (including slowdowns whose intervals
+      overlap: indistinguishable from noise, by construction not gated).
+    """
+    slowdown = relative_change(baseline_point, current_point)
+    if intervals_disjoint(baseline_ci, current_ci):
+        if slowdown > threshold:
+            return "regression", slowdown
+        if slowdown < 0.0:
+            return "improved", slowdown
+    return "ok", slowdown

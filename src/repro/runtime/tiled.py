@@ -30,6 +30,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro import telemetry
+from repro.telemetry.fold import capture_delta, capture_mark, fold_capture
 from repro.core.engine1d import convstencil_valid_1d
 from repro.core.engine2d import convstencil_valid_2d, convstencil_valid_2d_batched
 from repro.core.engine3d import convstencil_valid_3d
@@ -157,14 +158,18 @@ def _unlink_segments(*segments) -> None:
             _log.warning("tiled: failed to unlink segment %s (%s)", seg.name, exc)
 
 
-def _run_tile_shm(task: dict) -> Tuple[int, int]:
+def _run_tile_shm(task: dict) -> Tuple[int, int, Optional[dict]]:
     """Worker body: one axis-0 tile of one pass, via shared memory.
 
     Gathers padded rows ``[lo, hi + edge - 1)`` from the input segment,
     applies the engine, and scatters output rows ``[lo, hi)`` into the
-    output segment.  Returns the bounds for bookkeeping.
+    output segment.  Returns the bounds plus the telemetry the worker
+    recorded while computing (``None`` when telemetry is off) — the parent
+    folds it back into its own tracer, so process-pool tiles keep their
+    spans instead of dropping them with the worker.
     """
     _injected_fault("worker")
+    mark = capture_mark()
     lo, hi = task["lo"], task["hi"]
     kernel: StencilKernel = task["kernel"]
     k = kernel.edge
@@ -174,16 +179,20 @@ def _run_tile_shm(task: dict) -> Tuple[int, int]:
         padded = np.ndarray(task["in_shape"], dtype=np.float64, buffer=seg_in.buf)
         out = np.ndarray(task["out_shape"], dtype=np.float64, buffer=seg_out.buf)
         engine = _engine_for(kernel.ndim)
-        out[lo:hi] = engine(padded[lo : hi + k - 1], kernel)
+        with telemetry.span(
+            "runtime.tiled.tile", kernel=kernel.name, lo=lo, hi=hi
+        ):
+            out[lo:hi] = engine(padded[lo : hi + k - 1], kernel)
     finally:
         seg_in.close()
         seg_out.close()
-    return lo, hi
+    return lo, hi, capture_delta(mark)
 
 
-def _run_batch_tile_shm(task: dict) -> Tuple[int, int]:
+def _run_batch_tile_shm(task: dict) -> Tuple[int, int, Optional[dict]]:
     """Worker body: one batch-axis tile of one ensemble pass."""
     _injected_fault("worker")
+    mark = capture_mark()
     lo, hi = task["lo"], task["hi"]
     kernel: StencilKernel = task["kernel"]
     seg_in = _attach_shared(task["in_name"])
@@ -191,16 +200,19 @@ def _run_batch_tile_shm(task: dict) -> Tuple[int, int]:
     try:
         padded = np.ndarray(task["in_shape"], dtype=np.float64, buffer=seg_in.buf)
         out = np.ndarray(task["out_shape"], dtype=np.float64, buffer=seg_out.buf)
-        if kernel.ndim == 2:
-            out[lo:hi] = convstencil_valid_2d_batched(padded[lo:hi], kernel)
-        else:
-            engine = _engine_for(kernel.ndim)
-            for b in range(lo, hi):
-                out[b] = engine(padded[b], kernel)
+        with telemetry.span(
+            "runtime.tiled.tile", kernel=kernel.name, lo=lo, hi=hi, batched=True
+        ):
+            if kernel.ndim == 2:
+                out[lo:hi] = convstencil_valid_2d_batched(padded[lo:hi], kernel)
+            else:
+                engine = _engine_for(kernel.ndim)
+                for b in range(lo, hi):
+                    out[b] = engine(padded[b], kernel)
     finally:
         seg_in.close()
         seg_out.close()
-    return lo, hi
+    return lo, hi, capture_delta(mark)
 
 
 class TiledBackend(SerialBackend):
@@ -295,8 +307,10 @@ class TiledBackend(SerialBackend):
     def _dispatch(self, worker, tasks: List[dict]) -> None:
         pool = self._get_pool()
         try:
-            for future in [pool.submit(worker, t) for t in tasks]:
+            results = [
                 future.result()
+                for future in [pool.submit(worker, t) for t in tasks]
+            ]
         except Exception as exc:
             if not self._use_processes:
                 # Thread-pool failures are genuine engine errors: the
@@ -312,11 +326,32 @@ class TiledBackend(SerialBackend):
                 type(exc).__name__, exc,
             )
             telemetry.counter("runtime.tiled.degradations").inc()
+            active = telemetry.get_tracer().current()
+            if active is not None:
+                active.set_attribute("degraded", True)
             self.close()
             self._use_processes = False
             pool = self._get_pool()
-            for future in [pool.submit(worker, t) for t in tasks]:
+            results = [
                 future.result()
+                for future in [pool.submit(worker, t) for t in tasks]
+            ]
+        self._fold_worker_telemetry(results)
+
+    @staticmethod
+    def _fold_worker_telemetry(results: List[tuple]) -> None:
+        """Merge the telemetry payloads workers returned with their bounds.
+
+        Payloads from this very process (the thread-degradation retry runs
+        the same worker functions in-process) fold to zero spans — their
+        telemetry was recorded directly — so nothing double-counts.
+        """
+        folded = 0
+        for res in results:
+            if isinstance(res, tuple) and len(res) == 3:
+                folded += fold_capture(res[2])
+        if folded:
+            telemetry.counter("runtime.tiled.folded_spans").inc(folded)
 
     def _run_shared(
         self,
@@ -382,14 +417,19 @@ class TiledBackend(SerialBackend):
 
         def run_tile(b):
             lo, hi = b
-            if worker is _run_batch_tile_shm:
-                if kernel.ndim == 2:
-                    out[lo:hi] = convstencil_valid_2d_batched(padded[lo:hi], kernel)
+            with telemetry.span(
+                "runtime.tiled.tile", kernel=kernel.name, lo=lo, hi=hi
+            ):
+                if worker is _run_batch_tile_shm:
+                    if kernel.ndim == 2:
+                        out[lo:hi] = convstencil_valid_2d_batched(
+                            padded[lo:hi], kernel
+                        )
+                    else:
+                        for i in range(lo, hi):
+                            out[i] = engine(padded[i], kernel)
                 else:
-                    for i in range(lo, hi):
-                        out[i] = engine(padded[i], kernel)
-            else:
-                out[lo:hi] = engine(padded[lo : hi + k - 1], kernel)
+                    out[lo:hi] = engine(padded[lo : hi + k - 1], kernel)
 
         pool = self._get_pool()
         for future in [pool.submit(run_tile, b) for b in bounds]:

@@ -12,6 +12,10 @@ its own execution:
 * :mod:`repro.telemetry.metrics` — a **registry** of counters, gauges,
   and fixed-bucket histograms, plus adapters folding the GPU simulator's
   :class:`~repro.gpu.counters.PerfCounters` in (and back out, bit-exactly).
+* :mod:`repro.telemetry.fold` — cross-process capture/merge: pool
+  workers package the spans/counters they recorded into a picklable
+  payload and the parent folds it back in with ``worker=`` attribution,
+  so multiprocess tiled runs lose no telemetry.
 * :mod:`repro.telemetry.log` — library-style ``logging`` wiring
   (``NullHandler`` by default, :func:`configure_logging` to opt in).
 * :mod:`repro.telemetry.report` — Fig.-6-style phase-breakdown tables
@@ -27,6 +31,7 @@ Typical use::
     print(telemetry.get_registry().snapshot())   # folded sim counters
 """
 
+from repro.telemetry.fold import capture_delta, capture_mark, fold_capture
 from repro.telemetry.log import LOGGER_NAME, configure_logging, get_logger
 from repro.telemetry.metrics import (
     Counter,
@@ -43,9 +48,11 @@ from repro.telemetry.metrics import (
 from repro.telemetry.report import (
     PhaseStat,
     load_trace,
+    perfwatch_summary,
     phase_breakdown,
     render_phase_report,
     staticcheck_summary,
+    worker_summary,
 )
 from repro.telemetry.trace import (
     Span,
@@ -68,9 +75,12 @@ __all__ = [
     "Span",
     "SpanContext",
     "Tracer",
+    "capture_delta",
+    "capture_mark",
     "configure_logging",
     "counter",
     "disable",
+    "fold_capture",
     "enable",
     "enabled",
     "fold_perf_counters",
@@ -81,8 +91,10 @@ __all__ = [
     "histogram",
     "load_trace",
     "perf_counters_from_registry",
+    "perfwatch_summary",
     "phase_breakdown",
     "render_phase_report",
     "span",
     "staticcheck_summary",
+    "worker_summary",
 ]

@@ -1,0 +1,116 @@
+"""Cross-process telemetry capture and fold.
+
+The tiled backend's process-pool workers run in separate interpreters:
+spans they record and counters they increment land in *their* process-wide
+tracer/registry and die with the worker.  This module gives worker code a
+way to package that telemetry into a picklable payload and the parent a
+way to merge it back, so a tiled run's trace shows every worker's tile
+timings next to the parent's pass spans.
+
+Protocol (see :mod:`repro.runtime.tiled` for the only in-tree user):
+
+1. The worker takes a :func:`capture_mark` *before* doing any work — a
+   cheap snapshot of how many spans the local tracer holds and what every
+   local counter reads (under ``fork`` start methods the child inherits a
+   copy of the parent's buffers; the mark subtracts them out).
+2. After the work, :func:`capture_delta` returns everything recorded
+   since the mark as a JSON-able dict (``None`` while telemetry is off).
+3. The payload rides the worker's ordinary result tuple back across the
+   pool, and the parent calls :func:`fold_capture`: spans are re-recorded
+   into the parent tracer with fresh ids, intra-payload parent links
+   preserved, roots attached under the parent's active span, and a
+   ``worker=`` attribute added; counter deltas are accumulated into the
+   parent registry.
+
+:func:`fold_capture` is a no-op for payloads produced by the *current*
+process (the thread-pool degradation path records directly into the
+parent tracer, so folding again would double-count).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional, Tuple
+
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
+from repro.telemetry.log import get_logger
+
+__all__ = ["capture_delta", "capture_mark", "fold_capture"]
+
+_log = get_logger("telemetry.fold")
+
+#: ``(span_count, {counter_name: value})`` snapshot type.
+CaptureMark = Tuple[int, Dict[str, float]]
+
+
+def _counter_values(registry: Optional[_metrics.MetricsRegistry] = None) -> Dict[str, float]:
+    """Current value of every :class:`~repro.telemetry.metrics.Counter`."""
+    reg = registry if registry is not None else _metrics.get_registry()
+    out: Dict[str, float] = {}
+    for name in reg.names():
+        metric = reg.get(name)
+        if isinstance(metric, _metrics.Counter):
+            out[name] = metric.value
+    return out
+
+
+def capture_mark() -> CaptureMark:
+    """Snapshot the local tracer/registry so :func:`capture_delta` can
+    report only what the enclosed work recorded."""
+    if not _trace.enabled():
+        return (0, {})
+    return (len(_trace.get_tracer()), _counter_values())
+
+
+def capture_delta(mark: CaptureMark) -> Optional[Dict[str, Any]]:
+    """Everything recorded locally since ``mark``, as a picklable payload.
+
+    Returns ``None`` while telemetry is disabled (the common case — worker
+    result tuples then carry no telemetry weight at all).  The payload
+    tags the producing pid so :func:`fold_capture` can recognise — and
+    skip — same-process captures.
+    """
+    if not _trace.enabled():
+        return None
+    n0, counters0 = mark
+    spans = _trace.get_tracer().spans()[n0:]
+    deltas = {
+        name: value - counters0.get(name, 0)
+        for name, value in _counter_values().items()
+        if value - counters0.get(name, 0) > 0
+    }
+    return {
+        "pid": os.getpid(),
+        "spans": [sp.to_dict() for sp in spans],
+        "counters": deltas,
+    }
+
+
+def fold_capture(payload: Optional[Dict[str, Any]], worker: Optional[str] = None) -> int:
+    """Merge one worker payload into the parent tracer/registry.
+
+    Spans gain a ``worker=`` attribute (``worker`` argument, defaulting to
+    ``"pid-<pid>"``); counter deltas accumulate into same-named counters.
+    Returns the number of spans ingested — 0 for ``None`` payloads and for
+    payloads this very process produced (already recorded in place).
+    """
+    if not payload:
+        return 0
+    pid = payload.get("pid")
+    if pid == os.getpid():
+        return 0
+    label = worker if worker is not None else f"pid-{pid}"
+    ingested = _trace.get_tracer().ingest(
+        payload.get("spans") or (), attributes={"worker": label}
+    )
+    registry = _metrics.get_registry()
+    for name, delta in (payload.get("counters") or {}).items():
+        try:
+            registry.counter(name).inc(delta)
+        except (TypeError, ValueError) as exc:
+            # Name collides with a non-counter instrument, or the delta is
+            # negative (clock went backwards in a dying worker): drop this
+            # one metric, keep the rest of the fold.
+            _log.warning("fold: cannot merge counter %s from %s (%s)", name, label, exc)
+    return ingested

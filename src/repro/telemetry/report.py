@@ -27,9 +27,11 @@ from repro.utils.tables import format_table
 __all__ = [
     "PhaseStat",
     "load_trace",
+    "perfwatch_summary",
     "phase_breakdown",
     "render_phase_report",
     "staticcheck_summary",
+    "worker_summary",
 ]
 
 
@@ -164,6 +166,63 @@ def staticcheck_summary(spans: List[Dict[str, Any]]) -> Dict[str, int]:
     return totals
 
 
+def worker_summary(spans: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate tiled-backend worker telemetry from a trace.
+
+    Counts ``runtime.tiled.tile`` spans, the distinct workers they ran on
+    (the ``worker=`` attribute the cross-process fold attaches; in-process
+    thread tiles fall back to their thread id), their total busy seconds,
+    and how many ``runtime.tiled.pass`` spans were marked ``degraded``.
+    All totals are zero for traces without tiled activity.
+    """
+    totals: Dict[str, Any] = {
+        "tiles": 0,
+        "workers": [],
+        "busy": 0.0,
+        "passes": 0,
+        "degraded_passes": 0,
+    }
+    workers = set()
+    for sp in spans:
+        name = str(sp.get("name", ""))
+        attrs = sp.get("attributes", {}) or {}
+        if name == "runtime.tiled.tile":
+            totals["tiles"] += 1
+            totals["busy"] += float(sp.get("duration", 0.0))
+            workers.add(str(attrs.get("worker", f"thread-{sp.get('thread_id', 0)}")))
+        elif name == "runtime.tiled.pass":
+            totals["passes"] += 1
+            if attrs.get("degraded"):
+                totals["degraded_passes"] += 1
+    totals["workers"] = sorted(workers)
+    return totals
+
+
+def perfwatch_summary(spans: List[Dict[str, Any]]) -> Dict[str, int]:
+    """Aggregate ``perfwatch.*`` span attributes from a trace.
+
+    Mirrors :func:`staticcheck_summary` for the performance-watch layer:
+    suite runs, workloads timed, and timing samples collected.  Zeroed
+    when the trace holds no perfwatch spans.
+    """
+    totals = {"suites": 0, "workloads": 0, "samples": 0}
+    for sp in spans:
+        name = str(sp.get("name", ""))
+        attrs = sp.get("attributes", {}) or {}
+        if name == "perfwatch.suite":
+            totals["suites"] += 1
+            try:
+                totals["workloads"] += int(attrs.get("workloads", 0))
+            except (TypeError, ValueError):
+                pass
+        elif name == "perfwatch.workload":
+            try:
+                totals["samples"] += int(attrs.get("samples", 0))
+            except (TypeError, ValueError):
+                pass
+    return totals
+
+
 def render_phase_report(trace_path: "str | Path", top: int = 0) -> str:
     """Render the Fig.-6-style phase table for a saved trace file.
 
@@ -194,5 +253,19 @@ def render_phase_report(trace_path: "str | Path", top: int = 0) -> str:
         table += (
             f"\nStatic checks: {sc['runs']} run(s), {sc['files']} files, "
             f"{sc['plans_checked']} plans checked, {sc['findings']} findings"
+        )
+    wk = worker_summary(spans)
+    if wk["tiles"]:
+        table += (
+            f"\nTiled workers: {wk['tiles']} tile(s) on "
+            f"{len(wk['workers'])} worker(s) "
+            f"({', '.join(wk['workers'])}), busy {wk['busy'] * 1e3:.3f} ms, "
+            f"{wk['degraded_passes']}/{wk['passes']} pass(es) degraded"
+        )
+    pw = perfwatch_summary(spans)
+    if pw["suites"]:
+        table += (
+            f"\nPerf watch: {pw['suites']} suite run(s), "
+            f"{pw['workloads']} workload(s), {pw['samples']} timing sample(s)"
         )
     return table

@@ -178,6 +178,48 @@ class Tracer:
         """The context's innermost open span, if any."""
         return self._current.get()
 
+    def ingest(self, span_dicts, attributes: Optional[Dict[str, Any]] = None) -> int:
+        """Re-record foreign spans (``Span.to_dict`` shapes) into this buffer.
+
+        Used by the cross-process fold (:mod:`repro.telemetry.fold`): every
+        ingested span gets a fresh ``span_id`` from this tracer's sequence;
+        parent links *within* the batch are remapped to the new ids, and
+        spans whose parent is outside the batch (or absent) are attached
+        under the context's currently active span, so worker tiles nest
+        beneath the pass that dispatched them.  ``attributes`` entries are
+        merged into every span (e.g. ``{"worker": "pid-123"}``).  Returns
+        the number of spans recorded.
+        """
+        records = [obj for obj in span_dicts if isinstance(obj, dict)]
+        if not records:
+            return 0
+        parent = self._current.get()
+        fallback_parent = parent.span_id if parent is not None else None
+        with self._lock:
+            id_map = {
+                obj["span_id"]: next(self._ids)
+                for obj in records
+                if obj.get("span_id") is not None
+            }
+            for obj in records:
+                attrs = dict(obj.get("attributes") or {})
+                if attributes:
+                    attrs.update(attributes)
+                old_parent = obj.get("parent_id")
+                parent_id = id_map.get(old_parent, fallback_parent)
+                self._spans.append(
+                    Span(
+                        name=str(obj.get("name", "?")),
+                        start=float(obj.get("start", 0.0)),
+                        end=float(obj.get("end", 0.0)),
+                        span_id=id_map.get(obj.get("span_id")) or next(self._ids),
+                        parent_id=parent_id,
+                        thread_id=int(obj.get("thread_id") or 0),
+                        attributes=attrs,
+                    )
+                )
+        return len(records)
+
     # -- inspection -------------------------------------------------------
 
     def spans(self) -> List[Span]:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from pathlib import Path
 from typing import Any
 
@@ -53,11 +54,27 @@ def experiment_record(name: str, rows: Any, **metadata: Any) -> dict:
     }
 
 
-def dump_json(path: "str | Path", payload: Any) -> Path:
-    """Write ``payload`` (JSON-able after conversion) to ``path``."""
+def dump_json(path: "str | Path", payload: Any, fsync: bool = False) -> Path:
+    """Write ``payload`` (JSON-able after conversion) to ``path``.
+
+    With ``fsync=True`` the document is written to a sibling temp file,
+    flushed to disk, and atomically renamed over ``path`` — a crash
+    mid-write can never leave a truncated or half-old result file (the
+    failure mode that motivated it: benchmark runs killed by CI timeouts
+    leaving unparseable ``results/*.json``).
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(to_jsonable(payload), indent=2, sort_keys=True) + "\n")
+    text = json.dumps(to_jsonable(payload), indent=2, sort_keys=True) + "\n"
+    if not fsync:
+        path.write_text(text)
+        return path
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
     return path
 
 

@@ -1,0 +1,121 @@
+"""The ``bench`` subcommand: measure / check / report modes and exit hygiene."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.perfwatch.suite as suite_mod
+from repro.cli import main, run
+from repro.errors import ReproError
+from repro.perfwatch import SCHEMA_VERSION, load_baseline, write_baseline
+from tests.perfwatch.conftest import TINY_SUITE
+
+
+@pytest.fixture
+def tiny_default_suite(monkeypatch):
+    """Pin the CLI's suite to the one-cell tiny workload (real timing)."""
+    monkeypatch.setattr(
+        suite_mod, "default_suite", lambda quick=True: list(TINY_SUITE)
+    )
+
+
+class TestMeasureMode:
+    def test_writes_schema_versioned_baseline(self, tiny_default_suite, tmp_path):
+        out = tmp_path / "BENCH_PR5.json"
+        lines = run(["bench", "--quick", "--output", str(out)])
+        assert any(line.startswith("BENCH: wrote") for line in lines)
+        doc = load_baseline(out)
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["suite"] == "quick"
+        entry = doc["entries"][0]
+        assert entry["timing"]["ci_low"] <= entry["timing"]["ci_high"]
+        assert entry["counters"]["mma_total"] > 0.0
+
+    def test_json_mode_stdout_is_pure_json(self, tiny_default_suite, tmp_path, capsys):
+        out = tmp_path / "b.json"
+        assert main(["bench", "--quick", "--output", str(out), "--json"]) == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)  # would raise on contamination
+        assert doc["schema"] == SCHEMA_VERSION
+        assert "BENCH: wrote" in captured.err
+
+    def test_quick_and_full_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            run(["bench", "--quick", "--full"])
+
+
+class TestCheckMode:
+    def test_self_check_passes(self, tiny_default_suite, tmp_path):
+        out = tmp_path / "b.json"
+        run(["bench", "--quick", "--output", str(out)])
+        lines = run(["bench", "--check", str(out)])
+        assert lines[-1].startswith("GATE: ok")
+
+    def test_injected_slowdown_exits_two(self, tiny_default_suite, tmp_path, capsys):
+        out = tmp_path / "b.json"
+        run(["bench", "--quick", "--output", str(out)])
+        doc = load_baseline(out)
+        # Rewrite the baseline pretending the workload once ran 100x faster:
+        # the real re-measurement is then a persistent, CI-disjoint slowdown.
+        for entry in doc["entries"]:
+            t = entry["timing"]
+            for field in ("point", "ci_low", "ci_high"):
+                t[field] /= 100.0
+            t["samples"] = [s / 100.0 for s in t["samples"]]
+        write_baseline(out, doc)
+        assert main(["bench", "--check", str(out)]) == 2
+        captured = capsys.readouterr()
+        assert "regression" in captured.out
+        assert "performance gate failed" in captured.err
+
+    def test_missing_workload_fails(self, tiny_default_suite, tmp_path, capsys):
+        out = tmp_path / "b.json"
+        run(["bench", "--quick", "--output", str(out)])
+        doc = load_baseline(out)
+        doc["entries"].append(
+            {
+                "key": "ghost@serial",
+                "timing": {
+                    "samples": [1.0], "point": 1.0,
+                    "ci_low": 1.0, "ci_high": 1.0,
+                    "warmup": 0, "batch_size": 1,
+                },
+                "counters": {},
+            }
+        )
+        write_baseline(out, doc)
+        assert main(["bench", "--check", str(out)]) == 2
+        assert "missing" in capsys.readouterr().out
+
+    def test_schema_bump_fails_loudly(self, tmp_path, capsys):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps({"schema": SCHEMA_VERSION + 1, "entries": []})
+        )
+        assert main(["bench", "--check", str(path)]) == 2
+        assert "regenerate the baseline" in capsys.readouterr().err
+
+    def test_check_json_stdout_parses(self, tiny_default_suite, tmp_path, capsys):
+        out = tmp_path / "b.json"
+        run(["bench", "--quick", "--output", str(out)])
+        assert main(["bench", "--check", str(out), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["verdicts"]
+
+
+class TestReportMode:
+    def test_trajectory_over_committed_baselines(self, tiny_default_suite, tmp_path):
+        run(["bench", "--quick", "--output", str(tmp_path / "BENCH_PR1.json")])
+        doc = load_baseline(tmp_path / "BENCH_PR1.json")
+        write_baseline(tmp_path / "BENCH_PR2.json", doc)
+        lines = run(["bench", "--report", "--dir", str(tmp_path)])
+        header = lines[1]
+        assert "PR1 [ms]" in header and "PR2 [ms]" in header and "drift" in header
+        assert any("tiny-heat-1d@serial" in line for line in lines)
+
+    def test_report_without_baselines_errors(self, tmp_path):
+        with pytest.raises(ReproError, match="no BENCH_PR"):
+            run(["bench", "--report", "--dir", str(tmp_path)])

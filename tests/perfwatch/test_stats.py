@@ -1,0 +1,115 @@
+"""Gate statistics: intervals, bootstrap determinism, verdict logic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.perfwatch.stats import (
+    Interval,
+    bootstrap_ci,
+    gate,
+    intervals_disjoint,
+    median,
+    relative_change,
+)
+
+
+class TestInterval:
+    def test_overlap_symmetric(self):
+        a, b = Interval(0.0, 2.0), Interval(1.0, 3.0)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_touching_endpoints_overlap(self):
+        assert Interval(0.0, 1.0).overlaps(Interval(1.0, 2.0))
+
+    def test_disjoint(self):
+        assert intervals_disjoint(Interval(0.0, 1.0), Interval(1.1, 2.0))
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ReproError, match="below"):
+            Interval(2.0, 1.0)
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even_midpoint(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError, match="zero samples"):
+            median([])
+
+
+class TestBootstrapCI:
+    def test_deterministic(self):
+        samples = [1.0, 1.1, 0.9, 1.05, 0.95]
+        a = bootstrap_ci(samples)
+        b = bootstrap_ci(samples)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_brackets_the_median(self):
+        samples = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02]
+        ci = bootstrap_ci(samples)
+        assert ci.low <= median(samples) <= ci.high
+
+    def test_within_sample_range(self):
+        samples = [2.0, 2.2, 1.8, 2.1]
+        ci = bootstrap_ci(samples)
+        assert min(samples) <= ci.low and ci.high <= max(samples)
+
+    def test_single_sample_zero_width(self):
+        ci = bootstrap_ci([3.0])
+        assert ci.low == ci.high == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError, match="at least one"):
+            bootstrap_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ReproError, match="confidence"):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+
+class TestRelativeChange:
+    def test_slowdown_positive(self):
+        assert relative_change(1.0, 2.0) == pytest.approx(1.0)
+
+    def test_speedup_negative(self):
+        assert relative_change(2.0, 1.0) == pytest.approx(-0.5)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ReproError, match="non-positive"):
+            relative_change(0.0, 1.0)
+
+
+class TestGate:
+    def test_two_x_slowdown_disjoint_is_regression(self):
+        verdict, slowdown = gate(
+            1.0, Interval(0.95, 1.05), 2.0, Interval(1.9, 2.1), threshold=0.20
+        )
+        assert verdict == "regression"
+        assert slowdown == pytest.approx(1.0)
+
+    def test_jitter_with_overlap_is_ok(self):
+        # 3% slower but the CIs overlap: indistinguishable from noise.
+        verdict, slowdown = gate(
+            1.0, Interval(0.95, 1.05), 1.03, Interval(0.98, 1.08), threshold=0.20
+        )
+        assert verdict == "ok"
+        assert slowdown == pytest.approx(0.03)
+
+    def test_disjoint_but_below_threshold_is_ok(self):
+        verdict, _ = gate(
+            1.0, Interval(0.99, 1.01), 1.10, Interval(1.09, 1.11), threshold=0.20
+        )
+        assert verdict == "ok"
+
+    def test_disjoint_speedup_is_improved(self):
+        verdict, slowdown = gate(
+            2.0, Interval(1.9, 2.1), 1.0, Interval(0.95, 1.05), threshold=0.20
+        )
+        assert verdict == "improved"
+        assert slowdown < 0.0

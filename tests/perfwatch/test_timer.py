@@ -1,0 +1,101 @@
+"""Timing protocol under a scripted clock: exact, not flaky."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.perfwatch.timer import (
+    DEFAULT_CLOCK,
+    FULL_SPEC,
+    QUICK_SPEC,
+    Timing,
+    TimingSpec,
+    time_callable,
+)
+from tests.perfwatch.conftest import make_scripted_clock
+
+
+class TestTimingSpec:
+    def test_defaults_valid(self):
+        TimingSpec()
+        assert QUICK_SPEC.batches >= 3
+        assert FULL_SPEC.batches >= QUICK_SPEC.batches
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"warmup": -1}, {"batches": 0}, {"batch_size": 0}]
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ReproError):
+            TimingSpec(**kwargs)
+
+
+class TestTimeCallable:
+    def test_scripted_clock_gives_exact_samples(self):
+        # clock advances 1s per call; each batch brackets batch_size calls
+        # with two ticks, so every sample is exactly 1.0 s.
+        clock = make_scripted_clock(step=1.0)
+        timing = time_callable(
+            lambda: None,
+            spec=TimingSpec(warmup=0, batches=4, batch_size=1),
+            clock=clock,
+        )
+        assert timing.samples == (1.0, 1.0, 1.0, 1.0)
+        assert timing.point == 1.0
+        assert timing.ci_low == timing.ci_high == 1.0
+
+    def test_batch_size_divides_sample(self):
+        clock = make_scripted_clock(step=3.0)
+        timing = time_callable(
+            lambda: None,
+            spec=TimingSpec(warmup=0, batches=2, batch_size=3),
+            clock=clock,
+        )
+        # one batch = one clock step pair = 3.0 s for 3 calls -> 1.0 s/call
+        assert timing.samples == (1.0, 1.0)
+
+    def test_warmup_calls_run_but_are_not_timed(self):
+        calls = []
+        clock = make_scripted_clock(step=1.0)
+        time_callable(
+            lambda: calls.append(1),
+            spec=TimingSpec(warmup=2, batches=3, batch_size=1),
+            clock=clock,
+        )
+        assert len(calls) == 2 + 3
+
+    def test_nonmonotonic_clock_clamped_to_zero(self):
+        ticks = iter([5.0, 4.0])  # clock goes backwards
+        timing = time_callable(
+            lambda: None,
+            spec=TimingSpec(warmup=0, batches=1, batch_size=1),
+            clock=lambda: next(ticks),
+        )
+        assert timing.samples == (0.0,)
+
+    def test_default_clock_is_real(self):
+        # sanity: the default protocol measures a real non-negative time.
+        timing = time_callable(
+            lambda: sum(range(100)),
+            spec=TimingSpec(warmup=0, batches=2, batch_size=1),
+        )
+        assert all(s >= 0.0 for s in timing.samples)
+        assert DEFAULT_CLOCK() > 0.0
+
+
+class TestTimingRoundTrip:
+    def test_dict_round_trip(self):
+        clock = make_scripted_clock(step=0.5)
+        timing = time_callable(
+            lambda: None,
+            spec=TimingSpec(warmup=1, batches=3, batch_size=2),
+            clock=clock,
+        )
+        assert Timing.from_dict(timing.to_dict()) == timing
+
+    def test_interval_property(self):
+        t = Timing(
+            samples=(1.0,), point=1.0, ci_low=0.9, ci_high=1.1,
+            warmup=0, batch_size=1,
+        )
+        assert t.interval.low == 0.9 and t.interval.high == 1.1

@@ -113,3 +113,70 @@ class TestTilingPolicy:
         got, want = _run_pair(backend)
         np.testing.assert_array_equal(got, want)
         backend.close()
+
+
+class TestWorkerTelemetryFold:
+    def _tile_spans(self, telemetry):
+        return [
+            sp
+            for sp in telemetry.get_tracer().spans()
+            if sp.name == "runtime.tiled.tile"
+        ]
+
+    def test_process_workers_fold_spans_into_parent(self):
+        from repro import telemetry
+
+        was_enabled = telemetry.enabled()
+        telemetry.get_tracer().clear()
+        telemetry.enable()
+        backend = TiledBackend(workers=2, min_rows_per_tile=2, use_processes=True)
+        try:
+            with telemetry.span("test.run"):
+                ConvStencil(get_kernel("heat-2d"), backend=backend).run(
+                    default_rng(3).random((24, 24)), 1
+                )
+            tiles = self._tile_spans(telemetry)
+            assert tiles, "tiled run recorded no tile spans"
+            # every tile is attributed: folded process tiles carry worker=,
+            # in-process (degraded) tiles carry their thread id instead.
+            degraded = telemetry.counter("runtime.tiled.degradations").value
+            if not degraded:
+                assert all("worker" in sp.attributes for sp in tiles)
+                assert all(sp.parent_id is not None for sp in tiles)
+                assert telemetry.counter("runtime.tiled.folded_spans").value > 0
+        finally:
+            backend.close()
+            telemetry.get_tracer().clear()
+            telemetry.get_registry().clear()
+            if was_enabled:
+                telemetry.enable()
+            else:
+                telemetry.disable()
+
+    def test_thread_tiles_traced_without_fold(self):
+        from repro import telemetry
+
+        was_enabled = telemetry.enabled()
+        telemetry.get_tracer().clear()
+        telemetry.enable()
+        backend = TiledBackend(workers=2, min_rows_per_tile=2, use_processes=False)
+        try:
+            folded_before = telemetry.counter("runtime.tiled.folded_spans").value
+            ConvStencil(get_kernel("heat-2d"), backend=backend).run(
+                    default_rng(3).random((24, 24)), 1
+                )
+            tiles = self._tile_spans(telemetry)
+            assert len(tiles) >= 2  # 24 rows / min 2 per tile across 2 workers
+            assert all("worker" not in sp.attributes for sp in tiles)
+            # thread tiles record directly: nothing crosses a process boundary
+            assert (
+                telemetry.counter("runtime.tiled.folded_spans").value == folded_before
+            )
+        finally:
+            backend.close()
+            telemetry.get_tracer().clear()
+            telemetry.get_registry().clear()
+            if was_enabled:
+                telemetry.enable()
+            else:
+                telemetry.disable()

@@ -1,0 +1,146 @@
+"""Cross-process telemetry capture/fold and the report-level summaries."""
+
+from __future__ import annotations
+
+import os
+
+from repro.telemetry.fold import capture_delta, capture_mark, fold_capture
+from repro.telemetry.report import perfwatch_summary, worker_summary
+
+
+def foreign(payload):
+    """Re-tag a payload as if another process produced it."""
+    return dict(payload, pid=payload["pid"] + 1)
+
+
+class TestCapture:
+    def test_disabled_yields_none(self, tele):
+        tele.disable()
+        assert capture_delta(capture_mark()) is None
+
+    def test_delta_contains_only_new_work(self, tele):
+        tele.enable()
+        with tele.span("before"):
+            pass
+        tele.counter("work.items").inc(3)
+        mark = capture_mark()
+        with tele.span("after", tag=1):
+            pass
+        tele.counter("work.items").inc(2)
+        payload = capture_delta(mark)
+        assert payload["pid"] == os.getpid()
+        assert [sp["name"] for sp in payload["spans"]] == ["after"]
+        assert payload["counters"] == {"work.items": 2}
+
+    def test_unchanged_counters_omitted(self, tele):
+        tele.enable()
+        tele.counter("idle").inc()
+        payload = capture_delta(capture_mark())
+        assert "idle" not in payload["counters"]
+
+
+class TestFold:
+    def test_same_pid_payload_skipped(self, tele):
+        tele.enable()
+        mark = capture_mark()
+        with tele.span("local"):
+            pass
+        payload = capture_delta(mark)
+        before = len(tele.get_tracer())
+        assert fold_capture(payload) == 0
+        assert len(tele.get_tracer()) == before
+
+    def test_foreign_payload_merged_with_worker_attr(self, tele):
+        tele.enable()
+        mark = capture_mark()
+        with tele.span("tile", idx=7):
+            pass
+        tele.counter("tiles.done").inc(4)
+        payload = capture_delta(mark)
+        tele.get_tracer().clear()
+        tele.get_registry().clear()
+
+        assert fold_capture(foreign(payload), worker="w0") == 1
+        (sp,) = tele.get_tracer().spans()
+        assert sp.name == "tile"
+        assert sp.attributes["worker"] == "w0"
+        assert sp.attributes["idx"] == 7
+        assert tele.counter("tiles.done").value == 4
+
+    def test_parent_links_remap_inside_batch(self, tele):
+        tele.enable()
+        mark = capture_mark()
+        with tele.span("outer"):
+            with tele.span("inner"):
+                pass
+        payload = capture_delta(mark)
+        tele.get_tracer().clear()
+        fold_capture(foreign(payload))
+        by_name = {sp.name: sp for sp in tele.get_tracer().spans()}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+
+    def test_roots_attach_under_active_span(self, tele):
+        tele.enable()
+        mark = capture_mark()
+        with tele.span("worker.tile"):
+            pass
+        payload = capture_delta(mark)
+        tele.get_tracer().clear()
+        with tele.span("parent.pass"):
+            fold_capture(foreign(payload))
+        spans = {sp.name: sp for sp in tele.get_tracer().spans()}
+        assert spans["worker.tile"].parent_id == spans["parent.pass"].span_id
+
+    def test_none_and_empty_payloads_noop(self, tele):
+        assert fold_capture(None) == 0
+        assert fold_capture({}) == 0
+
+    def test_counter_collision_dropped_not_fatal(self, tele):
+        tele.enable()
+        mark = capture_mark()
+        tele.counter("clash").inc()
+        with tele.span("s"):
+            pass
+        payload = capture_delta(mark)
+        tele.get_tracer().clear()
+        tele.get_registry().clear()
+        tele.get_registry().gauge("clash").set(1.0)  # non-counter under that name
+        assert fold_capture(foreign(payload)) == 1  # spans still land
+
+
+class TestSummaries:
+    def test_worker_summary_counts_tiles_and_workers(self):
+        spans = [
+            {
+                "name": "runtime.tiled.tile",
+                "duration": 0.5,
+                "attributes": {"worker": "pid-1"},
+            },
+            {
+                "name": "runtime.tiled.tile",
+                "duration": 0.25,
+                "attributes": {"worker": "pid-2"},
+            },
+            {"name": "runtime.tiled.tile", "duration": 0.25, "thread_id": 9},
+            {"name": "runtime.tiled.pass", "attributes": {"degraded": True}},
+            {"name": "runtime.tiled.pass", "attributes": {}},
+        ]
+        summary = worker_summary(spans)
+        assert summary["tiles"] == 3
+        assert summary["workers"] == ["pid-1", "pid-2", "thread-9"]
+        assert summary["busy"] == 1.0
+        assert summary["passes"] == 2
+        assert summary["degraded_passes"] == 1
+
+    def test_perfwatch_summary(self):
+        spans = [
+            {"name": "perfwatch.suite", "attributes": {"workloads": 14}},
+            {"name": "perfwatch.workload", "attributes": {"samples": 4}},
+            {"name": "perfwatch.workload", "attributes": {"samples": 4}},
+        ]
+        summary = perfwatch_summary(spans)
+        assert summary == {"suites": 1, "workloads": 14, "samples": 8}
+
+    def test_summaries_zero_on_empty_trace(self):
+        assert worker_summary([])["tiles"] == 0
+        assert perfwatch_summary([])["suites"] == 0
