@@ -74,6 +74,23 @@ def emit_json(name: str, rows, **metadata) -> None:
     telemetry.counter("bench.emit").inc()
 
 
+def emit_obs(name: str) -> None:
+    """Persist the live-observability snapshot as results/<name>.obs.json.
+
+    No-op unless the obs layer is enabled (``REPRO_OBS=1`` or an explicit
+    ``obs.enable()``); when active, the snapshot — per-plan latency
+    quantiles, achieved-vs-model throughput, worker state — lands next to
+    the bench's tables so numbers and runtime health travel together.
+    """
+    from repro import obs
+
+    if not obs.enabled():
+        return
+    with telemetry.span("bench.emit", bench=name, kind="obs"):
+        dump_json(_results_dir() / f"{name}.obs.json", obs.snapshot(), fsync=True)
+    telemetry.counter("bench.emit").inc()
+
+
 def emit_telemetry(name: str) -> None:
     """Persist the current trace + metrics snapshot next to the results.
 

@@ -29,7 +29,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from _common import emit, emit_json
+from _common import emit, emit_json, emit_obs
 from repro import ConvStencil, get_kernel, telemetry
 from repro.runtime import PlanCache, TiledBackend, get_plan_cache, set_plan_cache
 from repro.utils.rng import default_rng
@@ -148,6 +148,7 @@ def run_suite(quick: bool = False, workers: Optional[int] = None) -> List[str]:
         )
         emit("backend_comparison", table + "\n\n" + cache_line)
         emit_json("backend_comparison", rows, plan_cache=cache)
+        emit_obs("backend_comparison")
         return [table, cache_line]
     finally:
         if not was_enabled:

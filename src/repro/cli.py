@@ -52,6 +52,7 @@ regression), and ``bench --report`` renders the cross-PR trajectory.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Sequence
 
@@ -382,6 +383,179 @@ def _run_lint(argv: List[str]) -> List[str]:
     return lines
 
 
+def _run_obs_snapshot(argv: List[str]) -> List[str]:
+    """The ``obs-snapshot`` subcommand: one-shot live-observability dump.
+
+    Prints the collector's health snapshot as JSON (default) or
+    Prometheus exposition text; ``--demo`` first runs a small tiled
+    workload so the snapshot is populated, ``--serve`` additionally
+    serves ``/metrics`` + ``/health`` for a bounded window (what the CI
+    smoke scrapes), and ``--profile-out`` exports the sampler's flame
+    data (``.json`` → Chrome trace, else collapsed stacks).
+    """
+    parser = argparse.ArgumentParser(
+        prog="convstencil obs-snapshot",
+        description="One-shot snapshot of the live observability layer",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("json", "prom"),
+        default="json",
+        help="output format (default json; prom = Prometheus text)",
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="run a small tiled demo workload first so gauges are non-empty",
+    )
+    parser.add_argument(
+        "--demo-runs",
+        type=int,
+        default=3,
+        metavar="N",
+        help="demo workload repetitions (default 3)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="also write the snapshot JSON to FILE",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        default=None,
+        help="export profiler flame data (.json Chrome trace, else collapsed)",
+    )
+    parser.add_argument(
+        "--serve",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve /metrics and /health for this many seconds before exiting",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="exporter port for --serve (default $REPRO_OBS_PORT or 9109; 0 = ephemeral)",
+    )
+    args = parser.parse_args(argv)
+
+    import json
+    import time as _time
+
+    from repro import obs
+    from repro.obs.exporter import render_prometheus, start_exporter
+    from repro.obs.top import run_demo_workload
+
+    if args.demo:
+        run_demo_workload(runs=args.demo_runs)
+    if not obs.enabled():
+        raise ReproError(
+            "obs layer is disabled; set REPRO_OBS=1 (or pass --demo, which enables it)"
+        )
+    snap = obs.snapshot()
+    lines: List[str] = []
+    if args.format == "prom":
+        lines.extend(render_prometheus(snap).splitlines())
+    else:
+        lines.extend(json.dumps(snap, indent=2, sort_keys=True).splitlines())
+    if args.output:
+        from repro.utils.io import dump_json
+
+        dump_json(args.output, snap)
+        lines.append(f"OBS: wrote {args.output}")
+    if args.profile_out:
+        profiler = obs.get_profiler()
+        if profiler is None:
+            lines.append("OBS: no profiler data (sampler never started)")
+        else:
+            profiler.export(args.profile_out)
+            lines.append(
+                f"OBS: wrote {args.profile_out} ({profiler.samples} samples)"
+            )
+    if args.serve is not None:
+        server = start_exporter(port=args.port)
+        lines.append(f"OBS: serving {server.url}/metrics for {args.serve:.1f}s")
+        for line in lines:
+            print(line)
+        lines = []
+        _time.sleep(max(0.0, args.serve))
+        server.stop()
+        lines.append("OBS: exporter stopped")
+    return lines
+
+
+def _run_top(argv: List[str]) -> List[str]:
+    """The ``top`` subcommand: ANSI live view of the obs snapshot."""
+    parser = argparse.ArgumentParser(
+        prog="convstencil top",
+        description=(
+            "Live terminal view: per-plan-key latency histograms, SLO "
+            "breaches, efficiency gauges, worker state, profiler phases"
+        ),
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (deterministic; used by CI)",
+    )
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render N frames then exit (default: until interrupted)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period (default 2.0)",
+    )
+    parser.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="poll a running exporter's /health instead of the local collector",
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="run a small tiled demo workload before each frame",
+    )
+    parser.add_argument(
+        "--no-color",
+        action="store_true",
+        help="plain text: no ANSI colour or screen clearing",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs import top as obs_top
+
+    color = not args.no_color
+    if args.once:
+        if args.demo:
+            obs_top.run_demo_workload(runs=1)
+        if args.url:
+            snap = obs_top.fetch_snapshot(args.url)
+        else:
+            from repro import obs
+
+            snap = obs.snapshot()
+        return obs_top.render_top(snap, color=color)
+    frames = obs_top.run_live(
+        interval=args.interval,
+        frames=args.frames,
+        url=args.url,
+        demo=args.demo,
+        color=color,
+    )
+    return [f"TOP: rendered {frames} frame(s)"]
+
+
 def _run_bench(argv: List[str]) -> List[str]:
     """The ``bench`` subcommand: the perfwatch suite, gate, and dashboard.
 
@@ -524,6 +698,10 @@ def run(argv: Sequence[str]) -> List[str]:
         return _run_lint(argv[1:])
     if argv and argv[0] == "bench":
         return _run_bench(argv[1:])
+    if argv and argv[0] == "obs-snapshot":
+        return _run_obs_snapshot(argv[1:])
+    if argv and argv[0] == "top":
+        return _run_top(argv[1:])
     args = build_parser().parse_args(argv)
     if args.trace or args.metrics:
         telemetry.enable()
@@ -659,6 +837,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream pager/`head` closed stdout mid-report; exit quietly
+        # like any well-behaved filter (stdout is gone, so say nothing).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     return 0
 
 

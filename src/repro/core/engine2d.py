@@ -148,20 +148,10 @@ def convstencil_valid_2d_batched(
         raise TessellationError(f"kernel edge {k} does not fit slices of {stack.shape[1:]}")
     x_valid, y_valid = m - k + 1, n - k + 1
 
-    from repro.core.stencil2row import (
-        _extend_columns,
-        stencil2row_offsets,
-        stencil2row_shape,
-    )
+    from repro.core.stencil2row import stencil2row_views_batched
 
-    with telemetry.span(
-        "stencil2row", kernel=kernel.name, stage="views-2d-batched", shape=stack.shape
-    ):
-        r_groups, _ = stencil2row_shape((m, n), k)
-        ext = _extend_columns(stack, (r_groups - 1) * g + 2 * k)
-        cols = offsets if offsets is not None else stencil2row_offsets(r_groups, k)
-        a3 = ext[:, :, cols]  # (batch, m, R, k)
-        b3 = ext[:, :, cols + k]
+    a3, b3 = stencil2row_views_batched(stack, k, offsets)  # (batch, m, R, k)
+    r_groups = a3.shape[2]
     wa3, wb3 = weights if weights is not None else weight_blocks_2d(kernel)
     wa_flat = np.ascontiguousarray(wa3).reshape(k * k, g)
     wb_flat = np.ascontiguousarray(wb3).reshape(k * k, g)

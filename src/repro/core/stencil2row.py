@@ -43,6 +43,7 @@ __all__ = [
     "stencil2row_offsets",
     "stencil2row_shape",
     "stencil2row_views_2d",
+    "stencil2row_views_batched",
     "memory_saving_vs_im2row",
 ]
 
@@ -148,6 +149,33 @@ def stencil2row_matrices_2d(padded: np.ndarray, edge: int) -> tuple:
     a = a3.transpose(1, 0, 2).reshape(rows, m * edge)
     b = b3.transpose(1, 0, 2).reshape(rows, m * edge)
     return a, b
+
+
+def stencil2row_views_batched(
+    stack: np.ndarray, edge: int, offsets: np.ndarray | None = None
+) -> tuple:
+    """Grouped gathers ``(A3, B3)`` of shape ``(batch, m, rows, edge)``.
+
+    The batch-axis generalisation of :func:`stencil2row_views_2d`: one
+    fancy-indexed gather covers every slice of a ``(batch, m, n)`` stack.
+    Living here (not inlined in the batched engine) keeps the layout
+    transform attributable to the stencil2row stage — spans *and* the
+    obs sampling profiler's frame-based phase attribution see it.
+    """
+    stack = np.asarray(stack, dtype=np.float64)
+    if stack.ndim != 3:
+        raise LayoutError(f"expected (batch, m, n) input, got {stack.ndim}-D")
+    with telemetry.span(
+        "stencil2row", stage="views-2d-batched", shape=stack.shape, edge=edge
+    ):
+        g = edge + 1
+        rows, _ = stencil2row_shape(stack.shape[1:], edge)
+        ext = _extend_columns(stack, (rows - 1) * g + 2 * edge)
+        if offsets is None:
+            offsets = stencil2row_offsets(rows, edge)
+        a3 = ext[:, :, offsets]
+        b3 = ext[:, :, offsets + edge]
+        return a3, b3
 
 
 @lru_cache(maxsize=256)

@@ -1,0 +1,382 @@
+"""repro.obs — live runtime introspection (env-gated, near-free when off).
+
+PRs 1 and 5 made the pipeline observable *after the fact*: traces you
+export, counters a bench run folds.  This layer makes the same signals
+**live**: while a workload runs it maintains per-plan-key latency
+histograms with SLO accounting, worker liveness/utilisation, achieved
+MMA/s and GStencil/s against the calibrated model ceiling, and a
+sampling profiler attributing time to the pipeline's phases — servable
+over HTTP (:mod:`repro.obs.exporter`), renderable in-terminal
+(``repro top``), and snapshottable one-shot (``repro obs-snapshot``).
+
+Enablement follows the telemetry layer's convention: the ``REPRO_OBS``
+environment variable (any value other than ``0/false/no/off``) or
+:func:`enable`.  While disabled every hook in the hot path —
+:func:`record_run` in the executor, :func:`tile_capture` in tiled
+workers — returns a shared no-op object after a single attribute check,
+so the cost of shipping this layer always-on is one branch per run.
+
+Environment knobs::
+
+    REPRO_OBS=1                   # switch the layer on
+    REPRO_OBS_SLO_MS=250          # per-run latency budget (breach counter)
+    REPRO_OBS_PROFILE=0           # keep histograms but skip the sampler
+    REPRO_OBS_PROFILE_INTERVAL_MS=5   # sampling period
+    REPRO_OBS_PORT=9109           # exporter default port
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.obs.collector import ObsCollector
+from repro.obs.profiler import DEFAULT_INTERVAL, SamplingProfiler
+
+__all__ = [
+    "ENV_VAR",
+    "bench_summary",
+    "disable",
+    "enable",
+    "enabled",
+    "fold_worker_payload",
+    "get_collector",
+    "get_profiler",
+    "pass_timer",
+    "record_run",
+    "snapshot",
+    "tile_capture",
+]
+
+#: Environment variable that switches the obs layer on at import time.
+ENV_VAR = "REPRO_OBS"
+
+#: Sampler opt-out / interval knobs (profile defaults to on when obs is on).
+PROFILE_ENV = "REPRO_OBS_PROFILE"
+PROFILE_INTERVAL_ENV = "REPRO_OBS_PROFILE_INTERVAL_MS"
+
+_FALSY = {"", "0", "false", "no", "off"}
+
+#: Audited clock reference (keeps raw ``time.*`` reads out of hot paths;
+#: see the staticcheck RPR004 rationale in :mod:`repro.obs.collector`).
+_CLOCK: Callable[[], float] = time.perf_counter
+
+
+def _env_enabled(value: "str | None") -> bool:
+    return value is not None and value.strip().lower() not in _FALSY
+
+
+def _env_profile_wanted() -> bool:
+    raw = os.environ.get(PROFILE_ENV)
+    if raw is None:
+        return True
+    return raw.strip().lower() not in _FALSY
+
+
+def _env_profile_interval() -> float:
+    raw = os.environ.get(PROFILE_INTERVAL_ENV)
+    if raw is None or not raw.strip():
+        return DEFAULT_INTERVAL
+    try:
+        ms = float(raw)
+    except ValueError:
+        return DEFAULT_INTERVAL
+    return ms / 1e3 if ms > 0 else DEFAULT_INTERVAL
+
+
+class _State:
+    """Module-global switch + collector/profiler pair."""
+
+    __slots__ = ("enabled", "profile_wanted", "collector", "profiler", "lock")
+
+    def __init__(self) -> None:
+        self.enabled = _env_enabled(os.environ.get(ENV_VAR))
+        self.profile_wanted = _env_profile_wanted()
+        self.collector = ObsCollector()
+        self.profiler: Optional[SamplingProfiler] = None
+        self.lock = threading.Lock()
+
+
+_state = _State()
+
+
+def enabled() -> bool:
+    """Whether the obs layer is currently recording."""
+    return _state.enabled
+
+
+def enable(profile: Optional[bool] = None) -> None:
+    """Turn the obs layer on (equivalent to ``REPRO_OBS=1``).
+
+    ``profile`` overrides the sampler opt-in: ``False`` keeps histograms
+    and gauges but never starts the sampling thread (what ``repro bench``
+    uses so the sampler cannot perturb gated timings).
+    """
+    if profile is not None:
+        _state.profile_wanted = bool(profile)
+    _state.enabled = True
+
+
+def disable() -> None:
+    """Turn the obs layer off and stop the sampler (data is kept)."""
+    _state.enabled = False
+    with _state.lock:
+        profiler = _state.profiler
+    if profiler is not None:
+        profiler.stop()
+
+
+def get_collector() -> ObsCollector:
+    """The process-wide collector instance."""
+    return _state.collector
+
+
+def get_profiler() -> Optional[SamplingProfiler]:
+    """The process-wide profiler, if one has been created."""
+    return _state.profiler
+
+
+def _ensure_profiler() -> Optional[SamplingProfiler]:
+    """Create/start the sampler on first use (never at import time)."""
+    if not _state.profile_wanted:
+        return _state.profiler
+    with _state.lock:
+        if _state.profiler is None:
+            _state.profiler = SamplingProfiler(interval=_env_profile_interval())
+        profiler = _state.profiler
+    if not profiler.running:
+        profiler.start()
+    return profiler
+
+
+def _reset_for_tests(
+    collector: Optional[ObsCollector] = None,
+) -> ObsCollector:
+    """Swap in a fresh collector/profiler (test isolation hook)."""
+    old = _state.profiler
+    if old is not None:
+        old.stop()
+    _state.profiler = None
+    _state.collector = collector if collector is not None else ObsCollector()
+    return _state.collector
+
+
+# -- run accounting (executor hook) ---------------------------------------
+
+
+class _NoopTimer:
+    """Shared inert stand-in while the layer is off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def payload(self) -> None:
+        return None
+
+
+_NOOP = _NoopTimer()
+
+
+class _RunTimer:
+    """Times one run/run_batch and accounts it on success."""
+
+    __slots__ = ("_plan", "_backend", "_steps", "_batch", "_t0")
+
+    def __init__(self, plan, backend: str, steps: int, batch: int) -> None:
+        self._plan = plan
+        self._backend = backend
+        self._steps = steps
+        self._batch = batch
+        self._t0 = 0.0
+
+    def __enter__(self):
+        _ensure_profiler()
+        self._t0 = _CLOCK()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            _state.collector.record_run(
+                self._plan,
+                self._backend,
+                self._steps,
+                self._batch,
+                _CLOCK() - self._t0,
+            )
+        return False
+
+
+def record_run(plan, backend: str, steps: int, batch: int = 0):
+    """Context manager accounting one executor run under its plan key.
+
+    The near-free off path: one attribute check, return the shared no-op.
+    """
+    if not _state.enabled:
+        return _NOOP
+    return _RunTimer(plan, backend, steps, batch)
+
+
+# -- tiled-pass / tile accounting (runtime.tiled hooks) --------------------
+
+
+class _PassTimer:
+    """Times one tiled pass dispatch (worker-utilisation denominator)."""
+
+    __slots__ = ("_workers", "_t0")
+
+    def __init__(self, workers: int) -> None:
+        self._workers = workers
+        self._t0 = 0.0
+
+    def __enter__(self):
+        self._t0 = _CLOCK()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            _state.collector.observe_pass(_CLOCK() - self._t0, self._workers)
+        return False
+
+
+def pass_timer(workers: int):
+    """Time one tiled pass while enabled; shared no-op otherwise."""
+    if not _state.enabled:
+        return _NOOP
+    return _PassTimer(workers)
+
+
+class _TileCapture:
+    """Times one tile and (in pool workers) samples its own stacks.
+
+    Records into the local collector either way; :meth:`payload` ships a
+    picklable obs fragment back with the worker's result tuple, which the
+    parent folds — skipping same-pid payloads, so nothing double-counts
+    whichever side of a fork/spawn/thread boundary the tile ran on.
+    """
+
+    __slots__ = ("_t0", "_busy", "_profiler")
+
+    def __init__(self) -> None:
+        self._t0 = 0.0
+        self._busy = 0.0
+        self._profiler: Optional[SamplingProfiler] = None
+
+    def __enter__(self):
+        # A forked pool worker inherits the parent's profiler *object* but
+        # not its thread; a spawned worker starts fresh.  Either way, if no
+        # sampler is running in this process, run a short-lived one for the
+        # duration of the tile.
+        if _state.profile_wanted:
+            running = _state.profiler is not None and _state.profiler.running
+            if not running:
+                self._profiler = SamplingProfiler(
+                    interval=_env_profile_interval()
+                ).start()
+        self._t0 = _CLOCK()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._busy = _CLOCK() - self._t0
+        if self._profiler is not None:
+            self._profiler.stop()
+        if exc_type is None:
+            collector = _state.collector
+            label = (
+                f"thread-{threading.get_ident()}"
+                if collector.pid == os.getpid()
+                else f"pid-{os.getpid()}"
+            )
+            collector.observe_tile(label, self._busy)
+        return False
+
+    def payload(self) -> Optional[Dict[str, Any]]:
+        """Picklable fragment for the worker→parent fold."""
+        out: Dict[str, Any] = {
+            "pid": os.getpid(),
+            "tiles": 1,
+            "busy_s": self._busy,
+        }
+        if self._profiler is not None:
+            out["profile"] = self._profiler.payload()
+        return out
+
+
+def tile_capture():
+    """Obs capture around one tile body; shared no-op while disabled."""
+    if not _state.enabled:
+        return _NOOP
+    return _TileCapture()
+
+
+def attach_tile_payload(
+    telemetry_payload: Optional[Dict[str, Any]], capture
+) -> Optional[Dict[str, Any]]:
+    """Ride the obs fragment on the worker's telemetry payload.
+
+    Keeps the worker result tuple at its existing 3-element arity: the
+    obs fragment nests under ``"obs"`` inside the telemetry payload,
+    creating a minimal carrier when span telemetry is off.
+    """
+    fragment = capture.payload()
+    if fragment is None:
+        return telemetry_payload
+    if telemetry_payload is None:
+        telemetry_payload = {"pid": os.getpid(), "spans": [], "counters": {}}
+    telemetry_payload["obs"] = fragment
+    return telemetry_payload
+
+
+def fold_worker_payload(payload: Optional[Dict[str, Any]]) -> int:
+    """Parent-side fold of a worker result payload's obs fragment."""
+    if not _state.enabled or not payload:
+        return 0
+    fragment = payload.get("obs")
+    if not fragment:
+        return 0
+    return _state.collector.fold_worker_payload(
+        fragment, profiler=_ensure_profiler() if _state.profile_wanted else None
+    )
+
+
+# -- snapshots -------------------------------------------------------------
+
+
+def snapshot() -> Dict[str, Any]:
+    """The collector's JSON-able health snapshot (profiler included)."""
+    return _state.collector.snapshot(profiler=_state.profiler)
+
+
+def bench_summary() -> Dict[str, Any]:
+    """Compact obs block for embedding in perfwatch baselines.
+
+    Histogram summaries + efficiency gauges per plan key, plus the
+    plan-cache stats — small enough to live inside ``BENCH_PR<N>.json``.
+    """
+    snap = snapshot()
+    runs = {}
+    for label, stats in sorted(snap.get("runs", {}).items()):
+        runs[label] = {
+            "runs": stats["runs"],
+            "p50_s": stats["p50_s"],
+            "p95_s": stats["p95_s"],
+            "p99_s": stats["p99_s"],
+            "achieved_mma_per_s": stats["achieved_mma_per_s"],
+            "achieved_gstencils_per_s": stats["achieved_gstencils_per_s"],
+            "model_attainment": stats["model_attainment"],
+            "slo_breaches": stats["slo_breaches"],
+        }
+    profile = snap.get("profile") or {}
+    return {
+        "enabled": enabled(),
+        "plan_cache": snap.get("plan_cache", {}),
+        "worker_utilisation": snap.get("worker_utilisation"),
+        "profiler_samples": int(profile.get("samples", 0)),
+        "runs": runs,
+    }

@@ -1,0 +1,323 @@
+"""The obs collector: per-plan-key run stats, worker health, efficiency.
+
+One process-wide :class:`ObsCollector` accumulates, while the obs layer
+is enabled:
+
+* per plan key — ``kernel|shape|backend|fusion`` — run counts, latency
+  histograms (:class:`~repro.obs.hist.LatencyHistogram`), SLO breach
+  counters, and the paper-model quantities needed to price each run
+  (Eq.-13 MMA totals via :func:`repro.perfwatch.counters.pass_mma_total`,
+  the calibrated model ceiling via
+  :func:`repro.model.convstencil_model.convstencil_throughput`);
+* per worker — busy seconds, tile counts, and a liveness timestamp, fed
+  either directly (in-process thread tiles) or by folding the obs payload
+  a process-pool worker ships back with its result tuple;
+* tiled pass wall time × pool width, the denominator of the same
+  busy-utilisation ratio perfwatch's probe reports.
+
+``snapshot()`` renders everything — plus the live plan-cache stats and
+profiler aggregates — into one JSON-able dict that the exporter, the
+``repro top`` view, and ``repro obs-snapshot`` all consume.
+
+The collector touches the wall clock through a module-level reference so
+sampling stays cheap and the staticcheck RPR004 rule (raw clock reads in
+measurement code) has a single audited call site.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.obs.hist import LatencyHistogram
+from repro.telemetry.log import get_logger
+
+__all__ = ["ObsCollector", "RunStats", "run_label"]
+
+_log = get_logger("obs.collector")
+
+#: Audited clock reference (see module docstring).
+_CLOCK: Callable[[], float] = time.perf_counter
+
+#: SLO threshold knob: per-run latency budget in milliseconds.
+SLO_ENV = "REPRO_OBS_SLO_MS"
+
+
+def _env_slo_seconds() -> Optional[float]:
+    raw = os.environ.get(SLO_ENV)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        ms = float(raw)
+    except ValueError:
+        _log.warning("%s=%r is not a number; SLO accounting disabled", SLO_ENV, raw)
+        return None
+    return ms / 1e3 if ms > 0 else None
+
+
+def run_label(
+    kernel_name: str, grid_shape: Tuple[int, ...], backend: str, fusion_depth: int
+) -> str:
+    """Human-stable plan-key label: ``kernel|HxW|backend|f<depth>``."""
+    shape = "x".join(str(n) for n in grid_shape)
+    return f"{kernel_name}|{shape}|{backend}|f{fusion_depth}"
+
+
+class RunStats:
+    """Accumulated state for one plan key."""
+
+    __slots__ = (
+        "kernel",
+        "shape",
+        "backend",
+        "fusion",
+        "runs",
+        "grids",
+        "steps",
+        "stencil_updates",
+        "mma_total",
+        "elapsed",
+        "slo_breaches",
+        "hist",
+        "model_gstencils_per_s",
+        "model_bound",
+    )
+
+    def __init__(
+        self,
+        kernel: str,
+        shape: Tuple[int, ...],
+        backend: str,
+        fusion: int,
+        model_gstencils_per_s: float,
+        model_bound: str,
+    ) -> None:
+        self.kernel = kernel
+        self.shape = shape
+        self.backend = backend
+        self.fusion = fusion
+        self.runs = 0
+        self.grids = 0
+        self.steps = 0
+        self.stencil_updates = 0.0
+        self.mma_total = 0.0
+        self.elapsed = 0.0
+        self.slo_breaches = 0
+        self.hist = LatencyHistogram()
+        self.model_gstencils_per_s = model_gstencils_per_s
+        self.model_bound = model_bound
+
+    def to_dict(self) -> Dict[str, Any]:
+        achieved_gst = (
+            self.stencil_updates / self.elapsed / 1e9 if self.elapsed > 0 else 0.0
+        )
+        model_gst = self.model_gstencils_per_s
+        # Model MMA/s ceiling: the per-update MMA price times the model's
+        # update rate — the live analogue of Eq.-13 over the roofline.
+        mma_per_update = (
+            self.mma_total / self.stencil_updates if self.stencil_updates > 0 else 0.0
+        )
+        return {
+            "kernel": self.kernel,
+            "shape": list(self.shape),
+            "backend": self.backend,
+            "fusion": self.fusion,
+            "runs": self.runs,
+            "grids": self.grids,
+            "steps": self.steps,
+            "stencil_updates": self.stencil_updates,
+            "elapsed_s": self.elapsed,
+            "mma_total": self.mma_total,
+            "achieved_mma_per_s": (
+                self.mma_total / self.elapsed if self.elapsed > 0 else 0.0
+            ),
+            "achieved_gstencils_per_s": achieved_gst,
+            "model_gstencils_per_s": model_gst,
+            "model_mma_per_s": mma_per_update * model_gst * 1e9,
+            "model_attainment": achieved_gst / model_gst if model_gst > 0 else 0.0,
+            "model_bound": self.model_bound,
+            "slo_breaches": self.slo_breaches,
+            "latency": self.hist.to_dict(),
+            "p50_s": self.hist.p50,
+            "p95_s": self.hist.p95,
+            "p99_s": self.hist.p99,
+        }
+
+
+class ObsCollector:
+    """Thread-safe aggregate of live run/worker/pass observations."""
+
+    def __init__(self, slo_seconds: Optional[float] = None) -> None:
+        self.pid = os.getpid()
+        self.slo_seconds = slo_seconds if slo_seconds is not None else _env_slo_seconds()
+        self._lock = threading.Lock()
+        self._runs: Dict[str, RunStats] = {}
+        self._workers: Dict[str, Dict[str, float]] = {}
+        self._passes = 0
+        self._pass_wall_x_workers = 0.0
+        self._started_at = _CLOCK()
+        # (kernel_name, n_grid, steps, depth) -> Eq.-13 MMA total;
+        # (kernel_name, shape, depth) -> (model GStencil/s, bound).
+        self._mma_cache: Dict[Tuple[str, int, int, int], float] = {}
+        self._model_cache: Dict[Tuple[str, Tuple[int, ...], int], Tuple[float, str]] = {}
+
+    # -- pricing helpers ---------------------------------------------------
+
+    def _mma_for(self, plan, n_grid: int, steps: int) -> float:
+        key = (plan.kernel.name, n_grid, steps, plan.fusion_depth)
+        cached = self._mma_cache.get(key)
+        if cached is None:
+            from repro.perfwatch.counters import pass_mma_total
+
+            cached = pass_mma_total(plan.kernel, n_grid, steps, plan.fusion_depth)
+            self._mma_cache[key] = cached
+        return cached
+
+    def _model_for(self, plan) -> Tuple[float, str]:
+        key = (plan.kernel.name, tuple(plan.grid_shape), plan.fusion_depth)
+        cached = self._model_cache.get(key)
+        if cached is None:
+            from repro.model.convstencil_model import convstencil_throughput
+
+            est = convstencil_throughput(
+                plan.kernel, tuple(plan.grid_shape), fusion=plan.fusion_depth
+            )
+            cached = (est.gstencils_per_s, est.bound)
+            self._model_cache[key] = cached
+        return cached
+
+    # -- recording ---------------------------------------------------------
+
+    def record_run(
+        self, plan, backend: str, steps: int, batch: int, elapsed: float
+    ) -> None:
+        """Account one finished ``run``/``run_batch`` call under its plan key."""
+        grid_shape = tuple(plan.grid_shape)
+        label = run_label(plan.kernel.name, grid_shape, backend, plan.fusion_depth)
+        n_grid = 1
+        for extent in grid_shape:
+            n_grid *= int(extent)
+        grids = max(1, batch)
+        mma = self._mma_for(plan, n_grid, steps) * grids
+        with self._lock:
+            stats = self._runs.get(label)
+            if stats is None:
+                model_gst, model_bound = self._model_for(plan)
+                stats = RunStats(
+                    plan.kernel.name,
+                    grid_shape,
+                    backend,
+                    plan.fusion_depth,
+                    model_gst,
+                    model_bound,
+                )
+                self._runs[label] = stats
+            stats.runs += 1
+            stats.grids += grids
+            stats.steps += steps
+            stats.stencil_updates += float(steps) * n_grid * grids
+            stats.mma_total += mma
+            stats.elapsed += elapsed
+            stats.hist.observe(elapsed)
+            if self.slo_seconds is not None and elapsed > self.slo_seconds:
+                stats.slo_breaches += 1
+
+    def observe_tile(self, worker: str, busy_seconds: float, tiles: int = 1) -> None:
+        """Account tile compute time against a worker label."""
+        with self._lock:
+            entry = self._workers.setdefault(
+                worker, {"busy_s": 0.0, "tiles": 0, "last_seen": 0.0}
+            )
+            entry["busy_s"] += busy_seconds
+            entry["tiles"] += tiles
+            entry["last_seen"] = _CLOCK()
+
+    def observe_pass(self, wall_seconds: float, workers: int) -> None:
+        """Account one tiled pass dispatch (utilisation denominator)."""
+        with self._lock:
+            self._passes += 1
+            self._pass_wall_x_workers += wall_seconds * max(1, workers)
+
+    def fold_worker_payload(
+        self, payload: Optional[Dict[str, Any]], profiler=None
+    ) -> int:
+        """Merge one worker obs payload (see :func:`repro.obs.tile_capture`).
+
+        Returns the number of tiles folded; same-pid payloads were already
+        recorded in place and fold to zero.
+        """
+        if not payload:
+            return 0
+        pid = payload.get("pid")
+        if pid == os.getpid():
+            return 0
+        tiles = int(payload.get("tiles", 0))
+        if tiles:
+            self.observe_tile(
+                f"pid-{pid}", float(payload.get("busy_s", 0.0)), tiles
+            )
+        if profiler is not None:
+            profiler.merge_payload(payload.get("profile"))
+        return tiles
+
+    # -- snapshot ----------------------------------------------------------
+
+    def _plan_cache_stats(self) -> Dict[str, Any]:
+        from repro.runtime.cache import get_plan_cache
+
+        stats = dict(get_plan_cache().stats)
+        return stats
+
+    def _degradations(self) -> float:
+        from repro.telemetry import metrics as _metrics
+
+        metric = _metrics.get_registry().get("runtime.tiled.degradations")
+        if isinstance(metric, _metrics.Counter):
+            return float(metric.value)
+        return 0.0
+
+    def snapshot(self, profiler=None) -> Dict[str, Any]:
+        """One JSON-able health snapshot of everything collected so far."""
+        now = _CLOCK()
+        with self._lock:
+            runs = {label: stats.to_dict() for label, stats in self._runs.items()}
+            workers = {
+                label: {
+                    "busy_s": entry["busy_s"],
+                    "tiles": int(entry["tiles"]),
+                    "age_s": max(0.0, now - entry["last_seen"]),
+                }
+                for label, entry in self._workers.items()
+            }
+            passes = self._passes
+            denominator = self._pass_wall_x_workers
+            uptime = now - self._started_at
+        total_busy = sum(w["busy_s"] for w in workers.values())
+        utilisation = total_busy / denominator if denominator > 0 else None
+        snap: Dict[str, Any] = {
+            "pid": self.pid,
+            "uptime_s": uptime,
+            "slo_seconds": self.slo_seconds,
+            "plan_cache": self._plan_cache_stats(),
+            "runs": runs,
+            "workers": workers,
+            "worker_utilisation": utilisation,
+            "tiled_passes": passes,
+            "tiled_degradations": self._degradations(),
+        }
+        if profiler is not None:
+            snap["profile"] = {
+                "samples": profiler.samples,
+                "interval_s": profiler.interval,
+                "running": profiler.running,
+                "phases": profiler.phase_counts(),
+                "stacks": [
+                    [";".join(key), count]
+                    for key, count in sorted(
+                        profiler.stacks().items(), key=lambda kv: (-kv[1], kv[0])
+                    )[:50]
+                ],
+            }
+        return snap

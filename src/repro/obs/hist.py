@@ -1,0 +1,177 @@
+"""Streaming latency histograms with bit-exact cross-process merges.
+
+Live SLO monitoring needs latency *distributions*, not means: the p99 of
+``run_batch`` under a tiled backend is what a serving deployment gates
+on.  This module records latencies into a **fixed logarithmic bucket
+layout** shared by every process:
+
+* bounds run from 1 µs to 10 s at 8 buckets per decade (57 finite
+  bounds), plus one overflow bucket;
+* every histogram in every worker uses the *same* bounds, so a merge is
+  an element-wise **integer** addition — associative and commutative,
+  hence folding per-worker histograms in any order yields bit-identical
+  bucket counts and therefore bit-identical quantiles.  This mirrors the
+  cross-process counter-fold guarantee in :mod:`repro.telemetry.fold`.
+
+Quantiles are a deterministic pure function of the bucket counts: the
+reported pXX is the *upper bound* of the bucket containing the target
+rank (conservative — never under-reports latency).  The floating-point
+``sum`` field is carried for convenience (mean estimates) and is the one
+field outside the bit-exact contract: float addition is not associative,
+so only ``counts`` and quantiles are guaranteed merge-order-invariant.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "BOUNDS",
+    "LAYOUT",
+    "LatencyHistogram",
+    "merge_histograms",
+]
+
+#: Layout identifier embedded in serialised payloads; a merge across
+#: differing layouts is refused rather than silently corrupted.
+LAYOUT = "log8/1e-6..10"
+
+#: Finite bucket upper bounds in seconds: 8 per decade, 1 µs → 10 s.
+BOUNDS: Tuple[float, ...] = tuple(10.0 ** (-6.0 + i / 8.0) for i in range(57))
+
+#: Total bucket count (finite bounds + one overflow bucket).
+N_BUCKETS = len(BOUNDS) + 1
+
+
+class LatencyHistogram:
+    """Fixed-layout latency histogram (seconds) with integer buckets.
+
+    Not thread-safe by itself; the obs collector serialises access.
+    """
+
+    __slots__ = ("counts", "count", "sum")
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * N_BUCKETS
+        self.count: int = 0
+        self.sum: float = 0.0
+
+    # -- recording --------------------------------------------------------
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample (negative values clamp to zero)."""
+        v = seconds if seconds > 0.0 else 0.0
+        self.counts[bisect_left(BOUNDS, v)] += 1
+        self.count += 1
+        self.sum += v
+
+    # -- merging ----------------------------------------------------------
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` into this histogram in place (integer adds)."""
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.sum += other.sum
+        return self
+
+    # -- quantiles --------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound quantile estimate, deterministic in the counts.
+
+        Returns 0.0 for an empty histogram and ``math.inf`` when the
+        target rank falls in the overflow (> 10 s) bucket.
+        """
+        if self.count <= 0:
+            return 0.0
+        q = min(max(q, 0.0), 1.0)
+        target = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for i, c in enumerate(self.counts):
+            cumulative += c
+            if cumulative >= target:
+                return BOUNDS[i] if i < len(BOUNDS) else math.inf
+        return math.inf
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    @property
+    def mean(self) -> float:
+        """Mean latency (float ``sum`` — not part of the bit-exact contract)."""
+        return self.sum / self.count if self.count else 0.0
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able payload (sparse bucket encoding, layout-tagged)."""
+        return {
+            "layout": LAYOUT,
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {str(i): c for i, c in enumerate(self.counts) if c},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "LatencyHistogram":
+        """Rebuild from :meth:`to_dict`; refuses foreign bucket layouts."""
+        layout = payload.get("layout")
+        if layout != LAYOUT:
+            raise ValueError(
+                f"histogram layout mismatch: got {layout!r}, expected {LAYOUT!r}"
+            )
+        hist = cls()
+        for key, c in (payload.get("buckets") or {}).items():
+            i = int(key)
+            if not 0 <= i < N_BUCKETS:
+                raise ValueError(f"histogram bucket index {i} out of range")
+            hist.counts[i] = int(c)
+        hist.count = int(payload.get("count", sum(hist.counts)))
+        hist.sum = float(payload.get("sum", 0.0))
+        return hist
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """Prometheus-style ``(le_bound, cumulative_count)`` pairs.
+
+        The final pair uses ``math.inf`` as its bound (the ``+Inf`` bucket).
+        """
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for i, c in enumerate(self.counts):
+            running += c
+            out.append((BOUNDS[i] if i < len(BOUNDS) else math.inf, running))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LatencyHistogram(count={self.count}, p50={self.p50:.6f}, "
+            f"p99={self.p99:.6f})"
+        )
+
+
+def merge_histograms(
+    histograms: Iterable[Optional[LatencyHistogram]],
+) -> LatencyHistogram:
+    """Fold many histograms into a fresh one (``None`` entries skipped).
+
+    Because bucket counts are integers over a shared fixed layout, the
+    result's ``counts``/``count`` — and every quantile — are identical
+    for any iteration order of ``histograms``.
+    """
+    out = LatencyHistogram()
+    for h in histograms:
+        if h is not None:
+            out.merge(h)
+    return out

@@ -43,17 +43,20 @@ from repro.stencils.kernel import StencilKernel
 
 __all__ = [
     "efficiency_counters",
+    "pass_mma_total",
     "plan_cache_delta",
     "runtime_counters_probe",
     "worker_utilisation_from_spans",
 ]
 
 
-def _pass_mma_total(kernel: StencilKernel, n_points: int, steps: int, depth: int) -> float:
+def pass_mma_total(kernel: StencilKernel, n_points: int, steps: int, depth: int) -> float:
     """Eq.-13 MMA total over the exact pass sequence ``steps`` executes.
 
     Mirrors :meth:`repro.runtime.plan.ExecutionPlan.passes_for`: fused
     passes advance ``depth`` steps each, the remainder runs unfused.
+    Public because the live obs collector prices runs with the same
+    formula the bench counters use.
     """
     plan = plan_fusion(kernel, depth)
     fused_passes, remainder = divmod(steps, plan.depth)
@@ -114,7 +117,7 @@ def efficiency_counters(
     """
     n_grid = int(np.prod(tuple(grid_shape)))
     n_points = n_grid * max(1, batch)
-    mma_total = _pass_mma_total(kernel, n_grid, steps, fusion_depth) * max(1, batch)
+    mma_total = pass_mma_total(kernel, n_grid, steps, fusion_depth) * max(1, batch)
     stencil_updates = float(steps) * n_points
     model = convstencil_throughput(
         kernel, tuple(grid_shape), fusion=fusion_depth
@@ -155,7 +158,7 @@ def runtime_counters_probe(run_once, workers: int) -> Dict[str, Any]:
     """
     was_enabled = telemetry.enabled()
     tracer = telemetry.get_tracer()
-    mark = len(tracer)
+    mark = tracer.total_recorded
     deg = telemetry.counter("runtime.tiled.degradations")
     deg_before = deg.value
     telemetry.enable()
@@ -164,7 +167,7 @@ def runtime_counters_probe(run_once, workers: int) -> Dict[str, Any]:
     finally:
         if not was_enabled:
             telemetry.disable()
-    probe_spans = tracer.spans()[mark:]
+    probe_spans = tracer.spans_since(mark)
     return {
         "tiled_degradations": float(deg.value - deg_before),
         "worker_utilisation": worker_utilisation_from_spans(probe_spans, workers),

@@ -14,7 +14,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro import telemetry
+from repro import obs, telemetry
 from repro.core.fusion import FusionPlan
 from repro.runtime.backends import Backend, get_backend
 from repro.runtime.cache import get_plan_cache
@@ -125,7 +125,7 @@ def execute(
         steps=steps,
         fusion_depth=plan.fusion_depth,
         backend=resolved.name,
-    ):
+    ), obs.record_run(plan, resolved.name, steps):
         return _run_passes(plan, data, steps, fill_value, resolved, batched=False)
 
 
@@ -156,5 +156,5 @@ def execute_batch(
         fusion_depth=plan.fusion_depth,
         backend=resolved.name,
         batched=True,
-    ):
+    ), obs.record_run(plan, resolved.name, steps, batch=int(batch.shape[0])):
         return _run_passes(plan, batch, steps, fill_value, resolved, batched=True)

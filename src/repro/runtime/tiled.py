@@ -29,7 +29,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro import telemetry
+from repro import obs, telemetry
 from repro.telemetry.fold import capture_delta, capture_mark, fold_capture
 from repro.core.engine1d import convstencil_valid_1d
 from repro.core.engine2d import convstencil_valid_2d, convstencil_valid_2d_batched
@@ -170,6 +170,7 @@ def _run_tile_shm(task: dict) -> Tuple[int, int, Optional[dict]]:
     """
     _injected_fault("worker")
     mark = capture_mark()
+    cap = obs.tile_capture()
     lo, hi = task["lo"], task["hi"]
     kernel: StencilKernel = task["kernel"]
     k = kernel.edge
@@ -181,18 +182,19 @@ def _run_tile_shm(task: dict) -> Tuple[int, int, Optional[dict]]:
         engine = _engine_for(kernel.ndim)
         with telemetry.span(
             "runtime.tiled.tile", kernel=kernel.name, lo=lo, hi=hi
-        ):
+        ), cap:
             out[lo:hi] = engine(padded[lo : hi + k - 1], kernel)
     finally:
         seg_in.close()
         seg_out.close()
-    return lo, hi, capture_delta(mark)
+    return lo, hi, obs.attach_tile_payload(capture_delta(mark), cap)
 
 
 def _run_batch_tile_shm(task: dict) -> Tuple[int, int, Optional[dict]]:
     """Worker body: one batch-axis tile of one ensemble pass."""
     _injected_fault("worker")
     mark = capture_mark()
+    cap = obs.tile_capture()
     lo, hi = task["lo"], task["hi"]
     kernel: StencilKernel = task["kernel"]
     seg_in = _attach_shared(task["in_name"])
@@ -202,7 +204,7 @@ def _run_batch_tile_shm(task: dict) -> Tuple[int, int, Optional[dict]]:
         out = np.ndarray(task["out_shape"], dtype=np.float64, buffer=seg_out.buf)
         with telemetry.span(
             "runtime.tiled.tile", kernel=kernel.name, lo=lo, hi=hi, batched=True
-        ):
+        ), cap:
             if kernel.ndim == 2:
                 out[lo:hi] = convstencil_valid_2d_batched(padded[lo:hi], kernel)
             else:
@@ -212,7 +214,7 @@ def _run_batch_tile_shm(task: dict) -> Tuple[int, int, Optional[dict]]:
     finally:
         seg_in.close()
         seg_out.close()
-    return lo, hi, capture_delta(mark)
+    return lo, hi, obs.attach_tile_payload(capture_delta(mark), cap)
 
 
 class TiledBackend(SerialBackend):
@@ -344,12 +346,16 @@ class TiledBackend(SerialBackend):
 
         Payloads from this very process (the thread-degradation retry runs
         the same worker functions in-process) fold to zero spans — their
-        telemetry was recorded directly — so nothing double-counts.
+        telemetry was recorded directly — so nothing double-counts.  The
+        obs fragment riding the same payload (tile busy time + profiler
+        samples) folds into the live collector under the same same-pid
+        rule.
         """
         folded = 0
         for res in results:
             if isinstance(res, tuple) and len(res) == 3:
                 folded += fold_capture(res[2])
+                obs.fold_worker_payload(res[2])
         if folded:
             telemetry.counter("runtime.tiled.folded_spans").inc(folded)
 
@@ -419,7 +425,7 @@ class TiledBackend(SerialBackend):
             lo, hi = b
             with telemetry.span(
                 "runtime.tiled.tile", kernel=kernel.name, lo=lo, hi=hi
-            ):
+            ), obs.tile_capture():
                 if worker is _run_batch_tile_shm:
                     if kernel.ndim == 2:
                         out[lo:hi] = convstencil_valid_2d_batched(
@@ -452,7 +458,7 @@ class TiledBackend(SerialBackend):
             tiles=len(bounds),
             workers=self.workers,
             shape=padded.shape,
-        ):
+        ), obs.pass_timer(self.workers):
             return self._run_shared(
                 _run_tile_shm, np.ascontiguousarray(padded), out_shape, bounds,
                 pp.kernel,
@@ -478,7 +484,7 @@ class TiledBackend(SerialBackend):
             workers=self.workers,
             shape=padded.shape,
             batched=True,
-        ):
+        ), obs.pass_timer(self.workers):
             return self._run_shared(
                 _run_batch_tile_shm, np.ascontiguousarray(padded), out_shape,
                 bounds, pp.kernel,

@@ -10,9 +10,11 @@ timings next to the parent's pass spans.
 Protocol (see :mod:`repro.runtime.tiled` for the only in-tree user):
 
 1. The worker takes a :func:`capture_mark` *before* doing any work — a
-   cheap snapshot of how many spans the local tracer holds and what every
-   local counter reads (under ``fork`` start methods the child inherits a
-   copy of the parent's buffers; the mark subtracts them out).
+   cheap snapshot of the local tracer's monotonic span total and what
+   every local counter reads (under ``fork`` start methods the child
+   inherits a copy of the parent's buffers; the mark subtracts them out,
+   and the monotonic total keeps the mark valid even if the tracer's ring
+   buffer evicts spans in between).
 2. After the work, :func:`capture_delta` returns everything recorded
    since the mark as a JSON-able dict (``None`` while telemetry is off).
 3. The payload rides the worker's ordinary result tuple back across the
@@ -40,7 +42,9 @@ __all__ = ["capture_delta", "capture_mark", "fold_capture"]
 
 _log = get_logger("telemetry.fold")
 
-#: ``(span_count, {counter_name: value})`` snapshot type.
+#: ``(total_spans_recorded, {counter_name: value})`` snapshot type.  The
+#: first element is the tracer's monotonic ``total_recorded`` (not the
+#: buffer length) so marks stay valid across ring-buffer eviction.
 CaptureMark = Tuple[int, Dict[str, float]]
 
 
@@ -60,7 +64,7 @@ def capture_mark() -> CaptureMark:
     report only what the enclosed work recorded."""
     if not _trace.enabled():
         return (0, {})
-    return (len(_trace.get_tracer()), _counter_values())
+    return (_trace.get_tracer().total_recorded, _counter_values())
 
 
 def capture_delta(mark: CaptureMark) -> Optional[Dict[str, Any]]:
@@ -74,7 +78,7 @@ def capture_delta(mark: CaptureMark) -> Optional[Dict[str, Any]]:
     if not _trace.enabled():
         return None
     n0, counters0 = mark
-    spans = _trace.get_tracer().spans()[n0:]
+    spans = _trace.get_tracer().spans_since(n0)
     deltas = {
         name: value - counters0.get(name, 0)
         for name, value in _counter_values().items()

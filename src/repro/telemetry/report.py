@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Tuple
 
 from repro.errors import ReproError
 from repro.utils.tables import format_table
@@ -27,6 +27,7 @@ from repro.utils.tables import format_table
 __all__ = [
     "PhaseStat",
     "load_trace",
+    "load_trace_details",
     "perfwatch_summary",
     "phase_breakdown",
     "render_phase_report",
@@ -71,13 +72,15 @@ def _from_chrome(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     return spans
 
 
-def load_trace(path: "str | Path") -> List[Dict[str, Any]]:
-    """Load spans from a JSONL or Chrome ``trace_event`` file.
+def load_trace_details(path: "str | Path") -> "Tuple[List[Dict[str, Any]], List[str]]":
+    """Load spans plus a list of skipped-line descriptions.
 
-    Returns uniform dicts with ``name``/``start``/``end``/``duration``/
-    ``span_id``/``parent_id``/``attributes`` keys.  Chrome traces carry no
-    parent links; the breakdown then treats the longest-covering span
-    heuristic via start/end containment.
+    Live sessions (a crashed worker, a ``kill -9`` mid-export, an exporter
+    scraped while writing) leave truncated or corrupt JSONL lines behind.
+    Those lines are **skipped, not fatal**: each produces one entry in the
+    returned ``skipped`` list (``"path:lineno: reason"``) so callers can
+    report them.  Raises :class:`ReproError` only when the file is
+    unreadable, empty, or contains *no* parseable span at all.
     """
     path = Path(path)
     try:
@@ -91,20 +94,50 @@ def load_trace(path: "str | Path") -> List[Dict[str, Any]]:
     except json.JSONDecodeError:
         payload = None
     if isinstance(payload, dict) and "traceEvents" in payload:
-        return _from_chrome(payload)
-    spans = []
+        return _from_chrome(payload), []
+    spans: List[Dict[str, Any]] = []
+    skipped: List[str] = []
     for lineno, line in enumerate(text.splitlines(), 1):
         if not line.strip():
             continue
         try:
             obj = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise ReproError(f"{path}:{lineno}: not JSONL or Chrome trace: {exc}")
-        obj.setdefault("duration", float(obj.get("end", 0.0)) - float(obj.get("start", 0.0)))
+            skipped.append(f"{path}:{lineno}: {exc.msg}")
+            continue
+        if not isinstance(obj, dict) or "name" not in obj:
+            skipped.append(f"{path}:{lineno}: not a span object")
+            continue
+        try:
+            obj.setdefault(
+                "duration", float(obj.get("end", 0.0)) - float(obj.get("start", 0.0))
+            )
+        except (TypeError, ValueError):
+            skipped.append(f"{path}:{lineno}: non-numeric start/end")
+            continue
         obj.setdefault("attributes", {})
         obj.setdefault("parent_id", None)
         obj.setdefault("span_id", None)
         spans.append(obj)
+    if not spans:
+        first = skipped[0] if skipped else f"{path}: unrecognised format"
+        raise ReproError(
+            f"trace file {path} contains no parseable spans "
+            f"({len(skipped)} malformed line(s); first: {first})"
+        )
+    return spans, skipped
+
+
+def load_trace(path: "str | Path") -> List[Dict[str, Any]]:
+    """Load spans from a JSONL or Chrome ``trace_event`` file.
+
+    Returns uniform dicts with ``name``/``start``/``end``/``duration``/
+    ``span_id``/``parent_id``/``attributes`` keys.  Chrome traces carry no
+    parent links; the breakdown then treats the longest-covering span
+    heuristic via start/end containment.  Malformed JSONL lines are
+    skipped (see :func:`load_trace_details` to also get the skip list).
+    """
+    spans, _skipped = load_trace_details(path)
     return spans
 
 
@@ -227,9 +260,10 @@ def render_phase_report(trace_path: "str | Path", top: int = 0) -> str:
     """Render the Fig.-6-style phase table for a saved trace file.
 
     Traces containing ``staticcheck.*`` spans get a one-line footer with
-    the aggregated files / plans-checked / findings totals.
+    the aggregated files / plans-checked / findings totals; traces with
+    malformed lines get a footer counting what was skipped.
     """
-    spans = load_trace(trace_path)
+    spans, skipped = load_trace_details(trace_path)
     stats = phase_breakdown(spans)
     if top > 0:
         stats = stats[:top]
@@ -267,5 +301,10 @@ def render_phase_report(trace_path: "str | Path", top: int = 0) -> str:
         table += (
             f"\nPerf watch: {pw['suites']} suite run(s), "
             f"{pw['workloads']} workload(s), {pw['samples']} timing sample(s)"
+        )
+    if skipped:
+        table += (
+            f"\nSkipped {len(skipped)} malformed trace line(s) "
+            f"(first: {skipped[0]})"
         )
     return table

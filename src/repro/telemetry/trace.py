@@ -40,14 +40,17 @@ import json
 import os
 import threading
 import time
+from bisect import bisect_right
+from collections import deque
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.errors import ReproError
 
 __all__ = [
+    "DEFAULT_MAX_SPANS",
     "Span",
     "SpanContext",
     "Tracer",
@@ -61,12 +64,44 @@ __all__ = [
 #: Environment variable that switches tracing on at import time.
 ENV_VAR = "REPRO_TELEMETRY"
 
+#: Environment override for the span ring-buffer capacity (``<= 0`` means
+#: unbounded — the pre-ring behaviour).
+MAX_SPANS_ENV = "REPRO_TELEMETRY_MAX_SPANS"
+
+#: Default ring capacity: plenty for any bench/test run, bounded enough
+#: that a long-lived live session (``repro top``, the obs exporter) cannot
+#: grow without limit.
+DEFAULT_MAX_SPANS = 65536
+
 _FALSY = {"", "0", "false", "no", "off"}
 
 
 def _env_enabled(value: "str | None") -> bool:
     """Whether an ``REPRO_TELEMETRY`` value means *enabled*."""
     return value is not None and value.strip().lower() not in _FALSY
+
+
+def _env_max_spans() -> Optional[int]:
+    """Ring capacity from ``REPRO_TELEMETRY_MAX_SPANS`` (``None`` = default).
+
+    Malformed values warn-and-default rather than abort — the tracer may be
+    constructed deep inside a run.
+    """
+    raw = os.environ.get(MAX_SPANS_ENV)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        import warnings
+
+        warnings.warn(
+            f"{MAX_SPANS_ENV}={raw!r} is not an integer; "
+            f"using the default capacity {DEFAULT_MAX_SPANS}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
 
 
 @dataclass
@@ -141,15 +176,38 @@ def _write_text(path: Path, text: str) -> None:
 
 
 class Tracer:
-    """Thread-safe buffer of finished spans plus the active-span stack."""
+    """Thread-safe ring buffer of finished spans plus the active-span stack.
 
-    def __init__(self) -> None:
+    The buffer is bounded (``max_spans``, default
+    :data:`DEFAULT_MAX_SPANS`, override via ``REPRO_TELEMETRY_MAX_SPANS``;
+    ``<= 0`` means unbounded): once full, recording a new span evicts the
+    oldest.  ``total_recorded`` counts every span ever buffered — it never
+    decreases, so cross-process capture marks (:mod:`repro.telemetry.fold`)
+    stay valid even after eviction.
+    """
+
+    def __init__(self, max_spans: Optional[int] = None) -> None:
+        if max_spans is None:
+            max_spans = _env_max_spans()
+        if max_spans is None:
+            max_spans = DEFAULT_MAX_SPANS
         self._lock = threading.Lock()
-        self._spans: List[Span] = []
+        self._max_spans = max_spans if max_spans > 0 else 0
+        self._spans: Deque[Span] = deque()
+        self._total = 0
+        self._dropped = 0
         self._ids = itertools.count(1)
         self._current: ContextVar[Optional[Span]] = ContextVar(
             "repro_active_span", default=None
         )
+
+    def _record_locked(self, sp: Span) -> None:
+        """Append under ``self._lock``, evicting the oldest span when full."""
+        if self._max_spans and len(self._spans) >= self._max_spans:
+            self._spans.popleft()
+            self._dropped += 1
+        self._spans.append(sp)
+        self._total += 1
 
     # -- recording --------------------------------------------------------
 
@@ -172,7 +230,7 @@ class Tracer:
         sp.end = time.perf_counter()  # staticcheck: disable=RPR004
         self._current.reset(token)
         with self._lock:
-            self._spans.append(sp)
+            self._record_locked(sp)
 
     def current(self) -> Optional[Span]:
         """The context's innermost open span, if any."""
@@ -189,31 +247,57 @@ class Tracer:
         beneath the pass that dispatched them.  ``attributes`` entries are
         merged into every span (e.g. ``{"worker": "pid-123"}``).  Returns
         the number of spans recorded.
+
+        A single worker pid restarts its span-id sequence at 1 for every
+        pass, so a batch concatenated from several passes (or repeated
+        ingest of the same payload) contains *duplicate* old ids.  Each
+        occurrence gets its own fresh id; a parent reference resolves to
+        the **nearest occurrence** of that old id — first looking forward
+        (spans are buffered in completion order, so a child precedes its
+        parent), then backward — never to a span from a different pass at
+        the far end of the batch.
         """
         records = [obj for obj in span_dicts if isinstance(obj, dict)]
         if not records:
             return 0
         parent = self._current.get()
         fallback_parent = parent.span_id if parent is not None else None
+        # Positions (ascending) of every occurrence of each old span id.
+        positions: Dict[Any, List[int]] = {}
+        for i, obj in enumerate(records):
+            old_id = obj.get("span_id")
+            if old_id is not None:
+                positions.setdefault(old_id, []).append(i)
         with self._lock:
-            id_map = {
-                obj["span_id"]: next(self._ids)
-                for obj in records
-                if obj.get("span_id") is not None
-            }
-            for obj in records:
+            new_ids = [next(self._ids) for _ in records]
+
+            def resolve_parent(old_parent: Any, at: int) -> Optional[int]:
+                if old_parent is None:
+                    return fallback_parent
+                idxs = positions.get(old_parent)
+                if not idxs:
+                    return fallback_parent
+                after = bisect_right(idxs, at)
+                if after < len(idxs):
+                    return new_ids[idxs[after]]  # nearest following occurrence
+                before = idxs[after - 1]
+                if before == at:  # self-reference: try the one further back
+                    if after - 2 >= 0:
+                        return new_ids[idxs[after - 2]]
+                    return fallback_parent
+                return new_ids[before]
+
+            for i, obj in enumerate(records):
                 attrs = dict(obj.get("attributes") or {})
                 if attributes:
                     attrs.update(attributes)
-                old_parent = obj.get("parent_id")
-                parent_id = id_map.get(old_parent, fallback_parent)
-                self._spans.append(
+                self._record_locked(
                     Span(
                         name=str(obj.get("name", "?")),
                         start=float(obj.get("start", 0.0)),
                         end=float(obj.get("end", 0.0)),
-                        span_id=id_map.get(obj.get("span_id")) or next(self._ids),
-                        parent_id=parent_id,
+                        span_id=new_ids[i],
+                        parent_id=resolve_parent(obj.get("parent_id"), i),
                         thread_id=int(obj.get("thread_id") or 0),
                         attributes=attrs,
                     )
@@ -223,16 +307,51 @@ class Tracer:
     # -- inspection -------------------------------------------------------
 
     def spans(self) -> List[Span]:
-        """Snapshot copy of all finished spans (in completion order)."""
+        """Snapshot copy of all *buffered* spans (in completion order).
+
+        With a bounded ring this is the most recent ``max_spans`` spans;
+        earlier ones may have been evicted (see ``dropped``).
+        """
         with self._lock:
             return list(self._spans)
+
+    def spans_since(self, total_mark: int) -> List[Span]:
+        """Spans recorded after ``total_mark`` (a ``total_recorded`` value).
+
+        Eviction-safe: if more than a ring's worth of spans landed since
+        the mark, returns what is still buffered (the newest ones).
+        """
+        with self._lock:
+            fresh = self._total - int(total_mark)
+            if fresh <= 0:
+                return []
+            if fresh >= len(self._spans):
+                return list(self._spans)
+            return list(self._spans)[-fresh:]
+
+    @property
+    def total_recorded(self) -> int:
+        """Monotonic count of spans ever buffered (survives eviction/clear)."""
+        with self._lock:
+            return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted from the ring because the buffer was full."""
+        with self._lock:
+            return self._dropped
+
+    @property
+    def max_spans(self) -> int:
+        """Ring capacity (0 = unbounded)."""
+        return self._max_spans
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._spans)
 
     def clear(self) -> None:
-        """Drop all buffered spans."""
+        """Drop all buffered spans (``total_recorded`` keeps counting up)."""
         with self._lock:
             self._spans.clear()
 

@@ -1,0 +1,29 @@
+"""Obs-test fixtures: isolated enable/disable with a fresh collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def obs_on():
+    """Obs layer enabled (collector only) with fresh state; restored on exit."""
+    was_enabled = obs.enabled()
+    obs._reset_for_tests()
+    obs.enable(profile=False)
+    yield obs
+    obs._reset_for_tests()
+    obs._state.profile_wanted = obs._env_profile_wanted()
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()
+
+
+@pytest.fixture
+def obs_profiled(obs_on):
+    """Obs layer enabled *with* the sampling profiler wanted."""
+    obs_on.enable(profile=True)
+    yield obs_on

@@ -1,0 +1,132 @@
+"""Latency histogram: bucket layout, quantiles, merge-order invariance."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.obs.hist import BOUNDS, LAYOUT, N_BUCKETS, LatencyHistogram, merge_histograms
+
+
+class TestLayout:
+    def test_bounds_span_1us_to_10s(self):
+        assert BOUNDS[0] == pytest.approx(1e-6)
+        assert BOUNDS[-1] == pytest.approx(10.0)
+        assert len(BOUNDS) == 57
+        assert N_BUCKETS == 58
+        assert all(a < b for a, b in zip(BOUNDS, BOUNDS[1:]))
+
+    def test_observation_lands_in_covering_bucket(self):
+        h = LatencyHistogram()
+        h.observe(1.5e-3)
+        (idx,) = [i for i, c in enumerate(h.counts) if c]
+        assert BOUNDS[idx] >= 1.5e-3
+        assert idx == 0 or BOUNDS[idx - 1] < 1.5e-3
+
+    def test_negative_clamps_and_overflow_goes_to_last_bucket(self):
+        h = LatencyHistogram()
+        h.observe(-1.0)
+        h.observe(30.0)  # beyond the 10 s top bound
+        assert h.counts[0] == 1
+        assert h.counts[-1] == 1
+        assert h.count == 2
+
+
+class TestQuantiles:
+    def test_empty_is_zero(self):
+        assert LatencyHistogram().quantile(0.99) == 0.0
+
+    def test_upper_bound_never_under_reports(self):
+        h = LatencyHistogram()
+        values = [2e-6, 5e-5, 3e-4, 8e-3, 0.2]
+        for v in values:
+            h.observe(v)
+        for q in (0.5, 0.95, 0.99, 1.0):
+            rank = max(1, math.ceil(q * len(values)))
+            assert h.quantile(q) >= sorted(values)[rank - 1]
+
+    def test_overflow_rank_reports_inf(self):
+        h = LatencyHistogram()
+        h.observe(99.0)
+        assert h.quantile(0.5) == math.inf
+
+    def test_p_properties_are_quantiles(self):
+        h = LatencyHistogram()
+        for v in (1e-4, 2e-4, 3e-4):
+            h.observe(v)
+        assert h.p50 == h.quantile(0.50)
+        assert h.p95 == h.quantile(0.95)
+        assert h.p99 == h.quantile(0.99)
+
+
+class TestMergeOrderInvariance:
+    def _shards(self, seed: int, shards: int = 7, per_shard: int = 40):
+        rng = random.Random(seed)
+        out = []
+        for _ in range(shards):
+            h = LatencyHistogram()
+            for _ in range(per_shard):
+                # log-uniform over the full layout plus over/underflow tails
+                h.observe(10.0 ** rng.uniform(-7.0, 1.5))
+            out.append(h)
+        return out
+
+    @pytest.mark.parametrize("seed", [0, 1, 0xBE7C])
+    def test_any_merge_order_is_bit_identical(self, seed):
+        shards = self._shards(seed)
+        reference = merge_histograms(shards)
+        rng = random.Random(seed + 1)
+        for _ in range(5):
+            order = list(shards)
+            rng.shuffle(order)
+            merged = merge_histograms(order)
+            assert merged.counts == reference.counts
+            assert merged.count == reference.count
+            assert merged.p50 == reference.p50
+            assert merged.p95 == reference.p95
+            assert merged.p99 == reference.p99
+
+    def test_merge_skips_none_entries(self):
+        shards = self._shards(3, shards=2)
+        merged = merge_histograms([None, shards[0], None, shards[1]])
+        assert merged.count == shards[0].count + shards[1].count
+
+    def test_pairwise_merge_matches_bulk(self):
+        a, b = self._shards(9, shards=2)
+        bulk = merge_histograms([a, b])
+        inplace = LatencyHistogram().merge(a).merge(b)
+        assert inplace.counts == bulk.counts
+
+
+class TestSerialisation:
+    def test_roundtrip_preserves_counts_and_quantiles(self):
+        h = LatencyHistogram()
+        for v in (1e-5, 2e-3, 0.5, 40.0):
+            h.observe(v)
+        back = LatencyHistogram.from_dict(h.to_dict())
+        assert back.counts == h.counts
+        assert back.count == h.count
+        assert back.p99 == h.p99
+
+    def test_foreign_layout_refused(self):
+        payload = LatencyHistogram().to_dict()
+        payload["layout"] = "linear/0..1"
+        with pytest.raises(ValueError, match="layout mismatch"):
+            LatencyHistogram.from_dict(payload)
+
+    def test_out_of_range_bucket_refused(self):
+        payload = {"layout": LAYOUT, "count": 1, "sum": 0.0, "buckets": {"99": 1}}
+        with pytest.raises(ValueError, match="out of range"):
+            LatencyHistogram.from_dict(payload)
+
+    def test_cumulative_is_monotone_and_ends_at_inf(self):
+        h = LatencyHistogram()
+        for v in (1e-4, 1e-2, 50.0):
+            h.observe(v)
+        pairs = h.cumulative()
+        assert pairs[-1][0] == math.inf
+        assert pairs[-1][1] == h.count
+        counts = [c for _, c in pairs]
+        assert counts == sorted(counts)

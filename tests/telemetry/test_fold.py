@@ -144,3 +144,68 @@ class TestSummaries:
     def test_summaries_zero_on_empty_trace(self):
         assert worker_summary([])["tiles"] == 0
         assert perfwatch_summary([])["suites"] == 0
+
+
+class TestIngestDuplicateIds:
+    """Worker pids restart span-id sequences per pass; repeated/nested
+    ingest of payloads carrying the *same* old ids must not cross-link."""
+
+    def _two_pass_batch(self, tele):
+        """Two telemetry payloads whose span ids collide across passes."""
+        passes = []
+        for _ in range(2):
+            tele.get_tracer().clear()
+            mark = capture_mark()
+            with tele.span("outer"):
+                with tele.span("inner"):
+                    pass
+            passes.append(foreign(capture_delta(mark)))
+        return passes
+
+    def test_repeated_ingest_of_same_payload(self, tele):
+        tele.enable()
+        mark = capture_mark()
+        with tele.span("outer"):
+            with tele.span("inner"):
+                pass
+        payload = foreign(capture_delta(mark))
+        tele.get_tracer().clear()
+        assert fold_capture(payload) == 2
+        assert fold_capture(payload) == 2  # same ids a second time
+        spans = tele.get_tracer().spans()
+        assert len({sp.span_id for sp in spans}) == 4  # all ids fresh
+        inners = [sp for sp in spans if sp.name == "inner"]
+        outers = {sp.span_id: sp for sp in spans if sp.name == "outer"}
+        for inner in inners:
+            assert inner.parent_id in outers  # linked to *an* outer
+        # and to *different* outers: no two inners share a parent
+        assert len({sp.parent_id for sp in inners}) == 2
+
+    def test_concatenated_passes_link_within_their_own_pass(self, tele):
+        tele.enable()
+        first, second = self._two_pass_batch(tele)
+        tele.get_tracer().clear()
+        batch = dict(first, spans=first["spans"] + second["spans"])
+        assert fold_capture(batch) == 4
+        spans = tele.get_tracer().spans()
+        inners = [sp for sp in spans if sp.name == "inner"]
+        parents = {sp.parent_id for sp in inners}
+        assert len(parents) == 2  # each inner found its own pass's outer
+
+    def test_self_referencing_parent_does_not_self_link(self, tele):
+        tele.enable()
+        tracer = tele.get_tracer()
+        n = tracer.ingest(
+            [
+                {
+                    "name": "weird",
+                    "start": 0.0,
+                    "end": 1.0,
+                    "span_id": 5,
+                    "parent_id": 5,
+                }
+            ]
+        )
+        assert n == 1
+        (sp,) = tracer.spans()
+        assert sp.parent_id != sp.span_id

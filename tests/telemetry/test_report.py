@@ -8,7 +8,12 @@ import pytest
 
 from repro import cli
 from repro.errors import ReproError
-from repro.telemetry.report import load_trace, phase_breakdown, render_phase_report
+from repro.telemetry.report import (
+    load_trace,
+    load_trace_details,
+    phase_breakdown,
+    render_phase_report,
+)
 
 
 def _make_trace(tele, tmp_path, suffix):
@@ -38,11 +43,46 @@ class TestLoadTrace:
         with pytest.raises(ReproError, match="empty"):
             load_trace(path)
 
-    def test_malformed_line_raises(self, tmp_path):
+    def test_malformed_line_skipped_and_counted(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"name": "ok", "start": 0, "end": 1}\nnot json\n')
-        with pytest.raises(ReproError, match="bad.jsonl:2"):
+        spans, skipped = load_trace_details(path)
+        assert [sp["name"] for sp in spans] == ["ok"]
+        assert len(skipped) == 1
+        assert "bad.jsonl:2" in skipped[0]
+        # the lenient facade drops the skip list but keeps the spans
+        assert [sp["name"] for sp in load_trace(path)] == ["ok"]
+
+    def test_skips_non_span_and_non_numeric_lines(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    '{"name": "ok", "start": 0, "end": 1}',
+                    "[1, 2, 3]",  # JSON, but not a span object
+                    '{"name": "late", "start": "x", "end": 1}',  # non-numeric
+                    '{"start": 0, "end": 1}',  # no name
+                    '{"name": "ok2", "start": 1, "end": 2}',
+                ]
+            )
+            + "\n"
+        )
+        spans, skipped = load_trace_details(path)
+        assert [sp["name"] for sp in spans] == ["ok", "ok2"]
+        assert len(skipped) == 3
+
+    def test_all_lines_malformed_raises(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("not json\nalso not\n")
+        with pytest.raises(ReproError):
             load_trace(path)
+
+    def test_report_footer_counts_skipped(self, tele, tmp_path):
+        path = _make_trace(tele, tmp_path, ".jsonl")
+        with open(path, "a") as fh:
+            fh.write("truncated garbag")
+        lines = cli.run(["telemetry-report", str(path)])
+        assert any("Skipped 1 malformed trace line" in ln for ln in lines)
 
 
 class TestBreakdown:

@@ -6,7 +6,12 @@ import json
 import threading
 import time
 
-from repro.telemetry.trace import _env_enabled
+from repro.telemetry.trace import (
+    DEFAULT_MAX_SPANS,
+    MAX_SPANS_ENV,
+    Tracer,
+    _env_enabled,
+)
 
 
 class TestNesting:
@@ -181,3 +186,63 @@ class TestExport:
         assert len(tele.get_tracer()) == 1
         tele.get_tracer().clear()
         assert tele.get_tracer().spans() == []
+
+
+class TestRingBuffer:
+    def _closed(self, tracer, name):
+        sp, token = tracer.begin(name, {})
+        tracer.finish(sp, token)
+        return sp
+
+    def test_oldest_span_evicted_at_capacity(self):
+        tr = Tracer(max_spans=3)
+        for i in range(5):
+            self._closed(tr, f"s{i}")
+        assert len(tr) == 3
+        assert [sp.name for sp in tr.spans()] == ["s2", "s3", "s4"]
+        assert tr.total_recorded == 5
+        assert tr.dropped == 2
+
+    def test_zero_capacity_is_unbounded(self):
+        tr = Tracer(max_spans=0)
+        for i in range(100):
+            self._closed(tr, f"s{i}")
+        assert len(tr) == 100
+        assert tr.dropped == 0
+
+    def test_spans_since_survives_eviction(self):
+        tr = Tracer(max_spans=4)
+        self._closed(tr, "old")
+        mark = tr.total_recorded
+        for i in range(6):  # more than a ring's worth after the mark
+            self._closed(tr, f"n{i}")
+        names = [sp.name for sp in tr.spans_since(mark)]
+        assert names == ["n2", "n3", "n4", "n5"]  # newest still buffered
+        assert tr.spans_since(tr.total_recorded) == []
+
+    def test_clear_keeps_monotonic_total(self):
+        tr = Tracer(max_spans=8)
+        self._closed(tr, "a")
+        before = tr.total_recorded
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.total_recorded == before
+        mark = tr.total_recorded
+        self._closed(tr, "b")
+        assert [sp.name for sp in tr.spans_since(mark)] == ["b"]
+
+    def test_capacity_env_knob(self, monkeypatch):
+        monkeypatch.setenv(MAX_SPANS_ENV, "7")
+        assert Tracer().max_spans == 7
+        monkeypatch.delenv(MAX_SPANS_ENV)
+        assert Tracer().max_spans == DEFAULT_MAX_SPANS
+
+    def test_bad_capacity_env_warns_and_defaults(self, monkeypatch):
+        import warnings
+
+        monkeypatch.setenv(MAX_SPANS_ENV, "lots")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            tr = Tracer()
+        assert tr.max_spans == DEFAULT_MAX_SPANS
+        assert any("REPRO_TELEMETRY_MAX_SPANS" in str(w.message) for w in caught)
