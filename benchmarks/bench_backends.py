@@ -71,12 +71,12 @@ def compare_backends(
             x = default_rng(7).random(shape)
             serial_cs = ConvStencil(kernel, backend="serial")
             tiled_cs = ConvStencil(kernel, backend=tiled)
-            out_serial = serial_cs.run(x, steps)  # warm-up + identity check
-            out_tiled = tiled_cs.run(x, steps)
+            out_serial = serial_cs.run(x, steps=steps)  # warm-up + identity check
+            out_tiled = tiled_cs.run(x, steps=steps)
             if not np.array_equal(out_serial, out_tiled):
                 raise AssertionError(f"{name}: tiled output != serial output")
-            t_serial = _best_of(lambda: serial_cs.run(x, steps), repeats)
-            t_tiled = _best_of(lambda: tiled_cs.run(x, steps), repeats)
+            t_serial = _best_of(lambda: serial_cs.run(x, steps=steps), repeats)
+            t_tiled = _best_of(lambda: tiled_cs.run(x, steps=steps), repeats)
             rows.append(
                 {
                     "kernel": name,
@@ -107,7 +107,7 @@ def measure_cache_hit_rate(steps: int = 50) -> dict:
         cs = ConvStencil(get_kernel("heat-2d"))
         x = default_rng(7).random((128, 128))
         for _ in range(steps):
-            x = cs.run(x, 1)
+            x = cs.run(x, steps=1)
         return dict(get_plan_cache().stats)
     finally:
         set_plan_cache(previous)

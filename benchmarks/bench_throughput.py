@@ -53,9 +53,9 @@ def test_bench_emit_throughput_summary(benchmark, backend):
             kernel = get_kernel(name)
             x = default_rng(2).random(SHAPES[kernel.ndim])
             cs = ConvStencil(kernel, backend=backend)
-            cs.run(x, 1)  # warm-up (traced too; the timed span is named apart)
+            cs.run(x, steps=1)  # warm-up (traced too; the timed span is named apart)
             with telemetry.span("bench.throughput", kernel=name, size=x.size):
-                cs.run(x, 1)
+                cs.run(x, steps=1)
             timed = [
                 sp
                 for sp in tracer.spans()

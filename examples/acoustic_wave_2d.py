@@ -42,7 +42,7 @@ def main() -> None:
     prev, curr = pulse.copy(), pulse.copy()
 
     for step in range(1, STEPS + 1):
-        lap = solver.run(curr, 1, boundary="constant")
+        lap = solver.run(curr, steps=1, boundary="constant")
         nxt = 2.0 * curr - prev + C2_DT2 * lap
         prev, curr = curr, nxt
         if step % 30 == 0:
@@ -52,7 +52,7 @@ def main() -> None:
 
     # cross-check the final Laplacian evaluation against the reference
     ref = run_reference(curr, kernel, 1)
-    got = solver.run(curr, 1)
+    got = solver.run(curr, steps=1)
     err = np.abs(got - ref).max()
     print(f"\nLaplacian via dual tessellation vs reference: max err {err:.2e}")
     assert err < 1e-11

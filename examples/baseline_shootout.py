@@ -35,11 +35,11 @@ def main() -> None:
         rows.append((label, f"{dt * 1e3:.1f} ms", f"{err:.2e}"))
 
     solver = ConvStencil(kernel, fusion="auto")
-    race("convstencil (fused x3)", lambda: solver.run(x, STEPS))
-    race("convstencil (unfused)", lambda: ConvStencil(kernel).run(x, STEPS))
+    race("convstencil (fused x3)", lambda: solver.run(x, steps=STEPS))
+    race("convstencil (unfused)", lambda: ConvStencil(kernel).run(x, steps=STEPS))
     for name, engine in all_baselines().items():
         if engine.supports(kernel):
-            race(name, lambda e=engine: e.run(x, kernel, STEPS))
+            race(name, lambda e=engine: e.run(x, kernel, steps=STEPS))
 
     print(format_table(
         ["engine", "wall-clock (CPU)", "max rel. error vs reference"],

@@ -24,7 +24,7 @@ def main() -> None:
     kernel = get_kernel("heat-2d")
     x = default_rng(5).random(GRID)
 
-    single = ConvStencil(kernel, fusion=3).run(x, STEPS, boundary="periodic")
+    single = ConvStencil(kernel, fusion=3).run(x, steps=STEPS, boundary="periodic")
 
     dist = DistributedStencil(kernel, ranks=RANKS, fusion=3)
     gathered = dist.run(x, STEPS, boundary="periodic")
@@ -40,7 +40,7 @@ def main() -> None:
           f"{fused_stats.bytes_sent / 1024:.1f} KiB")
 
     unfused = DistributedStencil(kernel, ranks=RANKS, fusion=1)
-    unfused.run(x, STEPS, boundary="periodic")
+    unfused.run(x, steps=STEPS, boundary="periodic")
     print(f"halo exchanges (unfused):    {unfused.exchange_stats.messages:4d} messages, "
           f"{unfused.exchange_stats.bytes_sent / 1024:.1f} KiB")
     print("\nfusion sends the same bytes in one third the messages — the")

@@ -48,7 +48,7 @@ def main() -> None:
           f"fusion depth {solver.fusion_depth}\n")
     prev_energy = plate.sum()
     for frame in range(FRAMES):
-        plate = solver.run(plate, STEPS_PER_FRAME, fill_value=EDGE_TEMPERATURE)
+        plate = solver.run(plate, steps=STEPS_PER_FRAME, fill_value=EDGE_TEMPERATURE)
         energy = plate.sum()
         print(f"t = {(frame + 1) * STEPS_PER_FRAME:4d} steps   "
               f"max T = {plate.max():7.3f}   total heat = {energy:12.2f}")

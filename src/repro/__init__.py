@@ -20,6 +20,32 @@ Execution is routed through the pluggable :mod:`repro.runtime` — cached
 :class:`ExecutionPlan` objects plus a swappable :class:`Backend`
 (``"serial"``, ``"tiled"``, ``"reference"``, or anything registered via
 :func:`repro.runtime.register_backend`; see :func:`list_backends`).
+
+Serving::
+
+    import asyncio
+    from repro import Request, ServeConfig, StencilService, get_kernel
+
+    async def main():
+        async with StencilService(ServeConfig(lanes=2)) as svc:
+            resp = await svc.submit(
+                Request("acme", kernel=get_kernel("heat-2d"), data=x, steps=4)
+            )
+            assert resp.ok
+
+**Stable vs. internal API.**  Everything in ``__all__`` below is the
+stable surface: the kernel/grid vocabulary (:class:`StencilKernel`,
+:class:`Grid`, :class:`BoundaryCondition`, :func:`get_kernel`), the
+execution engine (:class:`ConvStencil`, :func:`plan_for`,
+:class:`Backend` registration), and the serving layer
+(:class:`StencilService`, :class:`ServeConfig`, :class:`TenantQuota`,
+:class:`Request`, :class:`Response`).  Stable entry points are
+keyword-only past their positional inputs (``cs.run(grid, steps=12)``)
+and follow one vocabulary: ``steps``, ``fusion``, ``boundary``,
+``fill_value``, ``backend``.  Submodules reachable only by import path
+(:mod:`repro.core.engine2d`, :mod:`repro.runtime.tiled`,
+:mod:`repro.obs.collector`, …) are internal: their contents may change
+between releases without a deprecation cycle.
 """
 
 from repro._version import __version__
@@ -30,7 +56,15 @@ from repro.runtime import (
     PlanCache,
     get_backend,
     list_backends,
+    plan_for,
     register_backend,
+)
+from repro.serve import (
+    Request,
+    Response,
+    ServeConfig,
+    StencilService,
+    TenantQuota,
 )
 from repro.stencils import (
     BENCHMARKS,
@@ -52,7 +86,12 @@ __all__ = [
     "ExecutionPlan",
     "Grid",
     "PlanCache",
+    "Request",
+    "Response",
+    "ServeConfig",
     "StencilKernel",
+    "StencilService",
+    "TenantQuota",
     "__version__",
     "apply_stencil_reference",
     "convstencil_valid",
@@ -61,6 +100,7 @@ __all__ = [
     "get_kernel",
     "list_backends",
     "list_kernels",
+    "plan_for",
     "register_backend",
     "run_reference",
 ]

@@ -53,7 +53,7 @@ def _laplacian_error(operator: str, n: int) -> float:
     xx, yy = np.meshgrid(coords, coords, indexing="ij")
     u = np.sin(2 * np.pi * xx) * np.sin(2 * np.pi * yy)
     exact = -8.0 * np.pi**2 * u  # ∇² of the field
-    lap = ConvStencil(kernel).run(u, 1) / h**2
+    lap = ConvStencil(kernel).run(u, steps=1) / h**2
     r = 2 * kernel.radius
     interior = (slice(r, -r), slice(r, -r))
     return float(np.abs(lap[interior] - exact[interior]).max())

@@ -62,8 +62,8 @@ def precision_study(
     for steps in steps_list:
         ref = run_reference(x, kernel, steps, BoundaryCondition.PERIODIC)
         scale = float(np.abs(ref).max())
-        fp64 = conv.run(x, steps, boundary="periodic")
-        fp16 = tc.run(x, kernel, steps, boundary="periodic")
+        fp64 = conv.run(x, steps=steps, boundary="periodic")
+        fp16 = tc.run(x, kernel, steps=steps, boundary="periodic")
         rows.append(
             PrecisionRow(
                 kernel_name=kernel_name,

@@ -11,6 +11,7 @@ from repro.errors import BaselineError
 from repro.gpu.specs import A100, DeviceSpec
 from repro.stencils.grid import BoundaryCondition
 from repro.stencils.kernel import StencilKernel
+from repro.utils.deprecation import shim_positional
 
 __all__ = ["StencilBaseline", "all_baselines"]
 
@@ -45,11 +46,34 @@ class StencilBaseline(abc.ABC):
         self,
         data: np.ndarray,
         kernel: StencilKernel,
+        *args,
         steps: int = 1,
-        boundary: BoundaryCondition | str = BoundaryCondition.CONSTANT,
-        fill_value: float = 0.0,
+        boundary: BoundaryCondition | str | None = None,
+        fill_value: float | None = None,
     ) -> np.ndarray:
-        """Advance ``steps`` time steps from ``data``."""
+        """Advance ``steps`` time steps from ``data``.
+
+        Everything past ``kernel`` is keyword-only: ``run(x, k, steps=4)``.
+        (Legacy positional arguments warn for one release.)
+        """
+        if args:
+            merged = shim_positional(
+                f"{type(self).__name__}.run",
+                ("steps", "boundary", "fill_value"),
+                args,
+                # steps defaults to 1 rather than None; treat the default as
+                # absent so a legacy positional value can claim the slot.
+                {
+                    "steps": None if steps == 1 else steps,
+                    "boundary": boundary,
+                    "fill_value": fill_value,
+                },
+            )
+            steps = 1 if merged["steps"] is None else merged["steps"]
+            boundary = merged["boundary"]
+            fill_value = merged["fill_value"]
+        boundary = BoundaryCondition.CONSTANT if boundary is None else boundary
+        fill_value = 0.0 if fill_value is None else fill_value
         if steps < 0:
             raise BaselineError(f"steps must be non-negative, got {steps}")
         if not self.supports(kernel):

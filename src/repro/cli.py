@@ -487,6 +487,223 @@ def _run_obs_snapshot(argv: List[str]) -> List[str]:
     return lines
 
 
+def _serve_config_from_args(args) -> "ServeConfig":
+    from repro.serve import ServeConfig, TenantQuota
+
+    quota = (
+        TenantQuota(rate=args.quota_rate, burst=args.quota_burst)
+        if args.quota_rate is not None
+        else TenantQuota()
+    )
+    return ServeConfig(
+        lanes=args.lanes,
+        coalesce_window_ms=args.window_ms,
+        max_batch=args.max_batch,
+        max_queue_depth=args.queue_depth,
+        quota=quota,
+        backend=args.backend,
+        slo_ms=args.slo_ms,
+    )
+
+
+def _serve_args(parser: argparse.ArgumentParser) -> None:
+    """Knobs shared by ``repro serve`` and ``repro loadgen``."""
+    parser.add_argument("--seed", type=int, default=0, help="trace seed (default 0)")
+    parser.add_argument(
+        "--requests", type=int, default=96, help="requests per trace (default 96)"
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=3, help="distinct tenants (default 3)"
+    )
+    parser.add_argument(
+        "--waves", type=int, default=2, help="submission bursts per trace (default 2)"
+    )
+    parser.add_argument(
+        "--lanes", type=int, default=2, help="executor lanes (default 2)"
+    )
+    parser.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        help="coalesce window in milliseconds (default 2.0)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=32, help="flush-at batch size (default 32)"
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=256,
+        help="backpressure bound on admitted requests (default 256)",
+    )
+    parser.add_argument(
+        "--quota-rate",
+        type=float,
+        default=None,
+        help="per-tenant token refill rate per second (default unlimited)",
+    )
+    parser.add_argument(
+        "--quota-burst",
+        type=float,
+        default=32.0,
+        help="per-tenant token bucket capacity (default 32)",
+    )
+    parser.add_argument(
+        "--backend", default=None, help="runtime backend (default process default)"
+    )
+    parser.add_argument(
+        "--slo-ms",
+        type=float,
+        default=None,
+        help="per-request SLO budget in ms (default $REPRO_OBS_SLO_MS)",
+    )
+
+
+def _render_serve_report(report: dict) -> List[str]:
+    lines = [
+        f"SERVE: {report['ok']}/{report['requests']} ok, "
+        f"{report['rejected']} rejected, "
+        f"{report['coalesced']} served in coalesced batches",
+        f"SERVE: {report['batches']} batch(es), "
+        f"mean {report['mean_batch']:.2f} / max {report['max_batch']} coalesced, "
+        f"affinity {100.0 * report['affinity_hit_rate']:.1f}%",
+    ]
+    for tenant, entry in report["tenants"].items():
+        lines.append(
+            f"  {tenant}: {entry['ok']}/{entry['requests']} ok "
+            f"({entry['rejected']} rejected), "
+            f"p50 {entry['p50_ms']:.2f}ms, p99 {entry['p99_ms']:.2f}ms"
+        )
+    return lines
+
+
+def _run_loadgen(argv: List[str]) -> List[str]:
+    """The ``loadgen`` subcommand: seeded replay + bit-identity gate.
+
+    Replays a deterministic mixed-tenant trace through an in-process
+    :class:`~repro.serve.service.StencilService` and verifies every
+    served result bitwise against a direct ``ConvStencil.run`` — the
+    acceptance gate for the coalescing/affinity machinery.
+    """
+    parser = argparse.ArgumentParser(
+        prog="convstencil loadgen",
+        description="Replay a seeded mixed-tenant trace through the serving layer",
+    )
+    _serve_args(parser)
+    parser.add_argument(
+        "--no-identity",
+        action="store_true",
+        help="skip the bitwise served-vs-direct comparison",
+    )
+    parser.add_argument(
+        "--expect-coalescing",
+        action="store_true",
+        help="fail unless at least one batch coalesced more than one request",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.serve import TraceSpec, run_loadgen
+
+    spec = TraceSpec(seed=args.seed, requests=args.requests, tenants=args.tenants)
+    report = run_loadgen(
+        spec=spec,
+        config=_serve_config_from_args(args),
+        waves=args.waves,
+        check_identity=not args.no_identity,
+    )
+    if report["identity_checked"] and not report["identity_ok"]:
+        raise ReproError(
+            f"served results diverged from direct ConvStencil.run for "
+            f"{len(report['mismatches'])} request(s): "
+            f"{', '.join(report['mismatches'][:5])}"
+        )
+    if args.expect_coalescing and report["max_batch"] <= 1:
+        raise ReproError(
+            "no coalesced batches observed (max batch size 1); widen "
+            "--window-ms or raise --requests"
+        )
+    if args.json:
+        import json
+
+        return json.dumps(report, indent=2, sort_keys=True, default=str).splitlines()
+    lines = _render_serve_report(report)
+    if report["identity_checked"]:
+        lines.append(
+            f"SERVE: bit-identity vs direct ConvStencil.run: "
+            f"{'ok' if report['identity_ok'] else 'FAIL'} "
+            f"({report['ok']} served result(s) compared)"
+        )
+    return lines
+
+
+def _run_serve(argv: List[str]) -> List[str]:
+    """The ``serve`` subcommand: run the service under load with obs export.
+
+    Enables the obs layer, starts the Prometheus/JSON exporter, and
+    drives repeating seeded load through one long-lived service for
+    ``--duration`` seconds — the serve-smoke CI job scrapes per-tenant
+    gauges from the exporter while this runs.
+    """
+    parser = argparse.ArgumentParser(
+        prog="convstencil serve",
+        description="Run the serving layer under seeded load with live metrics",
+    )
+    _serve_args(parser)
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long to keep serving load (default 10)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="exporter port (default $REPRO_OBS_PORT or 9109; 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--no-exporter",
+        action="store_true",
+        help="skip the HTTP exporter (stats still print)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro import obs
+    from repro.serve import TraceSpec
+    from repro.serve.loadgen import run_server
+
+    obs.enable()
+    server = None
+    lines: List[str] = []
+    if not args.no_exporter:
+        from repro.obs.exporter import start_exporter
+
+        server = start_exporter(port=args.port)
+        print(f"SERVE: exporter at {server.url}/metrics (and /health)")
+    spec = TraceSpec(seed=args.seed, requests=args.requests, tenants=args.tenants)
+    try:
+        report = run_server(
+            spec=spec,
+            config=_serve_config_from_args(args),
+            duration_s=args.duration,
+            waves=args.waves,
+        )
+    finally:
+        if server is not None:
+            server.stop()
+    lines.append(
+        f"SERVE: ran {report['cycles']} load cycle(s) over {args.duration:.1f}s"
+    )
+    lines.extend(_render_serve_report(report))
+    if server is not None:
+        lines.append("SERVE: exporter stopped")
+    return lines
+
+
 def _run_top(argv: List[str]) -> List[str]:
     """The ``top`` subcommand: ANSI live view of the obs snapshot."""
     parser = argparse.ArgumentParser(
@@ -702,6 +919,10 @@ def run(argv: Sequence[str]) -> List[str]:
         return _run_obs_snapshot(argv[1:])
     if argv and argv[0] == "top":
         return _run_top(argv[1:])
+    if argv and argv[0] == "serve":
+        return _run_serve(argv[1:])
+    if argv and argv[0] == "loadgen":
+        return _run_loadgen(argv[1:])
     args = build_parser().parse_args(argv)
     if args.trace or args.metrics:
         telemetry.enable()
@@ -745,7 +966,7 @@ def run(argv: Sequence[str]) -> List[str]:
         steps = 2
         got = ConvStencil(
             kernel, fusion=_fusion(args.fusion), backend=args.backend
-        ).run(x, steps)
+        ).run(x, steps=steps)
         ref = run_reference(x, kernel, steps)
         err = float(np.abs(got - ref).max())
         lines.append("")
@@ -815,7 +1036,7 @@ def run(argv: Sequence[str]) -> List[str]:
         ):
             ConvStencil(
                 kernel, fusion=_fusion(args.fusion), backend=args.backend
-            ).run(x, iterations)
+            ).run(x, steps=iterations)
         tracer = telemetry.get_tracer()
         path = tracer.export(args.trace)
         lines.append("")

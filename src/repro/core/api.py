@@ -35,6 +35,7 @@ from repro.core.fusion import FusionPlan, plan_fusion
 from repro.errors import KernelError
 from repro.stencils.grid import BoundaryCondition, Grid
 from repro.stencils.kernel import StencilKernel
+from repro.utils.deprecation import shim_positional
 
 __all__ = ["ConvStencil", "convstencil_valid"]
 
@@ -163,11 +164,17 @@ class ConvStencil:
     def run(
         self,
         grid: "Grid | np.ndarray",
-        steps: int,
+        *args,
+        steps: "int | None" = None,
         boundary: "BoundaryCondition | str | None" = None,
         fill_value: "float | None" = None,
     ) -> np.ndarray:
         """Advance ``steps`` time steps and return the final same-shape array.
+
+        Everything past ``grid`` is keyword-only: ``run(x, steps=4,
+        boundary="periodic")``.  (Legacy positional ``steps``/``boundary``/
+        ``fill_value`` still work for one release with a
+        ``DeprecationWarning``.)
 
         If ``grid`` is a :class:`~repro.stencils.grid.Grid` its boundary
         metadata is used (passing ``boundary=``/``fill_value=`` too raises
@@ -177,6 +184,20 @@ class ConvStencil:
         """
         from repro.runtime import execute
 
+        if args:
+            merged = shim_positional(
+                "ConvStencil.run",
+                ("steps", "boundary", "fill_value"),
+                args,
+                {"steps": steps, "boundary": boundary, "fill_value": fill_value},
+            )
+            steps = merged["steps"]
+            boundary = merged["boundary"]
+            fill_value = merged["fill_value"]
+        if steps is None:
+            raise TypeError(
+                "ConvStencil.run() missing required keyword argument: 'steps'"
+            )
         if steps < 0:
             raise ValueError(f"steps must be non-negative, got {steps}")
         if isinstance(grid, Grid):
@@ -197,11 +218,15 @@ class ConvStencil:
     def run_batch(
         self,
         batch: "np.ndarray | Grid | Sequence[Grid] | Sequence[np.ndarray]",
-        steps: int,
+        *args,
+        steps: "int | None" = None,
         boundary: "BoundaryCondition | str | None" = None,
         fill_value: "float | None" = None,
     ) -> np.ndarray:
         """Advance a batch of independent grids (leading batch axis).
+
+        Everything past ``batch`` is keyword-only: ``run_batch(stack,
+        steps=4)``.  (Legacy positional arguments warn for one release.)
 
         ``batch`` may be an array of shape ``(batch, *grid)``, a
         :class:`~repro.stencils.grid.Grid` holding such a stack, or a list
@@ -222,6 +247,21 @@ class ConvStencil:
         """
         from repro.runtime import execute_batch
 
+        if args:
+            merged = shim_positional(
+                "ConvStencil.run_batch",
+                ("steps", "boundary", "fill_value"),
+                args,
+                {"steps": steps, "boundary": boundary, "fill_value": fill_value},
+            )
+            steps = merged["steps"]
+            boundary = merged["boundary"]
+            fill_value = merged["fill_value"]
+        if steps is None:
+            raise TypeError(
+                "ConvStencil.run_batch() missing required keyword argument: "
+                "'steps'"
+            )
         if steps < 0:
             raise ValueError(f"steps must be non-negative, got {steps}")
         data, bc, fill = self._coerce_batch(batch, boundary, fill_value)

@@ -46,3 +46,30 @@ class StaticCheckError(ReproError):
     """Raised when static analysis finds error-severity violations —
     by ``repro lint`` (gating the exit code) and by the plan cache when
     ``REPRO_STATICCHECK=1`` rejects a plan on insert."""
+
+
+class ServeError(ReproError):
+    """Raised by :mod:`repro.serve` for service misuse (submitting to a
+    stopped service, mismatched request geometry, invalid configuration)."""
+
+
+class RequestRejected(ServeError):
+    """A request the service refused to admit (HTTP-429 semantics).
+
+    Carries ``retry_after`` — the seconds a well-behaved client should wait
+    before resubmitting.  Raised only under
+    :meth:`repro.serve.StencilService.submit`\\ 's strict mode; the default
+    path returns a rejected :class:`~repro.serve.Response` instead.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class QuotaExceeded(RequestRejected):
+    """A tenant exhausted its token-bucket quota."""
+
+
+class QueueSaturated(RequestRejected):
+    """The service's bounded request queue is full (backpressure)."""

@@ -45,7 +45,9 @@ __all__ = [
     "get_collector",
     "get_profiler",
     "pass_timer",
+    "record_request",
     "record_run",
+    "record_serve_batch",
     "snapshot",
     "tile_capture",
 ]
@@ -221,6 +223,32 @@ def record_run(plan, backend: str, steps: int, batch: int = 0):
     if not _state.enabled:
         return _NOOP
     return _RunTimer(plan, backend, steps, batch)
+
+
+# -- serving accounting (repro.serve hooks) --------------------------------
+
+
+def record_request(
+    tenant: str,
+    elapsed: float,
+    outcome: str = "ok",
+    slo_breached: bool = False,
+) -> None:
+    """Account one serving-layer request (no-op while disabled).
+
+    ``outcome`` is the serve vocabulary: ``ok``, ``rejected_quota``,
+    ``rejected_queue``.
+    """
+    if not _state.enabled:
+        return
+    _state.collector.record_request(tenant, elapsed, outcome, slo_breached)
+
+
+def record_serve_batch(size: int, queue_depth: int, affinity_hit: bool) -> None:
+    """Account one coalesced serving batch (no-op while disabled)."""
+    if not _state.enabled:
+        return
+    _state.collector.observe_serve_batch(size, queue_depth, affinity_hit)
 
 
 # -- tiled-pass / tile accounting (runtime.tiled hooks) --------------------

@@ -34,7 +34,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from repro.obs.hist import LatencyHistogram
 from repro.telemetry.log import get_logger
 
-__all__ = ["ObsCollector", "RunStats", "run_label"]
+__all__ = ["ObsCollector", "RunStats", "TenantStats", "run_label"]
 
 _log = get_logger("obs.collector")
 
@@ -146,6 +146,29 @@ class RunStats:
         }
 
 
+class TenantStats:
+    """Accumulated serving state for one tenant."""
+
+    __slots__ = ("requests", "outcomes", "slo_breaches", "hist")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.outcomes: Dict[str, int] = {}
+        self.slo_breaches = 0
+        self.hist = LatencyHistogram()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "slo_breaches": self.slo_breaches,
+            "latency": self.hist.to_dict(),
+            "p50_s": self.hist.p50,
+            "p95_s": self.hist.p95,
+            "p99_s": self.hist.p99,
+        }
+
+
 class ObsCollector:
     """Thread-safe aggregate of live run/worker/pass observations."""
 
@@ -157,6 +180,16 @@ class ObsCollector:
         self._workers: Dict[str, Dict[str, float]] = {}
         self._passes = 0
         self._pass_wall_x_workers = 0.0
+        self._tenants: Dict[str, TenantStats] = {}
+        self._serve: Dict[str, float] = {
+            "batches": 0,
+            "batched_requests": 0,
+            "max_batch": 0,
+            "affinity_hits": 0,
+            "affinity_misses": 0,
+            "queue_depth": 0,
+            "queue_peak": 0,
+        }
         self._started_at = _CLOCK()
         # (kernel_name, n_grid, steps, depth) -> Eq.-13 MMA total;
         # (kernel_name, shape, depth) -> (model GStencil/s, bound).
@@ -223,6 +256,46 @@ class ObsCollector:
             stats.hist.observe(elapsed)
             if self.slo_seconds is not None and elapsed > self.slo_seconds:
                 stats.slo_breaches += 1
+
+    def record_request(
+        self,
+        tenant: str,
+        elapsed: float,
+        outcome: str = "ok",
+        slo_breached: bool = False,
+    ) -> None:
+        """Account one serving-layer request for ``tenant``.
+
+        ``outcome`` follows the serve vocabulary (``ok`` /
+        ``rejected_quota`` / ``rejected_queue``); latency is recorded
+        only for completed requests.
+        """
+        with self._lock:
+            stats = self._tenants.get(tenant)
+            if stats is None:
+                stats = self._tenants[tenant] = TenantStats()
+            stats.requests += 1
+            stats.outcomes[outcome] = stats.outcomes.get(outcome, 0) + 1
+            if outcome == "ok":
+                stats.hist.observe(elapsed)
+            if slo_breached:
+                stats.slo_breaches += 1
+
+    def observe_serve_batch(
+        self, size: int, queue_depth: int, affinity_hit: bool
+    ) -> None:
+        """Account one coalesced serving batch flushed to a lane."""
+        with self._lock:
+            serve = self._serve
+            serve["batches"] += 1
+            serve["batched_requests"] += size
+            serve["max_batch"] = max(serve["max_batch"], size)
+            serve["queue_depth"] = queue_depth
+            serve["queue_peak"] = max(serve["queue_peak"], queue_depth)
+            if affinity_hit:
+                serve["affinity_hits"] += 1
+            else:
+                serve["affinity_misses"] += 1
 
     def observe_tile(self, worker: str, busy_seconds: float, tiles: int = 1) -> None:
         """Account tile compute time against a worker label."""
@@ -294,6 +367,14 @@ class ObsCollector:
             passes = self._passes
             denominator = self._pass_wall_x_workers
             uptime = now - self._started_at
+            tenants = {
+                name: stats.to_dict()
+                for name, stats in sorted(self._tenants.items())
+            }
+            serve = dict(self._serve)
+        serve["mean_batch"] = (
+            serve["batched_requests"] / serve["batches"] if serve["batches"] else 0.0
+        )
         total_busy = sum(w["busy_s"] for w in workers.values())
         utilisation = total_busy / denominator if denominator > 0 else None
         snap: Dict[str, Any] = {
@@ -306,6 +387,8 @@ class ObsCollector:
             "worker_utilisation": utilisation,
             "tiled_passes": passes,
             "tiled_degradations": self._degradations(),
+            "tenants": tenants,
+            "serve": serve,
         }
         if profiler is not None:
             snap["profile"] = {

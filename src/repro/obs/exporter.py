@@ -211,6 +211,97 @@ def render_prometheus(snap: Dict[str, Any]) -> str:
         "repro_tiled_degradations_total", None, float(snap.get("tiled_degradations", 0.0))
     )
 
+    for tenant, entry in sorted((snap.get("tenants") or {}).items()):
+        base = {"tenant": tenant}
+        out.family(
+            "repro_tenant_requests_total",
+            "counter",
+            "Serving-layer requests by tenant and outcome.",
+        )
+        for outcome, count in sorted((entry.get("outcomes") or {}).items()):
+            labels = dict(base)
+            labels["outcome"] = outcome
+            out.sample("repro_tenant_requests_total", labels, float(count))
+        out.family(
+            "repro_tenant_slo_breaches_total",
+            "counter",
+            "Served requests whose latency exceeded the SLO budget.",
+        )
+        out.sample(
+            "repro_tenant_slo_breaches_total", base, float(entry.get("slo_breaches", 0))
+        )
+        latency = entry.get("latency")
+        if latency:
+            try:
+                hist = LatencyHistogram.from_dict(latency)
+            except (TypeError, ValueError) as exc:
+                _log.warning("tenant histogram for %s unusable: %s", tenant, exc)
+                continue
+            out.family(
+                "repro_tenant_latency_seconds",
+                "histogram",
+                "Serving-layer request latency distribution by tenant.",
+            )
+            for bound, cumulative in hist.cumulative():
+                le = dict(base)
+                le["le"] = "+Inf" if bound == math.inf else _fmt(bound)
+                out.sample("repro_tenant_latency_seconds_bucket", le, float(cumulative))
+            out.sample("repro_tenant_latency_seconds_sum", base, float(hist.sum))
+            out.sample("repro_tenant_latency_seconds_count", base, float(hist.count))
+
+    serve = snap.get("serve") or {}
+    if serve.get("batches"):
+        out.family(
+            "repro_serve_batches_total", "counter", "Coalesced serving batches flushed."
+        )
+        out.sample("repro_serve_batches_total", None, float(serve.get("batches", 0)))
+        out.family(
+            "repro_serve_batched_requests_total",
+            "counter",
+            "Requests served through coalesced batches.",
+        )
+        out.sample(
+            "repro_serve_batched_requests_total",
+            None,
+            float(serve.get("batched_requests", 0)),
+        )
+        out.family(
+            "repro_serve_batch_size_max", "gauge", "Largest coalesced batch observed."
+        )
+        out.sample("repro_serve_batch_size_max", None, float(serve.get("max_batch", 0)))
+        out.family(
+            "repro_serve_batch_size_mean", "gauge", "Mean coalesced batch size."
+        )
+        out.sample(
+            "repro_serve_batch_size_mean", None, float(serve.get("mean_batch", 0.0))
+        )
+        out.family(
+            "repro_serve_affinity_hits_total",
+            "counter",
+            "Batches routed to a lane already holding the warm plan.",
+        )
+        out.sample(
+            "repro_serve_affinity_hits_total", None, float(serve.get("affinity_hits", 0))
+        )
+        out.family(
+            "repro_serve_affinity_misses_total",
+            "counter",
+            "Batches that had to warm a plan on a new lane.",
+        )
+        out.sample(
+            "repro_serve_affinity_misses_total",
+            None,
+            float(serve.get("affinity_misses", 0)),
+        )
+        out.family(
+            "repro_serve_queue_depth", "gauge", "Admitted-but-unanswered requests."
+        )
+        out.sample("repro_serve_queue_depth", None, float(serve.get("queue_depth", 0)))
+        out.family(
+            "repro_serve_queue_peak", "gauge", "Peak admitted-but-unanswered requests."
+        )
+        out.sample("repro_serve_queue_peak", None, float(serve.get("queue_peak", 0)))
+
     profile = snap.get("profile") or {}
     out.family(
         "repro_profiler_samples_total",

@@ -139,6 +139,44 @@ def render_top(snap: Dict[str, Any], color: bool = True) -> List[str]:
         )
         lines.append("")
 
+    tenants = snap.get("tenants") or {}
+    if tenants:
+        rows = []
+        for tenant, entry in sorted(tenants.items()):
+            outcomes = entry.get("outcomes") or {}
+            rows.append(
+                (
+                    tenant,
+                    int(entry.get("requests", 0)),
+                    int(outcomes.get("ok", 0)),
+                    int(outcomes.get("rejected_quota", 0))
+                    + int(outcomes.get("rejected_queue", 0)),
+                    _fmt_latency(float(entry.get("p50_s", 0.0))),
+                    _fmt_latency(float(entry.get("p99_s", 0.0))),
+                    int(entry.get("slo_breaches", 0)),
+                )
+            )
+        lines.extend(
+            format_table(
+                ["tenant", "req", "ok", "rej", "p50", "p99", "slo✗"],
+                rows,
+                title="Tenants (serving)",
+            ).splitlines()
+        )
+        serve = snap.get("serve") or {}
+        if serve.get("batches"):
+            hits = int(serve.get("affinity_hits", 0))
+            total_batches = hits + int(serve.get("affinity_misses", 0))
+            rate = 100.0 * hits / total_batches if total_batches else 0.0
+            lines.append(
+                f"serving: {int(serve.get('batches', 0))} batch(es), "
+                f"mean {float(serve.get('mean_batch', 0.0)):.2f} / "
+                f"max {int(serve.get('max_batch', 0))} coalesced, "
+                f"affinity {rate:.1f}%, "
+                f"queue peak {int(serve.get('queue_peak', 0))}"
+            )
+        lines.append("")
+
     profile = snap.get("profile") or {}
     phases = profile.get("phases") or {}
     total = sum(int(n) for n in phases.values())

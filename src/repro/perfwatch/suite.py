@@ -163,9 +163,9 @@ def _measure_workload(
 
     def run_once():
         if w.batch:
-            cs.run_batch(x, w.steps)
+            cs.run_batch(x, steps=w.steps)
         else:
-            cs.run(x, w.steps)
+            cs.run(x, steps=w.steps)
 
     cache_before = get_plan_cache().stats
     try:
@@ -262,9 +262,9 @@ def _obs_summary_pass(suite: List[Workload], quick: bool) -> Dict:
                 cs = ConvStencil(kernel, fusion=w.fusion, backend=backend)
                 try:
                     if w.batch:
-                        cs.run_batch(x, w.steps)
+                        cs.run_batch(x, steps=w.steps)
                     else:
-                        cs.run(x, w.steps)
+                        cs.run(x, steps=w.steps)
                 finally:
                     if owned:
                         backend.close()

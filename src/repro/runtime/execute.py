@@ -25,13 +25,6 @@ from repro.stencils.kernel import StencilKernel
 __all__ = ["execute", "execute_batch", "execute_pass", "plan_for"]
 
 
-def _default_tiles() -> int:
-    """Tile count baked into cached plans (the tiled backend's pool size)."""
-    from repro.runtime.tiled import default_worker_count
-
-    return default_worker_count()
-
-
 def plan_for(
     kernel: StencilKernel,
     grid_shape: Tuple[int, ...],
@@ -52,11 +45,15 @@ def plan_for(
         fusion = plan_fusion(kernel, fusion)
         depth = fusion.depth
     key = plan_key(kernel, grid_shape, boundary, depth)
+    # Tile geometry is a *backend* property, not a plan property: plans are
+    # cached with the trivial single-tile decomposition and every executor
+    # derives its own bounds at dispatch time via ``PassPlan.retile`` (the
+    # memoised ``tile_bounds``).  Baking a pool size into the cached plan
+    # would let one lane's geometry leak into another's through the shared
+    # plan cache.
     return get_plan_cache().get_or_build(
         key,
-        lambda: build_plan(
-            kernel, grid_shape, boundary, fusion, tiles=_default_tiles()
-        ),
+        lambda: build_plan(kernel, grid_shape, boundary, fusion, tiles=1),
     )
 
 

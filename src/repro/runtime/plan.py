@@ -20,6 +20,7 @@ explicitly, so a 50-step run builds every table exactly once (via the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
@@ -51,6 +52,7 @@ def plan_key(
     return (kernel, tuple(grid_shape), BoundaryCondition(boundary), int(fusion_depth))
 
 
+@lru_cache(maxsize=4096)
 def tile_bounds(
     extent: int, tiles: int, align: int = 1, min_rows: int = 1
 ) -> Tuple[Tuple[int, int], ...]:
@@ -62,6 +64,10 @@ def tile_bounds(
     runs of ``edge + 1``; aligning the cuts to that group width keeps every
     output element's A/B summation split — and therefore the bits of the
     result — independent of the tiling.
+
+    Memoised (the result is a small immutable tuple of a pure function of
+    four ints) so backends can re-derive their geometry on every dispatch
+    without re-running the decomposition.
     """
     tiles = max(1, min(int(tiles), max(1, extent // max(align, min_rows))))
     if tiles <= 1:

@@ -303,8 +303,11 @@ class TiledBackend(SerialBackend):
         want = min(self.workers, max(1, extent // self.min_rows_per_tile))
         if want <= 1:
             return ((0, extent),)
-        bounds = pp.tiles if len(pp.tiles) == want else pp.retile(want)
-        return bounds
+        # Always derive at dispatch time: cached plans carry the trivial
+        # single-tile decomposition, and trusting ``pp.tiles`` whenever its
+        # length happens to match would reuse geometry another pool size
+        # baked in.  ``retile`` is memoised, so this is a dict hit.
+        return pp.retile(want)
 
     def _dispatch(self, worker, tasks: List[dict]) -> None:
         pool = self._get_pool()

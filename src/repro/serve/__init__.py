@@ -1,0 +1,36 @@
+"""repro.serve — async multi-tenant stencil serving.
+
+The serving layer turns the library's batched runtime into a frontend:
+an asyncio :class:`StencilService` coalesces concurrent requests that
+share a plan key into single :func:`~repro.runtime.execute.execute_batch`
+passes (bit-identical to direct :meth:`~repro.core.api.ConvStencil.run`),
+routes batches to the executor lane already holding the warm
+:class:`~repro.runtime.plan.ExecutionPlan`, and sheds load with
+per-tenant token buckets and queue-depth backpressure.
+
+Stable surface (also re-exported from :mod:`repro`):
+:class:`StencilService`, :class:`ServeConfig`, :class:`TenantQuota`,
+:class:`Request`, :class:`Response`.  The load generator
+(:mod:`repro.serve.loadgen`) backs ``repro loadgen`` / ``repro serve``.
+"""
+
+from repro.serve.config import ServeConfig, TenantQuota
+from repro.serve.loadgen import TraceSpec, generate_trace, replay, run_loadgen
+from repro.serve.quota import QuotaLedger, TokenBucket
+from repro.serve.request import Request, Response, coalesce_key
+from repro.serve.service import StencilService
+
+__all__ = [
+    "QuotaLedger",
+    "Request",
+    "Response",
+    "ServeConfig",
+    "StencilService",
+    "TenantQuota",
+    "TokenBucket",
+    "TraceSpec",
+    "coalesce_key",
+    "generate_trace",
+    "replay",
+    "run_loadgen",
+]

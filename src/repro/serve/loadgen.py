@@ -1,0 +1,298 @@
+"""Deterministic load generation and replay for :class:`StencilService`.
+
+``repro loadgen`` is built on three pieces:
+
+* :class:`TraceSpec` + :func:`generate_trace` — a seeded mixed-tenant
+  request trace.  Same seed, same trace, every run: kernels are interned
+  per name so the whole trace shares plan keys the way a real
+  multi-tenant frontend would.
+* :func:`replay` — submit the trace in waves against a service, then
+  (optionally) re-execute every request *directly* through
+  :class:`~repro.core.api.ConvStencil` and demand bitwise identity.
+  This is the serving layer's acceptance gate: coalescing and affinity
+  routing must be pure scheduling, invisible in the numbers.
+* :func:`run_loadgen` / :func:`run_server` — synchronous entry points
+  the CLI wraps (``repro loadgen`` / ``repro serve``).
+
+Randomness is confined to ``numpy.random.default_rng(seed)``; wall-clock
+reads go through the audited ``_CLOCK`` reference.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.api import ConvStencil
+from repro.errors import ServeError
+from repro.obs.hist import LatencyHistogram
+from repro.serve.config import ServeConfig
+from repro.serve.request import Request, Response
+from repro.serve.service import StencilService
+from repro.stencils.catalog import get_kernel
+from repro.stencils.grid import BoundaryCondition
+from repro.stencils.kernel import StencilKernel
+
+__all__ = [
+    "TraceSpec",
+    "generate_trace",
+    "replay",
+    "run_loadgen",
+    "run_server",
+    "summarize",
+]
+
+#: Audited clock reference (``repro serve`` deadline accounting).
+_CLOCK = time.monotonic
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Seeded description of a mixed-tenant request population.
+
+    Defaults are sized so a burst replay produces coalesced batches
+    well above 1: two kernels x one shape x two step counts x two
+    boundaries = 8 coalesce keys shared by ``requests`` requests.
+    """
+
+    seed: int = 0
+    requests: int = 96
+    tenants: int = 3
+    kernels: Tuple[str, ...] = ("heat-2d", "box-2d9p")
+    shapes: Tuple[Tuple[int, ...], ...] = ((24, 24),)
+    steps_choices: Tuple[int, ...] = (1, 2)
+    boundaries: Tuple[str, ...] = ("constant", "periodic")
+    fusion: "int | str" = 1
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ServeError(f"requests must be >= 1, got {self.requests}")
+        if self.tenants < 1:
+            raise ServeError(f"tenants must be >= 1, got {self.tenants}")
+
+
+def generate_trace(spec: TraceSpec) -> List[Request]:
+    """The deterministic request list described by ``spec``.
+
+    Kernel objects are interned per name across the trace, so requests
+    for the same logical stencil share plan keys (and therefore batches)
+    without relying on the service's fingerprint interning.
+    """
+    rng = np.random.default_rng(spec.seed)
+    kernels: Dict[str, StencilKernel] = {
+        name: get_kernel(name) for name in spec.kernels
+    }
+    names = list(spec.kernels)
+    trace: List[Request] = []
+    for index in range(spec.requests):
+        name = names[int(rng.integers(len(names)))]
+        shape = spec.shapes[int(rng.integers(len(spec.shapes)))]
+        trace.append(
+            Request(
+                tenant=f"tenant-{int(rng.integers(spec.tenants))}",
+                kernel=kernels[name],
+                data=rng.standard_normal(shape),
+                steps=int(
+                    spec.steps_choices[int(rng.integers(len(spec.steps_choices)))]
+                ),
+                boundary=BoundaryCondition(
+                    spec.boundaries[int(rng.integers(len(spec.boundaries)))]
+                ),
+                fusion=spec.fusion,
+                request_id=f"r{index:05d}",
+            )
+        )
+    return trace
+
+
+def _direct_results(
+    trace: Sequence[Request], backend=None
+) -> List[np.ndarray]:
+    """Reference results via per-request ``ConvStencil.run`` (no serving)."""
+    engines: Dict[tuple, ConvStencil] = {}
+    results: List[np.ndarray] = []
+    for request in trace:
+        key = (id(request.kernel), request.fusion)
+        engine = engines.get(key)
+        if engine is None:
+            engine = engines[key] = ConvStencil(
+                request.kernel, fusion=request.fusion, backend=backend
+            )
+        results.append(
+            engine.run(
+                request.data,
+                steps=request.steps,
+                boundary=request.boundary,
+                fill_value=request.fill_value,
+            )
+        )
+    return results
+
+
+async def replay(
+    service: StencilService,
+    trace: Sequence[Request],
+    *,
+    waves: int = 2,
+    check_identity: bool = True,
+) -> Dict[str, Any]:
+    """Submit ``trace`` in bursts and summarise what the service did.
+
+    Each wave is submitted concurrently (maximal coalescing pressure)
+    and awaited before the next begins.  With ``check_identity`` every
+    accepted response is compared bitwise against a direct
+    ``ConvStencil.run`` of the same request.
+    """
+    if waves < 1:
+        raise ServeError(f"waves must be >= 1, got {waves}")
+    responses: List[Optional[Response]] = [None] * len(trace)
+    per_wave = max(1, (len(trace) + waves - 1) // waves)
+    for start in range(0, len(trace), per_wave):
+        wave = list(range(start, min(start + per_wave, len(trace))))
+        settled = await asyncio.gather(
+            *(service.submit(trace[i]) for i in wave)
+        )
+        for i, response in zip(wave, settled):
+            responses[i] = response
+    mismatches: List[str] = []
+    if check_identity:
+        expected = _direct_results(trace, backend=service.config.backend)
+        for request, response, reference in zip(trace, responses, expected):
+            if response is None or response.rejected:
+                continue
+            if response.data is None or not np.array_equal(
+                response.data, reference
+            ):
+                mismatches.append(request.request_id)
+    return summarize(
+        trace, responses, service, mismatches, checked=check_identity
+    )
+
+
+def summarize(
+    trace: Sequence[Request],
+    responses: Sequence[Optional[Response]],
+    service: StencilService,
+    mismatches: Sequence[str],
+    *,
+    checked: bool,
+) -> Dict[str, Any]:
+    """Fold a replay into the JSON-able report the CLI prints."""
+    stats = service.stats()
+    ok = sum(1 for r in responses if r is not None and r.ok)
+    rejected = sum(1 for r in responses if r is not None and r.rejected)
+    coalesced = sum(
+        1 for r in responses if r is not None and r.ok and r.batch_size > 1
+    )
+    tenants: Dict[str, Dict[str, Any]] = {}
+    for request, response in zip(trace, responses):
+        if response is None:
+            continue
+        entry = tenants.setdefault(
+            request.tenant,
+            {"requests": 0, "ok": 0, "rejected": 0, "_hist": LatencyHistogram()},
+        )
+        entry["requests"] += 1
+        if response.ok:
+            entry["ok"] += 1
+            entry["_hist"].observe(response.latency_s)
+        else:
+            entry["rejected"] += 1
+    for entry in tenants.values():
+        hist = entry.pop("_hist")
+        entry["p50_ms"] = hist.p50 * 1e3
+        entry["p99_ms"] = hist.p99 * 1e3
+    return {
+        "requests": len(trace),
+        "ok": ok,
+        "rejected": rejected,
+        "coalesced": coalesced,
+        "mean_batch": stats["mean_batch"],
+        "max_batch": stats["max_batch"],
+        "batches": stats["batches"],
+        "affinity_hit_rate": stats["affinity_hit_rate"],
+        "identity_checked": checked,
+        "identity_ok": not mismatches,
+        "mismatches": list(mismatches),
+        "tenants": {name: tenants[name] for name in sorted(tenants)},
+        "service": stats,
+    }
+
+
+def run_loadgen(
+    *,
+    spec: Optional[TraceSpec] = None,
+    config: Optional[ServeConfig] = None,
+    waves: int = 2,
+    check_identity: bool = True,
+) -> Dict[str, Any]:
+    """Synchronous loadgen entry point: one service, one replayed trace."""
+    spec = spec if spec is not None else TraceSpec()
+    config = config if config is not None else ServeConfig()
+
+    async def _run() -> Dict[str, Any]:
+        async with StencilService(config) as service:
+            return await replay(
+                service,
+                generate_trace(spec),
+                waves=waves,
+                check_identity=check_identity,
+            )
+
+    return asyncio.run(_run())
+
+
+def run_server(
+    *,
+    spec: Optional[TraceSpec] = None,
+    config: Optional[ServeConfig] = None,
+    duration_s: float = 10.0,
+    waves: int = 2,
+    on_cycle=None,
+) -> Dict[str, Any]:
+    """Run a service under repeating seeded load for ``duration_s``.
+
+    This is the body of ``repro serve``: each cycle replays the trace
+    (seed offset by cycle index, so data varies while the key population
+    stays fixed) and folds per-tenant accounting into the long-lived
+    service — whose stats the obs exporter serves concurrently.  Returns
+    the final cycle's report augmented with cycle count.
+    """
+    spec = spec if spec is not None else TraceSpec()
+    config = config if config is not None else ServeConfig()
+
+    async def _run() -> Dict[str, Any]:
+        deadline = _CLOCK() + duration_s
+        report: Dict[str, Any] = {}
+        cycles = 0
+        async with StencilService(config) as service:
+            while True:
+                cycle_spec = TraceSpec(
+                    seed=spec.seed + cycles,
+                    requests=spec.requests,
+                    tenants=spec.tenants,
+                    kernels=spec.kernels,
+                    shapes=spec.shapes,
+                    steps_choices=spec.steps_choices,
+                    boundaries=spec.boundaries,
+                    fusion=spec.fusion,
+                )
+                report = await replay(
+                    service,
+                    generate_trace(cycle_spec),
+                    waves=waves,
+                    check_identity=False,
+                )
+                cycles += 1
+                if on_cycle is not None:
+                    on_cycle(cycles, report)
+                if _CLOCK() >= deadline:
+                    break
+        report["cycles"] = cycles
+        return report
+
+    return asyncio.run(_run())

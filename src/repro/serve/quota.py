@@ -1,0 +1,81 @@
+"""Per-tenant token buckets with an injectable clock.
+
+The classic token-bucket admission rule: a bucket refills at ``rate``
+tokens per second up to ``burst``; each admitted request spends one
+token.  ``try_acquire`` is pure arithmetic over the caller-supplied
+timestamp — the service injects its audited clock, tests inject a fake —
+so admission decisions are deterministic given a request arrival
+schedule.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple
+
+from repro.serve.config import TenantQuota
+
+__all__ = ["QuotaLedger", "TokenBucket"]
+
+
+class TokenBucket:
+    """One tenant's bucket.  Thread-safe; time is always passed in."""
+
+    __slots__ = ("quota", "_tokens", "_stamp", "_lock")
+
+    def __init__(self, quota: TenantQuota, now: float = 0.0) -> None:
+        self.quota = quota
+        self._tokens = float(quota.burst)
+        self._stamp = float(now)
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._stamp
+        if elapsed > 0.0:
+            self._tokens = min(
+                float(self.quota.burst), self._tokens + elapsed * self.quota.rate
+            )
+        self._stamp = now
+
+    def try_acquire(self, now: float, tokens: float = 1.0) -> Tuple[bool, float]:
+        """Spend ``tokens`` at time ``now``.
+
+        Returns ``(admitted, retry_after)``: on rejection ``retry_after``
+        is the seconds until the bucket will have refilled enough.
+        """
+        if self.quota.unlimited:
+            return True, 0.0
+        with self._lock:
+            self._refill(now)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True, 0.0
+            deficit = tokens - self._tokens
+            return False, deficit / self.quota.rate
+
+    def available(self, now: float) -> float:
+        """Tokens currently in the bucket (refilled to ``now``)."""
+        with self._lock:
+            self._refill(now)
+            return self._tokens
+
+
+class QuotaLedger:
+    """Lazily created buckets, one per tenant."""
+
+    def __init__(self, quota_for) -> None:
+        self._quota_for = quota_for
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def bucket(self, tenant: str, now: float) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self._quota_for(tenant), now
+                )
+            return bucket
+
+    def try_acquire(self, tenant: str, now: float) -> Tuple[bool, float]:
+        return self.bucket(tenant, now).try_acquire(now)

@@ -1,0 +1,465 @@
+"""StencilService — the asyncio multi-tenant serving front-end.
+
+Architecture (one event loop, N single-thread executor lanes)::
+
+    submit() ──quota──backpressure──▶ pending[coalesce_key] ──window/full──▶
+        lane (affinity-routed) ──execute_batch (one stacked pass)──▶
+        split per request ──▶ Response futures
+
+* **Batch coalescing** — requests sharing a coalesce key (plan key +
+  ``steps`` + ``fill_value``) that arrive within ``coalesce_window_ms``
+  are stacked into one :func:`~repro.runtime.execute.execute_batch`
+  pass and split back per request.  The PR-3 stacked-GEMM fix makes the
+  split results bit-identical to direct
+  :meth:`~repro.core.api.ConvStencil.run` — the paper's amortisation
+  argument (many small problems → one large GEMM) applied to serving.
+* **Plan-affinity routing** — each lane remembers which plan keys it has
+  executed; a batch routes to the lane already holding the warm
+  :class:`~repro.runtime.plan.ExecutionPlan`, else to the least-loaded
+  lane (which then adopts the key).
+* **Admission control** — per-tenant token buckets
+  (:mod:`repro.serve.quota`) and a bounded in-flight request count;
+  refusals are HTTP-429-style :class:`~repro.serve.request.Response`
+  objects carrying ``retry_after``.
+
+Clock reads go through the module-level ``_CLOCK`` reference — the same
+audited-single-call-site discipline as :mod:`repro.obs.collector`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro import obs, telemetry
+from repro.core.fusion import FusionPlan, plan_fusion
+from repro.errors import QueueSaturated, QuotaExceeded, ServeError
+from repro.obs.hist import LatencyHistogram
+from repro.serve.config import ServeConfig
+from repro.serve.quota import QuotaLedger
+from repro.serve.request import (
+    STATUS_OK,
+    STATUS_REJECTED,
+    Request,
+    Response,
+    coalesce_key,
+)
+from repro.stencils.kernel import StencilKernel
+from repro.telemetry.log import get_logger
+
+__all__ = ["StencilService"]
+
+_log = get_logger("serve.service")
+
+#: Audited clock reference (admission timestamps, latency accounting).
+_CLOCK = time.monotonic
+
+
+class _Lane:
+    """One executor lane: a single-thread pool plus its warm plan keys."""
+
+    __slots__ = ("index", "pool", "plans", "inflight", "batches")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-serve-lane{index}"
+        )
+        self.plans: Set[tuple] = set()
+        self.inflight = 0
+        self.batches = 0
+
+
+class _TenantStats:
+    """Service-local per-tenant accounting (always on, obs or not)."""
+
+    __slots__ = (
+        "requests", "ok", "rejected_quota", "rejected_queue",
+        "slo_breaches", "hist",
+    )
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.ok = 0
+        self.rejected_quota = 0
+        self.rejected_queue = 0
+        self.slo_breaches = 0
+        self.hist = LatencyHistogram()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "rejected_quota": self.rejected_quota,
+            "rejected_queue": self.rejected_queue,
+            "slo_breaches": self.slo_breaches,
+            "p50_s": self.hist.p50,
+            "p95_s": self.hist.p95,
+            "p99_s": self.hist.p99,
+            "latency": self.hist.to_dict(),
+        }
+
+
+@dataclass
+class _PendingBatch:
+    """Requests accumulated for one coalesce key awaiting flush."""
+
+    fusion: FusionPlan
+    requests: List[Request] = field(default_factory=list)
+    futures: List["asyncio.Future"] = field(default_factory=list)
+    enqueued_at: List[float] = field(default_factory=list)
+    timer: Optional["asyncio.Task"] = None
+
+    def add(self, request: Request, future: "asyncio.Future", now: float) -> None:
+        self.requests.append(request)
+        self.futures.append(future)
+        self.enqueued_at.append(now)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+class StencilService:
+    """Async multi-tenant stencil serving with batch coalescing.
+
+    Usage (all configuration keyword-only via :class:`ServeConfig`)::
+
+        async with StencilService(ServeConfig(lanes=2)) as svc:
+            resp = await svc.submit(Request("acme", kernel=k, data=x, steps=4))
+            assert resp.ok and resp.batch_size >= 1
+
+    ``clock`` is injectable for deterministic quota/latency tests; it
+    defaults to the audited monotonic reference.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        *,
+        clock=None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self._clock = clock if clock is not None else _CLOCK
+        self._lanes = [_Lane(i) for i in range(self.config.lanes)]
+        self._quota = QuotaLedger(self.config.quota_for)
+        self._pending: Dict[tuple, _PendingBatch] = {}
+        self._tasks: Set["asyncio.Task"] = set()
+        self._kernels: Dict[tuple, StencilKernel] = {}
+        self._kernel_by_id: Dict[int, StencilKernel] = {}
+        self._fusion_cache: Dict[tuple, FusionPlan] = {}
+        self._intern_lock = threading.Lock()
+        self._tenants: Dict[str, _TenantStats] = {}
+        self._queued = 0
+        self._queue_peak = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._max_batch = 0
+        self._affinity_hits = 0
+        self._affinity_misses = 0
+        self._closed = False
+
+    # -- kernel interning --------------------------------------------------
+
+    def _intern(self, kernel: StencilKernel) -> StencilKernel:
+        """Canonical kernel instance for this logical stencil.
+
+        Plan keys hash kernels by identity, so two requests carrying
+        equal-but-distinct kernel objects must converge on one instance
+        before they can share a plan (and a coalesced batch).
+        """
+        weights = np.ascontiguousarray(kernel.weights, dtype=np.float64)
+        fingerprint = (
+            kernel.name,
+            str(kernel.shape_kind),
+            tuple(weights.shape),
+            weights.tobytes(),
+        )
+        with self._intern_lock:
+            interned = self._kernels.get(fingerprint)
+            if interned is None:
+                interned = self._kernels[fingerprint] = kernel
+                self._kernel_by_id[id(kernel)] = kernel
+            return interned
+
+    def _fusion_for(self, kernel: StencilKernel, fusion) -> FusionPlan:
+        if isinstance(fusion, FusionPlan):
+            return fusion
+        key = (id(kernel), fusion)
+        plan = self._fusion_cache.get(key)
+        if plan is None:
+            plan = self._fusion_cache[key] = plan_fusion(kernel, fusion)
+        return plan
+
+    # -- accounting --------------------------------------------------------
+
+    def _tenant(self, tenant: str) -> _TenantStats:
+        stats = self._tenants.get(tenant)
+        if stats is None:
+            stats = self._tenants[tenant] = _TenantStats()
+        return stats
+
+    def _slo_seconds(self) -> Optional[float]:
+        if self.config.slo_seconds is not None:
+            return self.config.slo_seconds
+        return obs.get_collector().slo_seconds
+
+    def _account_ok(self, tenant: str, latency: float) -> bool:
+        slo = self._slo_seconds()
+        breached = slo is not None and latency > slo
+        stats = self._tenant(tenant)
+        stats.requests += 1
+        stats.ok += 1
+        stats.hist.observe(latency)
+        if breached:
+            stats.slo_breaches += 1
+        obs.record_request(tenant, latency, "ok", slo_breached=breached)
+        return breached
+
+    def _account_reject(self, tenant: str, reason: str) -> None:
+        stats = self._tenant(tenant)
+        stats.requests += 1
+        if reason == "quota":
+            stats.rejected_quota += 1
+        else:
+            stats.rejected_queue += 1
+        telemetry.counter("serve.rejections").inc()
+        obs.record_request(tenant, 0.0, f"rejected_{reason}")
+
+    # -- submission --------------------------------------------------------
+
+    async def submit(self, request: Request, *, strict: bool = False) -> Response:
+        """Admit, coalesce, execute, and answer one request.
+
+        Returns the :class:`Response` (rejections included).  With
+        ``strict=True`` a rejection raises :class:`QuotaExceeded` /
+        :class:`QueueSaturated` instead of returning.
+        """
+        if self._closed:
+            raise ServeError("submit() on a stopped StencilService")
+        loop = asyncio.get_running_loop()
+        now = self._clock()
+        telemetry.counter("serve.requests").inc()
+
+        admitted, retry_after = self._quota.try_acquire(request.tenant, now)
+        if not admitted:
+            self._account_reject(request.tenant, "quota")
+            response = Response(
+                request_id=request.request_id,
+                tenant=request.tenant,
+                status=STATUS_REJECTED,
+                reason="quota",
+                retry_after=retry_after,
+            )
+            if strict:
+                raise QuotaExceeded(
+                    f"tenant {request.tenant!r} exhausted its token bucket",
+                    retry_after=retry_after,
+                )
+            return response
+
+        if self._queued >= self.config.max_queue_depth:
+            retry_after = self.config.coalesce_window_s
+            self._account_reject(request.tenant, "queue")
+            response = Response(
+                request_id=request.request_id,
+                tenant=request.tenant,
+                status=STATUS_REJECTED,
+                reason="queue",
+                retry_after=retry_after,
+            )
+            if strict:
+                raise QueueSaturated(
+                    f"request queue saturated at depth {self._queued}",
+                    retry_after=retry_after,
+                )
+            return response
+
+        kernel = self._intern(request.kernel)
+        fusion = self._fusion_for(kernel, request.fusion)
+        key = coalesce_key(request, kernel, fusion.depth)
+        future: "asyncio.Future" = loop.create_future()
+
+        batch = self._pending.get(key)
+        if batch is None:
+            batch = self._pending[key] = _PendingBatch(fusion=fusion)
+            batch.timer = self._spawn(self._flush_after_window(key))
+        batch.add(request, future, now)
+        self._queued += 1
+        self._queue_peak = max(self._queue_peak, self._queued)
+        if len(batch) >= self.config.max_batch:
+            self._trigger_flush(key)
+
+        response = await future
+        if strict and response.rejected:  # pragma: no cover - defensive
+            raise ServeError(f"request rejected mid-flight: {response.reason}")
+        return response
+
+    # -- coalescing & flush ------------------------------------------------
+
+    def _spawn(self, coro) -> "asyncio.Task":
+        task = asyncio.get_running_loop().create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    async def _flush_after_window(self, key: tuple) -> None:
+        window = self.config.coalesce_window_s
+        if window > 0.0:
+            await asyncio.sleep(window)
+        await self._flush(key)
+
+    def _trigger_flush(self, key: tuple) -> None:
+        batch = self._pending.get(key)
+        if batch is not None and batch.timer is not None:
+            batch.timer.cancel()
+            batch.timer = None
+        self._spawn(self._flush(key))
+
+    def _route(self, plan_tuple: tuple) -> Tuple[_Lane, bool]:
+        """The lane owning ``plan_tuple``, else the least-loaded lane."""
+        for lane in self._lanes:
+            if plan_tuple in lane.plans:
+                self._affinity_hits += 1
+                return lane, True
+        lane = min(self._lanes, key=lambda l: (l.inflight, len(l.plans), l.index))
+        lane.plans.add(plan_tuple)
+        self._affinity_misses += 1
+        return lane, False
+
+    def _execute(self, key, fusion: FusionPlan, arrays: List[np.ndarray]):
+        """Lane-thread body: one stacked pass over the coalesced batch."""
+        from repro.runtime import execute_batch, plan_for
+
+        kernel = self._kernel_by_id[key.kernel_id]
+        with telemetry.span(
+            "serve.batch",
+            kernel=kernel.name,
+            shape=key.grid_shape,
+            steps=key.steps,
+            batch=len(arrays),
+        ):
+            plan = plan_for(kernel, key.grid_shape, key.boundary, fusion)
+            stacked = np.stack(arrays)
+            out = execute_batch(
+                plan,
+                stacked,
+                steps=key.steps,
+                fill_value=key.fill_value,
+                backend=self.config.backend,
+            )
+        return [out[i] for i in range(out.shape[0])]
+
+    async def _flush(self, key: tuple) -> None:
+        batch = self._pending.pop(key, None)
+        if batch is None:
+            return
+        lane, affinity_hit = self._route(key.plan_tuple)
+        n = len(batch)
+        lane.inflight += n
+        loop = asyncio.get_running_loop()
+        error: Optional[BaseException] = None
+        outputs: List[np.ndarray] = []
+        arrays = [request.data for request in batch.requests]
+        try:
+            outputs = await loop.run_in_executor(
+                lane.pool, self._execute, key, batch.fusion, arrays
+            )
+        except (ServeError, ValueError, TypeError, KeyError, RuntimeError) as exc:
+            error = exc
+            _log.warning(
+                "serve: batched pass failed for %s (%s: %s)",
+                key.kernel_name, type(exc).__name__, exc,
+            )
+        finally:
+            lane.inflight -= n
+        lane.batches += 1
+        end = self._clock()
+        self._batches += 1
+        self._batched_requests += n
+        self._max_batch = max(self._max_batch, n)
+        telemetry.counter("serve.batches").inc()
+        obs.record_serve_batch(n, self._queued, affinity_hit)
+        for position, (request, future, t0) in enumerate(
+            zip(batch.requests, batch.futures, batch.enqueued_at)
+        ):
+            self._queued -= 1
+            if future.done():
+                continue
+            if error is not None:
+                future.set_exception(error)
+                continue
+            latency = end - t0
+            self._account_ok(request.tenant, latency)
+            future.set_result(
+                Response(
+                    request_id=request.request_id,
+                    tenant=request.tenant,
+                    status=STATUS_OK,
+                    data=outputs[position],
+                    batch_size=n,
+                    lane=lane.index,
+                    affinity_hit=affinity_hit,
+                    latency_s=latency,
+                )
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Flush every pending batch and wait for in-flight work."""
+        for key in list(self._pending):
+            self._trigger_flush(key)
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    async def stop(self) -> None:
+        """Drain, then release the lanes (idempotent)."""
+        if self._closed:
+            return
+        await self.drain()
+        self._closed = True
+        for lane in self._lanes:
+            lane.pool.shutdown(wait=True)
+
+    async def __aenter__(self) -> "StencilService":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-able service statistics (tenants, coalescing, routing)."""
+        total = self._affinity_hits + self._affinity_misses
+        return {
+            "queued": self._queued,
+            "queue_peak": self._queue_peak,
+            "batches": self._batches,
+            "batched_requests": self._batched_requests,
+            "mean_batch": (
+                self._batched_requests / self._batches if self._batches else 0.0
+            ),
+            "max_batch": self._max_batch,
+            "affinity_hits": self._affinity_hits,
+            "affinity_misses": self._affinity_misses,
+            "affinity_hit_rate": (self._affinity_hits / total) if total else 0.0,
+            "lanes": [
+                {
+                    "index": lane.index,
+                    "plans": len(lane.plans),
+                    "batches": lane.batches,
+                }
+                for lane in self._lanes
+            ],
+            "tenants": {
+                tenant: stats.to_dict()
+                for tenant, stats in sorted(self._tenants.items())
+            },
+        }

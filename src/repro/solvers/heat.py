@@ -16,6 +16,7 @@ from repro.core.api import ConvStencil
 from repro.errors import ReproError
 from repro.stencils.grid import BoundaryCondition
 from repro.stencils.kernel import StencilKernel
+from repro.utils.deprecation import shim_positional
 
 __all__ = ["HeatSolver"]
 
@@ -48,11 +49,35 @@ class HeatSolver:
     def run(
         self,
         field: np.ndarray,
-        steps: int,
-        boundary: BoundaryCondition | str = BoundaryCondition.CONSTANT,
-        fill_value: float = 0.0,
+        *args,
+        steps: int | None = None,
+        boundary: BoundaryCondition | str | None = None,
+        fill_value: float | None = None,
     ) -> np.ndarray:
-        """Advance ``steps`` diffusion steps."""
+        """Advance ``steps`` diffusion steps.
+
+        Everything past ``field`` is keyword-only: ``run(u, steps=100,
+        boundary="periodic")``.  (Legacy positional arguments warn for one
+        release.)
+        """
+        if args:
+            merged = shim_positional(
+                "HeatSolver.run",
+                ("steps", "boundary", "fill_value"),
+                args,
+                {"steps": steps, "boundary": boundary, "fill_value": fill_value},
+            )
+            steps = merged["steps"]
+            boundary = merged["boundary"]
+            fill_value = merged["fill_value"]
+        if steps is None:
+            raise TypeError(
+                "HeatSolver.run() missing required keyword argument: 'steps'"
+            )
+        boundary = (
+            BoundaryCondition.CONSTANT if boundary is None else boundary
+        )
+        fill_value = 0.0 if fill_value is None else fill_value
         field = np.asarray(field, dtype=np.float64)
         if field.ndim != self.ndim:
             raise ReproError(f"{self.ndim}-D solver given a {field.ndim}-D field")
@@ -61,7 +86,7 @@ class HeatSolver:
             fusion_depth=self.fusion_depth, shape=field.shape,
         ):
             out = self._engine.run(
-                field, steps, boundary=boundary, fill_value=fill_value
+                field, steps=steps, boundary=boundary, fill_value=fill_value
             )
         if telemetry.enabled():
             telemetry.counter("solver.heat.steps").inc(steps)

@@ -93,7 +93,7 @@ class JacobiPoisson:
             "jacobi.solve", shape=f.shape, tol=self.tol
         ) as solve_span:
             for it in range(1, self.max_iterations + 1):
-                swept = self._engine.run(u, 1)  # neighbour mean (interior-correct)
+                swept = self._engine.run(u, steps=1)  # neighbour mean (interior-correct)
                 u_next = swept - 0.25 * f
                 _impose_boundary(u_next, boundary_values)
                 u = u_next

@@ -101,7 +101,7 @@ class MultigridPoisson:
 
     def restrict(self, fine: np.ndarray) -> np.ndarray:
         """Full-weighting restriction onto the 2×-coarser grid."""
-        weighted = self._restrict.run(fine, 1)
+        weighted = self._restrict.run(fine, steps=1)
         coarse = weighted[::2, ::2].copy()
         coarse[0, :] = coarse[-1, :] = coarse[:, 0] = coarse[:, -1] = 0.0
         return coarse
@@ -124,7 +124,7 @@ class MultigridPoisson:
 
     def _smooth(self, u: np.ndarray, f: np.ndarray, sweeps: int) -> np.ndarray:
         for _ in range(sweeps):
-            jac = self._sweep.run(u, 1) - 0.25 * f
+            jac = self._sweep.run(u, steps=1) - 0.25 * f
             u = (1.0 - self.omega) * u + self.omega * jac
             u[0, :] = u[-1, :] = u[:, 0] = u[:, -1] = 0.0
         return u

@@ -57,7 +57,7 @@ class LeapfrogWave:
         u0 = np.asarray(displacement, dtype=np.float64)
         if u0.ndim != 2:
             raise ReproError(f"expected a 2-D displacement field, got {u0.ndim}-D")
-        lap = self._laplacian.run(u0, 1)
+        lap = self._laplacian.run(u0, steps=1)
         c2 = self.courant**2
         v = np.zeros_like(u0) if velocity is None else np.asarray(velocity, dtype=np.float64)
         if v.shape != u0.shape:
@@ -77,7 +77,7 @@ class LeapfrogWave:
             spatial_order=self.spatial_order, shape=self.curr.shape,
         ):
             for _ in range(n):
-                lap = self._laplacian.run(self.curr, 1)
+                lap = self._laplacian.run(self.curr, steps=1)
                 nxt = 2.0 * self.curr - self.prev + c2 * lap
                 self.prev, self.curr = self.curr, nxt
         if telemetry.enabled():

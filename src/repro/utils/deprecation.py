@@ -8,9 +8,9 @@ from __future__ import annotations
 
 import threading
 import warnings
-from typing import Set
+from typing import Any, Dict, Sequence, Set, Tuple
 
-__all__ = ["reset_warned", "warn_once"]
+__all__ = ["reset_warned", "shim_positional", "warn_once"]
 
 _lock = threading.Lock()
 _warned: Set[str] = set()
@@ -35,3 +35,44 @@ def reset_warned() -> None:
     """Forget every emitted key (test isolation)."""
     with _lock:
         _warned.clear()
+
+
+def shim_positional(
+    api: str,
+    names: Sequence[str],
+    legacy: Tuple[Any, ...],
+    current: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Absorb legacy positional arguments into their keyword slots.
+
+    The one-release compatibility shim behind the keyword-only API
+    redesign: a method declares ``def run(self, grid, *args, steps=None,
+    ...)`` and routes ``args`` through here.  ``names`` lists the keyword
+    slots in their legacy positional order; ``current`` maps each slot to
+    the explicitly passed keyword value (``None`` meaning absent).
+
+    Returns the merged mapping.  Emits one ``DeprecationWarning`` per
+    ``api`` per process; raises ``TypeError`` for too many positionals or
+    a slot supplied both ways — the same errors the real keyword-only
+    signature will produce once the shim is dropped.
+    """
+    merged = dict(current)
+    if not legacy:
+        return merged
+    if len(legacy) > len(names):
+        raise TypeError(
+            f"{api}() takes at most {len(names)} deprecated positional "
+            f"argument(s) ({', '.join(names)}); got {len(legacy)}"
+        )
+    shown = ", ".join(f"{n}=..." for n in names[: len(legacy)])
+    warn_once(
+        f"{api}:positional",
+        f"{api}: passing {', '.join(names[:len(legacy)])} positionally is "
+        f"deprecated and will become an error; use keywords ({api}(x, {shown}))",
+        stacklevel=4,
+    )
+    for name, value in zip(names, legacy):
+        if merged.get(name) is not None:
+            raise TypeError(f"{api}() got multiple values for argument {name!r}")
+        merged[name] = value
+    return merged

@@ -298,20 +298,20 @@ def _execute_case(case: Case, kernel: StencilKernel, backend, data: np.ndarray):
     bc = case.boundary
     fill = case.fill_value
     if case.layout == "array":
-        return cs.run(data, case.steps, boundary=bc, fill_value=fill)
+        return cs.run(data, steps=case.steps, boundary=bc, fill_value=fill)
     if case.layout == "grid":
-        return cs.run(Grid(data, boundary=bc, fill_value=fill), case.steps)
+        return cs.run(Grid(data, boundary=bc, fill_value=fill), steps=case.steps)
     if case.layout == "batch-array":
-        return cs.run_batch(data, case.steps, boundary=bc, fill_value=fill)
+        return cs.run_batch(data, steps=case.steps, boundary=bc, fill_value=fill)
     if case.layout == "batch-list":
         return cs.run_batch(
-            [g for g in data], case.steps, boundary=bc, fill_value=fill
+            [g for g in data], steps=case.steps, boundary=bc, fill_value=fill
         )
     if case.layout == "batch-grid":
-        return cs.run_batch(Grid(data, boundary=bc, fill_value=fill), case.steps)
+        return cs.run_batch(Grid(data, boundary=bc, fill_value=fill), steps=case.steps)
     if case.layout == "batch-grid-list":
         return cs.run_batch(
-            [Grid(g, boundary=bc, fill_value=fill) for g in data], case.steps
+            [Grid(g, boundary=bc, fill_value=fill) for g in data], steps=case.steps
         )
     raise ValueError(f"unknown layout {case.layout!r}")
 

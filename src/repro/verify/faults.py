@@ -28,7 +28,7 @@ Typical use::
     from repro.verify import faults
 
     with faults.assert_no_leaked_shm(), faults.inject("worker"):
-        out = ConvStencil(kernel, backend=tiled).run(x, steps)
+        out = ConvStencil(kernel, backend=tiled).run(x, steps=steps)
     np.testing.assert_array_equal(out, serial_out)   # identical bits
 """
 

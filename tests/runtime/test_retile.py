@@ -1,0 +1,80 @@
+"""Plan tile geometry is a dispatch-time property, not a cached one.
+
+Regression tests for the plan-cache tile hazard: ``plan_key`` never
+included a tile count, yet cached plans used to bake the building
+backend's pool size into ``PassPlan.tiles`` — so two executors with
+different worker counts sharing the plan cache could silently reuse each
+other's geometry.  Plans now carry the trivial single-tile decomposition
+and every backend derives its own bounds via the memoised
+:func:`~repro.runtime.plan.tile_bounds`.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ConvStencil, get_kernel
+from repro.runtime.cache import get_plan_cache
+from repro.runtime.execute import plan_for
+from repro.runtime.plan import tile_bounds
+from repro.runtime.tiled import TiledBackend
+from repro.utils.rng import default_rng
+
+
+@pytest.fixture
+def rng():
+    return default_rng(4)
+
+
+class TestCachedPlansAreTileNeutral:
+    def test_cached_plan_carries_single_tile(self):
+        kernel = get_kernel("heat-2d")
+        plan = plan_for(kernel, (64, 64))
+        for pp in (plan.fused_pass, plan.base_pass):
+            assert pp.tiles == ((0, 64),)
+
+    def test_lanes_with_different_pool_sizes_share_one_plan(self, rng):
+        kernel = get_kernel("heat-2d")
+        x = rng.random((64, 64))
+        cache = get_plan_cache()
+        two = TiledBackend(workers=2, use_processes=False)
+        four = TiledBackend(workers=4, use_processes=False)
+        try:
+            cs2 = ConvStencil(kernel, backend=two)
+            cs4 = ConvStencil(kernel, backend=four)
+            before = cache.stats["misses"]
+            out2 = cs2.run(x, steps=3)
+            out4 = cs4.run(x, steps=3)
+            # One plan build serves both pool sizes...
+            assert cache.stats["misses"] == before + 1
+        finally:
+            two.close()
+            four.close()
+        # ...and both geometries produce bit-identical results.
+        serial = ConvStencil(kernel).run(x, steps=3)
+        np.testing.assert_array_equal(out2, serial)
+        np.testing.assert_array_equal(out4, serial)
+
+    def test_backend_derives_bounds_for_its_own_width(self):
+        kernel = get_kernel("heat-2d")
+        plan = plan_for(kernel, (64, 64))
+        pp = plan.fused_pass
+        backend = TiledBackend(workers=4, use_processes=False, min_rows_per_tile=1)
+        try:
+            bounds = backend._bounds(pp, 64)
+        finally:
+            backend.close()
+        assert len(bounds) == 4
+        assert bounds[0][0] == 0 and bounds[-1][1] == 64
+        # The cached plan itself is untouched.
+        assert pp.tiles == ((0, 64),)
+
+
+class TestTileBoundsMemoised:
+    def test_same_arguments_return_the_same_object(self):
+        a = tile_bounds(128, 4, 2)
+        b = tile_bounds(128, 4, 2)
+        assert a is b  # lru_cache hit
+
+    def test_distinct_arguments_distinct_partitions(self):
+        assert tile_bounds(128, 2) != tile_bounds(128, 4)
+        assert len(tile_bounds(128, 4)) == 4

@@ -1,0 +1,70 @@
+"""Token-bucket quota behaviour (deterministic: time is injected)."""
+
+import math
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import ServeConfig, TenantQuota
+from repro.serve.quota import QuotaLedger, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_reject_with_retry_after(self):
+        bucket = TokenBucket(TenantQuota(rate=10.0, burst=3.0), now=0.0)
+        assert all(bucket.try_acquire(0.0)[0] for _ in range(3))
+        admitted, retry_after = bucket.try_acquire(0.0)
+        assert not admitted
+        assert retry_after == pytest.approx(0.1)  # 1 token / 10 per second
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(TenantQuota(rate=10.0, burst=2.0), now=0.0)
+        assert bucket.try_acquire(0.0)[0]
+        assert bucket.try_acquire(0.0)[0]
+        assert not bucket.try_acquire(0.0)[0]
+        assert bucket.try_acquire(0.1)[0]  # one token back after 100ms
+        assert not bucket.try_acquire(0.1)[0]
+
+    def test_never_exceeds_burst(self):
+        bucket = TokenBucket(TenantQuota(rate=100.0, burst=2.0), now=0.0)
+        assert bucket.available(1e6) == pytest.approx(2.0)
+
+    def test_unlimited_never_rejects(self):
+        bucket = TokenBucket(TenantQuota(), now=0.0)
+        assert all(bucket.try_acquire(0.0)[0] for _ in range(10_000))
+
+    def test_clock_going_backwards_does_not_refill(self):
+        bucket = TokenBucket(TenantQuota(rate=10.0, burst=1.0), now=5.0)
+        assert bucket.try_acquire(5.0)[0]
+        assert not bucket.try_acquire(4.0)[0]
+
+
+class TestQuotaValidation:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ServeError):
+            TenantQuota(rate=0.0)
+
+    def test_rejects_sub_one_burst(self):
+        with pytest.raises(ServeError):
+            TenantQuota(burst=0.5)
+
+    def test_default_is_unlimited(self):
+        assert TenantQuota().unlimited
+        assert not TenantQuota(rate=1.0).unlimited
+        assert math.isinf(TenantQuota().rate)
+
+
+class TestQuotaLedger:
+    def test_buckets_are_per_tenant(self):
+        ledger = QuotaLedger(lambda tenant: TenantQuota(rate=10.0, burst=1.0))
+        assert ledger.try_acquire("a", 0.0)[0]
+        assert not ledger.try_acquire("a", 0.0)[0]
+        assert ledger.try_acquire("b", 0.0)[0]  # b has its own bucket
+
+    def test_heterogeneous_quotas_via_config(self):
+        config = ServeConfig(
+            quota={"gold": TenantQuota(rate=100.0, burst=50.0)},
+            default_quota=TenantQuota(rate=1.0, burst=1.0),
+        )
+        assert config.quota_for("gold").burst == 50.0
+        assert config.quota_for("anyone-else").burst == 1.0

@@ -1,0 +1,436 @@
+"""StencilService behaviour: coalescing, identity, routing, admission."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import ConvStencil, get_kernel
+from repro.errors import QueueSaturated, QuotaExceeded, ServeError
+from repro.serve import (
+    Request,
+    ServeConfig,
+    StencilService,
+    TenantQuota,
+    TraceSpec,
+    generate_trace,
+    replay,
+)
+from repro.utils.rng import default_rng
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+class TestRequestValidation:
+    def test_requires_kernel_and_data(self):
+        with pytest.raises(ServeError):
+            Request("acme")
+        with pytest.raises(ServeError):
+            Request("acme", kernel=get_kernel("heat-2d"))
+
+    def test_dimensionality_checked(self):
+        with pytest.raises(ServeError):
+            Request("acme", kernel=get_kernel("heat-2d"), data=np.zeros(8))
+
+    def test_coerces_data_and_boundary(self):
+        request = Request(
+            "acme",
+            kernel=get_kernel("heat-2d"),
+            data=np.zeros((4, 4), dtype=np.float32),
+            boundary="periodic",
+        )
+        assert request.data.dtype == np.float64
+        assert request.boundary.value == "periodic"
+        assert request.grid_shape == (4, 4)
+
+
+class TestCoalescing:
+    def test_same_key_requests_share_one_batch(self, rng):
+        kernel = get_kernel("heat-2d")
+
+        async def scenario():
+            async with StencilService(
+                ServeConfig(lanes=1, coalesce_window_ms=20.0)
+            ) as service:
+                requests = [
+                    Request("t", kernel=kernel, data=rng.random((8, 8)), steps=2)
+                    for _ in range(5)
+                ]
+                return await asyncio.gather(
+                    *(service.submit(r) for r in requests)
+                )
+
+        responses = run_async(scenario())
+        assert all(r.ok for r in responses)
+        assert {r.batch_size for r in responses} == {5}
+        assert len({r.lane for r in responses}) == 1
+
+    def test_different_steps_do_not_coalesce(self, rng):
+        kernel = get_kernel("heat-2d")
+
+        async def scenario():
+            async with StencilService(ServeConfig(lanes=1)) as service:
+                a = Request("t", kernel=kernel, data=rng.random((8, 8)), steps=1)
+                b = Request("t", kernel=kernel, data=rng.random((8, 8)), steps=2)
+                return await asyncio.gather(service.submit(a), service.submit(b))
+
+        ra, rb = run_async(scenario())
+        assert ra.batch_size == 1 and rb.batch_size == 1
+
+    def test_max_batch_triggers_immediate_flush(self, rng):
+        kernel = get_kernel("heat-2d")
+
+        async def scenario():
+            # Huge window: only the max_batch=3 trigger can flush quickly.
+            config = ServeConfig(lanes=1, coalesce_window_ms=5000.0, max_batch=3)
+            async with StencilService(config) as service:
+                requests = [
+                    Request("t", kernel=kernel, data=rng.random((8, 8)), steps=1)
+                    for _ in range(3)
+                ]
+                return await asyncio.wait_for(
+                    asyncio.gather(*(service.submit(r) for r in requests)),
+                    timeout=30.0,
+                )
+
+        responses = run_async(scenario())
+        assert [r.batch_size for r in responses] == [3, 3, 3]
+
+    def test_equal_kernels_interned_to_one_plan(self, rng):
+        # get_kernel returns a fresh object per call; the service must
+        # fingerprint-intern them or nothing would ever coalesce.
+        async def scenario():
+            async with StencilService(
+                ServeConfig(lanes=1, coalesce_window_ms=20.0)
+            ) as service:
+                requests = [
+                    Request(
+                        "t",
+                        kernel=get_kernel("heat-2d"),
+                        data=rng.random((8, 8)),
+                        steps=1,
+                    )
+                    for _ in range(4)
+                ]
+                return await asyncio.gather(
+                    *(service.submit(r) for r in requests)
+                )
+
+        responses = run_async(scenario())
+        assert {r.batch_size for r in responses} == {4}
+
+
+class TestBitIdentity:
+    def test_coalesced_results_match_direct_run(self, rng):
+        kernel = get_kernel("box-2d9p")
+        grids = [rng.random((12, 12)) for _ in range(6)]
+
+        async def scenario():
+            async with StencilService(
+                ServeConfig(lanes=2, coalesce_window_ms=20.0)
+            ) as service:
+                requests = [
+                    Request(
+                        "t", kernel=kernel, data=g, steps=3, boundary="periodic"
+                    )
+                    for g in grids
+                ]
+                return await asyncio.gather(
+                    *(service.submit(r) for r in requests)
+                )
+
+        responses = run_async(scenario())
+        assert {r.batch_size for r in responses} == {6}
+        direct = ConvStencil(kernel)
+        for grid, response in zip(grids, responses):
+            expected = direct.run(grid, steps=3, boundary="periodic")
+            np.testing.assert_array_equal(response.data, expected)
+
+    def test_seeded_mixed_tenant_replay_is_bit_identical(self):
+        report = run_async(
+            _replay_with(TraceSpec(seed=7, requests=40), ServeConfig(lanes=2))
+        )
+        assert report["identity_ok"], report["mismatches"]
+        assert report["ok"] == 40
+        assert report["max_batch"] > 1  # the trace actually coalesced
+
+    def test_fused_requests_are_bit_identical(self, rng):
+        kernel = get_kernel("heat-2d")
+        grids = [rng.random((16, 16)) for _ in range(4)]
+
+        async def scenario():
+            async with StencilService(
+                ServeConfig(lanes=1, coalesce_window_ms=20.0)
+            ) as service:
+                requests = [
+                    Request(
+                        "t",
+                        kernel=kernel,
+                        data=g,
+                        steps=6,
+                        boundary="periodic",
+                        fusion=3,
+                    )
+                    for g in grids
+                ]
+                return await asyncio.gather(
+                    *(service.submit(r) for r in requests)
+                )
+
+        responses = run_async(scenario())
+        direct = ConvStencil(kernel, fusion=3)
+        for grid, response in zip(grids, responses):
+            np.testing.assert_array_equal(
+                response.data, direct.run(grid, steps=6, boundary="periodic")
+            )
+
+
+class TestQuotaRejection:
+    def test_over_quota_requests_get_429_style_response(self, rng):
+        kernel = get_kernel("heat-2d")
+        fake_now = [0.0]
+
+        async def scenario():
+            config = ServeConfig(quota=TenantQuota(rate=10.0, burst=2.0))
+            async with StencilService(
+                config, clock=lambda: fake_now[0]
+            ) as service:
+                requests = [
+                    Request("t", kernel=kernel, data=rng.random((8, 8)), steps=1)
+                    for _ in range(4)
+                ]
+                return await asyncio.gather(
+                    *(service.submit(r) for r in requests)
+                )
+
+        responses = run_async(scenario())
+        ok = [r for r in responses if r.ok]
+        rejected = [r for r in responses if r.rejected]
+        assert len(ok) == 2 and len(rejected) == 2
+        for r in rejected:
+            assert r.reason == "quota"
+            assert r.retry_after == pytest.approx(0.1)
+            assert r.data is None
+
+    def test_strict_mode_raises_quota_exceeded(self, rng):
+        kernel = get_kernel("heat-2d")
+
+        async def scenario():
+            config = ServeConfig(quota=TenantQuota(rate=1.0, burst=1.0))
+            async with StencilService(config, clock=lambda: 0.0) as service:
+                first = await service.submit(
+                    Request("t", kernel=kernel, data=rng.random((8, 8)))
+                )
+                assert first.ok
+                with pytest.raises(QuotaExceeded) as excinfo:
+                    await service.submit(
+                        Request("t", kernel=kernel, data=rng.random((8, 8))),
+                        strict=True,
+                    )
+                assert excinfo.value.retry_after > 0.0
+
+        run_async(scenario())
+
+    def test_quota_is_per_tenant(self, rng):
+        kernel = get_kernel("heat-2d")
+
+        async def scenario():
+            config = ServeConfig(quota=TenantQuota(rate=1.0, burst=1.0))
+            async with StencilService(config, clock=lambda: 0.0) as service:
+                a = await service.submit(
+                    Request("a", kernel=kernel, data=rng.random((8, 8)))
+                )
+                b = await service.submit(
+                    Request("b", kernel=kernel, data=rng.random((8, 8)))
+                )
+                a2 = await service.submit(
+                    Request("a", kernel=kernel, data=rng.random((8, 8)))
+                )
+                return a, b, a2
+
+        a, b, a2 = run_async(scenario())
+        assert a.ok and b.ok
+        assert a2.rejected and a2.reason == "quota"
+
+
+class TestBackpressure:
+    def test_saturated_queue_rejects_with_retry_after(self, rng):
+        kernel = get_kernel("heat-2d")
+
+        async def scenario():
+            # Window long enough that admitted requests stay queued while
+            # the over-limit submissions arrive.
+            config = ServeConfig(
+                lanes=1, coalesce_window_ms=200.0, max_queue_depth=3
+            )
+            async with StencilService(config) as service:
+                tasks = [
+                    asyncio.create_task(
+                        service.submit(
+                            Request(
+                                "t",
+                                kernel=kernel,
+                                data=rng.random((8, 8)),
+                                steps=1,
+                            )
+                        )
+                    )
+                    for _ in range(6)
+                ]
+                return await asyncio.gather(*tasks)
+
+        responses = run_async(scenario())
+        ok = [r for r in responses if r.ok]
+        rejected = [r for r in responses if r.rejected]
+        assert len(ok) == 3 and len(rejected) == 3
+        for r in rejected:
+            assert r.reason == "queue"
+            assert r.retry_after is not None and r.retry_after > 0.0
+
+    def test_strict_mode_raises_queue_saturated(self, rng):
+        kernel = get_kernel("heat-2d")
+
+        async def scenario():
+            config = ServeConfig(
+                lanes=1, coalesce_window_ms=200.0, max_queue_depth=1
+            )
+            async with StencilService(config) as service:
+                first = asyncio.create_task(
+                    service.submit(
+                        Request("t", kernel=kernel, data=rng.random((8, 8)))
+                    )
+                )
+                await asyncio.sleep(0)  # let the first request enqueue
+                with pytest.raises(QueueSaturated):
+                    await service.submit(
+                        Request("t", kernel=kernel, data=rng.random((8, 8))),
+                        strict=True,
+                    )
+                return await first
+
+        assert run_async(scenario()).ok
+
+
+class TestAffinityRouting:
+    def test_repeat_keys_stick_to_their_lane(self, rng):
+        kernel = get_kernel("heat-2d")
+
+        async def scenario():
+            async with StencilService(ServeConfig(lanes=2)) as service:
+                lanes = []
+                for _ in range(4):
+                    response = await service.submit(
+                        Request(
+                            "t", kernel=kernel, data=rng.random((8, 8)), steps=1
+                        )
+                    )
+                    lanes.append((response.lane, response.affinity_hit))
+                return lanes, service.stats()
+
+        lanes, stats = run_async(scenario())
+        assert len({lane for lane, _ in lanes}) == 1  # same lane throughout
+        assert [hit for _, hit in lanes] == [False, True, True, True]
+        assert stats["affinity_hits"] == 3
+        assert stats["affinity_misses"] == 1
+
+    def test_distinct_keys_spread_across_lanes(self, rng):
+        async def scenario():
+            async with StencilService(ServeConfig(lanes=2)) as service:
+                r1 = await service.submit(
+                    Request(
+                        "t",
+                        kernel=get_kernel("heat-2d"),
+                        data=rng.random((8, 8)),
+                        steps=1,
+                    )
+                )
+                r2 = await service.submit(
+                    Request(
+                        "t",
+                        kernel=get_kernel("box-2d9p"),
+                        data=rng.random((8, 8)),
+                        steps=1,
+                    )
+                )
+                return r1, r2
+
+        r1, r2 = run_async(scenario())
+        assert r1.lane != r2.lane
+
+
+class TestLifecycleAndStats:
+    def test_submit_after_stop_raises(self, rng):
+        kernel = get_kernel("heat-2d")
+
+        async def scenario():
+            service = StencilService(ServeConfig(lanes=1))
+            async with service:
+                await service.submit(
+                    Request("t", kernel=kernel, data=rng.random((8, 8)))
+                )
+            with pytest.raises(ServeError):
+                await service.submit(
+                    Request("t", kernel=kernel, data=rng.random((8, 8)))
+                )
+
+        run_async(scenario())
+
+    def test_stats_account_tenants_and_batches(self, rng):
+        kernel = get_kernel("heat-2d")
+
+        async def scenario():
+            async with StencilService(
+                ServeConfig(lanes=1, coalesce_window_ms=20.0)
+            ) as service:
+                await asyncio.gather(
+                    *(
+                        service.submit(
+                            Request(
+                                tenant,
+                                kernel=kernel,
+                                data=rng.random((8, 8)),
+                                steps=1,
+                            )
+                        )
+                        for tenant in ("a", "a", "b")
+                    )
+                )
+                return service.stats()
+
+        stats = run_async(scenario())
+        assert stats["batches"] == 1
+        assert stats["batched_requests"] == 3
+        assert stats["max_batch"] == 3
+        assert stats["queued"] == 0
+        assert stats["tenants"]["a"]["ok"] == 2
+        assert stats["tenants"]["b"]["ok"] == 1
+        assert stats["tenants"]["a"]["p99_s"] > 0.0
+
+
+class TestLoadgen:
+    def test_trace_is_deterministic(self):
+        spec = TraceSpec(seed=11, requests=10)
+        t1, t2 = generate_trace(spec), generate_trace(spec)
+        assert [r.request_id for r in t1] == [r.request_id for r in t2]
+        assert [r.tenant for r in t1] == [r.tenant for r in t2]
+        for a, b in zip(t1, t2):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_different_seed_different_trace(self):
+        t1 = generate_trace(TraceSpec(seed=1, requests=10))
+        t2 = generate_trace(TraceSpec(seed=2, requests=10))
+        assert any(
+            not np.array_equal(a.data, b.data) for a, b in zip(t1, t2)
+        )
+
+
+async def _replay_with(spec, config):
+    async with StencilService(config) as service:
+        return await replay(service, generate_trace(spec), waves=1)
+
+
+@pytest.fixture
+def rng():
+    return default_rng(99)
