@@ -47,31 +47,28 @@ class StencilBaseline(abc.ABC):
         data: np.ndarray,
         kernel: StencilKernel,
         *args,
-        steps: int = 1,
+        steps: int | None = None,
         boundary: BoundaryCondition | str | None = None,
         fill_value: float | None = None,
     ) -> np.ndarray:
-        """Advance ``steps`` time steps from ``data``.
+        """Advance ``steps`` (default 1) time steps from ``data``.
 
         Everything past ``kernel`` is keyword-only: ``run(x, k, steps=4)``.
         (Legacy positional arguments warn for one release.)
         """
         if args:
+            # ``None`` is the absent sentinel, so run(x, k, 5, steps=1)
+            # raises TypeError exactly as the keyword-only signature will.
             merged = shim_positional(
                 f"{type(self).__name__}.run",
                 ("steps", "boundary", "fill_value"),
                 args,
-                # steps defaults to 1 rather than None; treat the default as
-                # absent so a legacy positional value can claim the slot.
-                {
-                    "steps": None if steps == 1 else steps,
-                    "boundary": boundary,
-                    "fill_value": fill_value,
-                },
+                {"steps": steps, "boundary": boundary, "fill_value": fill_value},
             )
-            steps = 1 if merged["steps"] is None else merged["steps"]
+            steps = merged["steps"]
             boundary = merged["boundary"]
             fill_value = merged["fill_value"]
+        steps = 1 if steps is None else steps
         boundary = BoundaryCondition.CONSTANT if boundary is None else boundary
         fill_value = 0.0 if fill_value is None else fill_value
         if steps < 0:

@@ -72,6 +72,14 @@ class ServeConfig:
     slo_ms:
         Per-request latency budget for SLO breach accounting; ``None``
         falls back to the obs layer's ``REPRO_OBS_SLO_MS``.
+    max_interned_kernels:
+        LRU bound on distinct kernels the service interns (fingerprints
+        keyed by full weight bytes).  Evicting a kernel also drops its
+        fusion-plan cache entries and lane plan-affinity marks, so a
+        long-lived service seeing many distinct kernels stays bounded.
+    max_tenant_stats:
+        LRU bound on per-tenant latency/SLO accounting entries; the
+        least-recently-active tenant's stats are dropped past the bound.
     """
 
     lanes: int = 2
@@ -84,6 +92,8 @@ class ServeConfig:
     default_quota: TenantQuota = field(default_factory=TenantQuota)
     backend: Optional[object] = None
     slo_ms: Optional[float] = None
+    max_interned_kernels: int = 256
+    max_tenant_stats: int = 4096
 
     def __post_init__(self) -> None:
         if self.lanes < 1:
@@ -100,6 +110,14 @@ class ServeConfig:
             )
         if self.slo_ms is not None and self.slo_ms <= 0.0:
             raise ServeError(f"slo_ms must be positive, got {self.slo_ms}")
+        if self.max_interned_kernels < 1:
+            raise ServeError(
+                f"max_interned_kernels must be >= 1, got {self.max_interned_kernels}"
+            )
+        if self.max_tenant_stats < 1:
+            raise ServeError(
+                f"max_tenant_stats must be >= 1, got {self.max_tenant_stats}"
+            )
 
     def quota_for(self, tenant: str) -> TenantQuota:
         """The token bucket configuration governing ``tenant``."""

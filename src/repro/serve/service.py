@@ -31,6 +31,7 @@ from __future__ import annotations
 import asyncio
 import time
 import threading
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
@@ -108,8 +109,13 @@ class _TenantStats:
 
 @dataclass
 class _PendingBatch:
-    """Requests accumulated for one coalesce key awaiting flush."""
+    """Requests accumulated for one coalesce key awaiting flush.
 
+    Holds its own reference to the interned kernel so an in-flight batch
+    survives the kernel being LRU-evicted from the interning map.
+    """
+
+    kernel: StencilKernel
     fusion: FusionPlan
     requests: List[Request] = field(default_factory=list)
     futures: List["asyncio.Future"] = field(default_factory=list)
@@ -150,11 +156,13 @@ class StencilService:
         self._quota = QuotaLedger(self.config.quota_for)
         self._pending: Dict[tuple, _PendingBatch] = {}
         self._tasks: Set["asyncio.Task"] = set()
-        self._kernels: Dict[tuple, StencilKernel] = {}
-        self._kernel_by_id: Dict[int, StencilKernel] = {}
-        self._fusion_cache: Dict[tuple, FusionPlan] = {}
+        # LRU-bounded service-lifetime maps (config.max_interned_kernels /
+        # max_tenant_stats): a long-lived multi-tenant service must not
+        # accumulate unbounded kernels, fusion plans, or tenant stats.
+        self._kernels: "OrderedDict[tuple, StencilKernel]" = OrderedDict()
+        self._fusion_cache: "OrderedDict[tuple, FusionPlan]" = OrderedDict()
         self._intern_lock = threading.Lock()
-        self._tenants: Dict[str, _TenantStats] = {}
+        self._tenants: "OrderedDict[str, _TenantStats]" = OrderedDict()
         self._queued = 0
         self._queue_peak = 0
         self._batches = 0
@@ -171,7 +179,10 @@ class StencilService:
 
         Plan keys hash kernels by identity, so two requests carrying
         equal-but-distinct kernel objects must converge on one instance
-        before they can share a plan (and a coalesced batch).
+        before they can share a plan (and a coalesced batch).  The map is
+        LRU-bounded; evicting a kernel prunes its fusion-plan entries and
+        lane plan-affinity marks (pending batches keep their own kernel
+        reference, so in-flight work is unaffected).
         """
         weights = np.ascontiguousarray(kernel.weights, dtype=np.float64)
         fingerprint = (
@@ -184,8 +195,20 @@ class StencilService:
             interned = self._kernels.get(fingerprint)
             if interned is None:
                 interned = self._kernels[fingerprint] = kernel
-                self._kernel_by_id[id(kernel)] = kernel
+                while len(self._kernels) > self.config.max_interned_kernels:
+                    _, evicted = self._kernels.popitem(last=False)
+                    self._forget_kernel(evicted)
+            else:
+                self._kernels.move_to_end(fingerprint)
             return interned
+
+    def _forget_kernel(self, kernel: StencilKernel) -> None:
+        """Drop every serving-layer trace of an evicted interned kernel."""
+        kernel_id = id(kernel)
+        for key in [k for k in self._fusion_cache if k[0] == kernel_id]:
+            del self._fusion_cache[key]
+        for lane in self._lanes:
+            lane.plans = {p for p in lane.plans if p[0] != kernel_id}
 
     def _fusion_for(self, kernel: StencilKernel, fusion) -> FusionPlan:
         if isinstance(fusion, FusionPlan):
@@ -194,6 +217,12 @@ class StencilService:
         plan = self._fusion_cache.get(key)
         if plan is None:
             plan = self._fusion_cache[key] = plan_fusion(kernel, fusion)
+            # Belt over the eviction braces: a handful of fusion specs per
+            # live interned kernel is the expected ceiling.
+            while len(self._fusion_cache) > 8 * self.config.max_interned_kernels:
+                self._fusion_cache.popitem(last=False)
+        else:
+            self._fusion_cache.move_to_end(key)
         return plan
 
     # -- accounting --------------------------------------------------------
@@ -202,6 +231,10 @@ class StencilService:
         stats = self._tenants.get(tenant)
         if stats is None:
             stats = self._tenants[tenant] = _TenantStats()
+            while len(self._tenants) > self.config.max_tenant_stats:
+                self._tenants.popitem(last=False)
+        else:
+            self._tenants.move_to_end(tenant)
         return stats
 
     def _slo_seconds(self) -> Optional[float]:
@@ -246,23 +279,9 @@ class StencilService:
         now = self._clock()
         telemetry.counter("serve.requests").inc()
 
-        admitted, retry_after = self._quota.try_acquire(request.tenant, now)
-        if not admitted:
-            self._account_reject(request.tenant, "quota")
-            response = Response(
-                request_id=request.request_id,
-                tenant=request.tenant,
-                status=STATUS_REJECTED,
-                reason="quota",
-                retry_after=retry_after,
-            )
-            if strict:
-                raise QuotaExceeded(
-                    f"tenant {request.tenant!r} exhausted its token bucket",
-                    retry_after=retry_after,
-                )
-            return response
-
+        # Queue depth is checked before the token bucket so a request the
+        # service cannot even enqueue does not burn quota — tenants must
+        # not be double-penalised during backpressure.
         if self._queued >= self.config.max_queue_depth:
             retry_after = self.config.coalesce_window_s
             self._account_reject(request.tenant, "queue")
@@ -280,6 +299,23 @@ class StencilService:
                 )
             return response
 
+        admitted, retry_after = self._quota.try_acquire(request.tenant, now)
+        if not admitted:
+            self._account_reject(request.tenant, "quota")
+            response = Response(
+                request_id=request.request_id,
+                tenant=request.tenant,
+                status=STATUS_REJECTED,
+                reason="quota",
+                retry_after=retry_after,
+            )
+            if strict:
+                raise QuotaExceeded(
+                    f"tenant {request.tenant!r} exhausted its token bucket",
+                    retry_after=retry_after,
+                )
+            return response
+
         kernel = self._intern(request.kernel)
         fusion = self._fusion_for(kernel, request.fusion)
         key = coalesce_key(request, kernel, fusion.depth)
@@ -287,7 +323,7 @@ class StencilService:
 
         batch = self._pending.get(key)
         if batch is None:
-            batch = self._pending[key] = _PendingBatch(fusion=fusion)
+            batch = self._pending[key] = _PendingBatch(kernel=kernel, fusion=fusion)
             batch.timer = self._spawn(self._flush_after_window(key))
         batch.add(request, future, now)
         self._queued += 1
@@ -332,11 +368,16 @@ class StencilService:
         self._affinity_misses += 1
         return lane, False
 
-    def _execute(self, key, fusion: FusionPlan, arrays: List[np.ndarray]):
+    def _execute(
+        self,
+        key,
+        kernel: StencilKernel,
+        fusion: FusionPlan,
+        arrays: List[np.ndarray],
+    ):
         """Lane-thread body: one stacked pass over the coalesced batch."""
         from repro.runtime import execute_batch, plan_for
 
-        kernel = self._kernel_by_id[key.kernel_id]
         with telemetry.span(
             "serve.batch",
             kernel=kernel.name,
@@ -363,51 +404,65 @@ class StencilService:
         n = len(batch)
         lane.inflight += n
         loop = asyncio.get_running_loop()
-        error: Optional[BaseException] = None
+        error: Optional[Exception] = None
         outputs: List[np.ndarray] = []
         arrays = [request.data for request in batch.requests]
         try:
             outputs = await loop.run_in_executor(
-                lane.pool, self._execute, key, batch.fusion, arrays
+                lane.pool, self._execute, key, batch.kernel, batch.fusion, arrays
             )
-        except (ServeError, ValueError, TypeError, KeyError, RuntimeError) as exc:
+        except Exception as exc:
+            # Broad on purpose: whatever the execute path raises
+            # (ReproError subclasses like TessellationError/LayoutError/
+            # KernelError/StaticCheckError included) must become a
+            # per-request failure, never a stranded future.
             error = exc
             _log.warning(
                 "serve: batched pass failed for %s (%s: %s)",
                 key.kernel_name, type(exc).__name__, exc,
             )
         finally:
+            # Settle every future and release queue depth no matter how
+            # the pass ended — even cancellation — or submit() awaits
+            # forever and _queued leaks until the service rejects all
+            # traffic with 'queue'.
             lane.inflight -= n
-        lane.batches += 1
-        end = self._clock()
-        self._batches += 1
-        self._batched_requests += n
-        self._max_batch = max(self._max_batch, n)
-        telemetry.counter("serve.batches").inc()
-        obs.record_serve_batch(n, self._queued, affinity_hit)
-        for position, (request, future, t0) in enumerate(
-            zip(batch.requests, batch.futures, batch.enqueued_at)
-        ):
-            self._queued -= 1
-            if future.done():
-                continue
-            if error is not None:
-                future.set_exception(error)
-                continue
-            latency = end - t0
-            self._account_ok(request.tenant, latency)
-            future.set_result(
-                Response(
-                    request_id=request.request_id,
-                    tenant=request.tenant,
-                    status=STATUS_OK,
-                    data=outputs[position],
-                    batch_size=n,
-                    lane=lane.index,
-                    affinity_hit=affinity_hit,
-                    latency_s=latency,
+            lane.batches += 1
+            end = self._clock()
+            queued_at_flush = self._queued
+            if error is None and len(outputs) != n:
+                error = ServeError(
+                    f"batched pass for {key.kernel_name} produced "
+                    f"{len(outputs)} result(s) for {n} request(s)"
                 )
-            )
+            for position, (request, future, t0) in enumerate(
+                zip(batch.requests, batch.futures, batch.enqueued_at)
+            ):
+                self._queued -= 1
+                if future.done():
+                    continue
+                if error is not None:
+                    future.set_exception(error)
+                    continue
+                latency = end - t0
+                self._account_ok(request.tenant, latency)
+                future.set_result(
+                    Response(
+                        request_id=request.request_id,
+                        tenant=request.tenant,
+                        status=STATUS_OK,
+                        data=outputs[position],
+                        batch_size=n,
+                        lane=lane.index,
+                        affinity_hit=affinity_hit,
+                        latency_s=latency,
+                    )
+                )
+            self._batches += 1
+            self._batched_requests += n
+            self._max_batch = max(self._max_batch, n)
+            telemetry.counter("serve.batches").inc()
+            obs.record_serve_batch(n, queued_at_flush, affinity_hit)
 
     # -- lifecycle ---------------------------------------------------------
 

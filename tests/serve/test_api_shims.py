@@ -129,6 +129,26 @@ class TestSolverAndBaselineShims:
         assert any(issubclass(w.category, DeprecationWarning) for w in caught)
         np.testing.assert_array_equal(legacy, engine.run(x, kernel, steps=3))
 
+    def test_baseline_duplicate_steps_raises_type_error(self, rng):
+        engine = GemmConvStencil()
+        kernel = get_kernel("heat-2d")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            # steps=1 equals the default, but an explicit keyword must still
+            # conflict with the positional value, not silently lose to it.
+            with pytest.raises(TypeError, match="multiple values"):
+                engine.run(rng.random((8, 8)), kernel, 5, steps=1)
+            with pytest.raises(TypeError, match="multiple values"):
+                engine.run(rng.random((8, 8)), kernel, 5, steps=3)
+
+    def test_baseline_default_steps_is_one(self, rng):
+        engine = GemmConvStencil()
+        kernel = get_kernel("heat-2d")
+        x = rng.random((8, 8))
+        np.testing.assert_array_equal(
+            engine.run(x, kernel), engine.run(x, kernel, steps=1)
+        )
+
     def test_baseline_keyword_does_not_warn(self, rng):
         engine = GemmConvStencil()
         kernel = get_kernel("heat-2d")

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro import ConvStencil, get_kernel
-from repro.errors import QueueSaturated, QuotaExceeded, ServeError
+from repro.errors import QueueSaturated, QuotaExceeded, ServeError, TessellationError
 from repro.serve import (
     Request,
     ServeConfig,
@@ -289,6 +289,44 @@ class TestBackpressure:
             assert r.reason == "queue"
             assert r.retry_after is not None and r.retry_after > 0.0
 
+    def test_queue_rejection_does_not_burn_quota(self, rng):
+        kernel = get_kernel("heat-2d")
+
+        async def scenario():
+            # burst=2 with a frozen clock: exactly two requests may ever be
+            # admitted on quota.  The queue rejection in between must not
+            # spend the second token.
+            config = ServeConfig(
+                lanes=1,
+                coalesce_window_ms=200.0,
+                max_queue_depth=1,
+                quota=TenantQuota(rate=1.0, burst=2.0),
+            )
+            async with StencilService(config, clock=lambda: 0.0) as service:
+                first = asyncio.create_task(
+                    service.submit(
+                        Request("t", kernel=kernel, data=rng.random((8, 8)))
+                    )
+                )
+                await asyncio.sleep(0)  # let the first request enqueue
+                queue_rejected = await service.submit(
+                    Request("t", kernel=kernel, data=rng.random((8, 8)))
+                )
+                r1 = await first
+                after = await service.submit(
+                    Request("t", kernel=kernel, data=rng.random((8, 8)))
+                )
+                overflow = await service.submit(
+                    Request("t", kernel=kernel, data=rng.random((8, 8)))
+                )
+                return r1, queue_rejected, after, overflow
+
+        r1, queue_rejected, after, overflow = run_async(scenario())
+        assert r1.ok
+        assert queue_rejected.rejected and queue_rejected.reason == "queue"
+        assert after.ok  # the queue rejection left the second token intact
+        assert overflow.rejected and overflow.reason == "quota"
+
     def test_strict_mode_raises_queue_saturated(self, rng):
         kernel = get_kernel("heat-2d")
 
@@ -311,6 +349,105 @@ class TestBackpressure:
                 return await first
 
         assert run_async(scenario()).ok
+
+
+class TestExecuteFailure:
+    def test_repro_error_settles_every_future_and_releases_queue(self, rng):
+        kernel = get_kernel("heat-2d")
+
+        async def scenario():
+            async with StencilService(
+                ServeConfig(lanes=1, coalesce_window_ms=20.0)
+            ) as service:
+                def boom(key, kernel, fusion, arrays):
+                    raise TessellationError("injected plan failure")
+
+                service._execute = boom
+                requests = [
+                    Request("t", kernel=kernel, data=rng.random((8, 8)), steps=1)
+                    for _ in range(3)
+                ]
+                results = await asyncio.wait_for(
+                    asyncio.gather(
+                        *(service.submit(r) for r in requests),
+                        return_exceptions=True,
+                    ),
+                    timeout=30.0,
+                )
+                del service._execute  # restore the real execute path
+                recovered = await service.submit(
+                    Request("t", kernel=kernel, data=rng.random((8, 8)), steps=1)
+                )
+                return results, recovered, service.stats()
+
+        results, recovered, stats = run_async(scenario())
+        assert len(results) == 3
+        assert all(isinstance(r, TessellationError) for r in results)
+        assert recovered.ok  # queue-depth budget fully released
+        assert stats["queued"] == 0
+
+
+class TestBoundedCaches:
+    def test_interned_kernels_are_lru_bounded_and_lanes_pruned(self, rng):
+        names = ["heat-2d", "box-2d9p", "star-2d9p", "box-2d25p"]
+
+        async def scenario():
+            config = ServeConfig(
+                lanes=1, coalesce_window_ms=0.0, max_interned_kernels=2
+            )
+            async with StencilService(config) as service:
+                for name in names:
+                    response = await service.submit(
+                        Request(
+                            "t",
+                            kernel=get_kernel(name),
+                            data=rng.random((8, 8)),
+                            steps=1,
+                        )
+                    )
+                    assert response.ok
+                live_ids = {id(k) for k in service._kernels.values()}
+                lane_plan_ids = {
+                    plan[0] for lane in service._lanes for plan in lane.plans
+                }
+                fusion_ids = {key[0] for key in service._fusion_cache}
+                # An evicted kernel still serves correctly when it returns.
+                revived = await service.submit(
+                    Request(
+                        "t",
+                        kernel=get_kernel(names[0]),
+                        data=rng.random((8, 8)),
+                        steps=1,
+                    )
+                )
+                return len(service._kernels), live_ids, lane_plan_ids, fusion_ids, revived
+
+        n_kernels, live_ids, lane_plan_ids, fusion_ids, revived = run_async(
+            scenario()
+        )
+        assert n_kernels == 2
+        assert lane_plan_ids <= live_ids  # evicted kernels pruned from lanes
+        assert fusion_ids <= live_ids  # ...and from the fusion cache
+        assert revived.ok
+
+    def test_tenant_stats_are_lru_bounded(self, rng):
+        kernel = get_kernel("heat-2d")
+
+        async def scenario():
+            config = ServeConfig(
+                lanes=1, coalesce_window_ms=0.0, max_tenant_stats=2
+            )
+            async with StencilService(config) as service:
+                for tenant in ("a", "b", "c"):
+                    await service.submit(
+                        Request(
+                            tenant, kernel=kernel, data=rng.random((8, 8)), steps=1
+                        )
+                    )
+                return service.stats()
+
+        stats = run_async(scenario())
+        assert set(stats["tenants"]) == {"b", "c"}
 
 
 class TestAffinityRouting:
