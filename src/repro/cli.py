@@ -904,11 +904,94 @@ def _run_bench(argv: List[str]) -> List[str]:
     return render_run(report).splitlines() + [note]
 
 
+def _run_codegen(argv: List[str]) -> List[str]:
+    """The ``codegen`` subcommand: emit a kernel's generated source.
+
+    Writes either the ``compiled`` backend's shape-pinned Python kernel
+    (``--target python``, requires a grid shape to pin) or the reference
+    CUDA text (``--target cuda``) to ``--output``/stdout.  CI's
+    codegen-smoke job generates a kernel, lints it with ``repro lint``,
+    and runs the differential harness on the compiled backend.
+    """
+    parser = argparse.ArgumentParser(
+        prog="convstencil codegen",
+        description="emit generated kernel source (compiled-python or CUDA)",
+    )
+    parser.add_argument("kernel", help="catalogued kernel name (see repro --help)")
+    parser.add_argument(
+        "--shape",
+        default=None,
+        help="grid shape to pin, e.g. 96x96 (required for --target python)",
+    )
+    parser.add_argument(
+        "--target",
+        choices=("python", "cuda"),
+        default="python",
+        help="which emitter to run (default python)",
+    )
+    parser.add_argument(
+        "--fusion",
+        default="auto",
+        help='temporal fusion depth or "auto" (default auto)',
+    )
+    parser.add_argument(
+        "--batched",
+        action="store_true",
+        help="emit the batch-axis variant (python target, 2-D only)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the source here (default: print to stdout)",
+    )
+    args = parser.parse_args(argv)
+    from repro.stencils import get_kernel
+
+    kernel = get_kernel(args.kernel)
+    fusion = args.fusion if args.fusion == "auto" else int(args.fusion)
+    if args.target == "cuda":
+        from repro.codegen import generate_cuda_1d, generate_cuda_2d
+
+        if kernel.ndim == 1:
+            source, spec = generate_cuda_1d(kernel, fusion=fusion)
+        elif kernel.ndim == 2:
+            source, spec = generate_cuda_2d(kernel, fusion=fusion)
+        else:
+            raise ReproError("cuda target supports 1-D and 2-D kernels")
+        summary = (
+            f"codegen: cuda {args.kernel} edge={spec.edge} "
+            f"chunks={spec.chunks} mma/tile={spec.mma_per_tile}"
+        )
+    else:
+        if not args.shape:
+            raise ReproError("--target python requires --shape to pin the kernel")
+        shape = tuple(int(s) for s in args.shape.lower().split("x"))
+        from repro.codegen import compiled_entry
+        from repro.runtime import plan_for
+
+        plan = plan_for(kernel, shape, fusion=fusion)
+        entry = compiled_entry(plan.fused_pass, batched=args.batched)
+        source = entry.source
+        summary = (
+            f"codegen: python {entry.name} gather={entry.gather} "
+            f"chunks={entry.gemm.chunks} lines={len(source.splitlines())}"
+        )
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(source)
+        return [summary, f"wrote {args.output}"]
+    return source.splitlines() + [summary]
+
+
 def run(argv: Sequence[str]) -> List[str]:
     """Execute the CLI and return the output lines (also printed by main)."""
     argv = list(argv)
     if argv and argv[0] == "telemetry-report":
         return _run_telemetry_report(argv[1:])
+    if argv and argv[0] == "codegen":
+        return _run_codegen(argv[1:])
     if argv and argv[0] == "verify":
         return _run_verify(argv[1:])
     if argv and argv[0] == "lint":

@@ -9,8 +9,36 @@ actual A100 can take the generated ``.cu`` straight to ``nvcc``.
 The sources are *generated artifacts*: they are structurally tested here
 (constants match the Python planner, braces balance, every weight appears)
 but not compiled in this GPU-less environment.
+
+The package also hosts the runnable half of codegen: the plan-driven
+Python specializer behind the ``compiled`` backend
+(:mod:`repro.codegen.compiled`) and the target-independent spec
+extraction both emitters share (:mod:`repro.codegen.specs`).
 """
 
-from repro.codegen.cuda import CudaKernelSpec, generate_cuda_2d
+from repro.codegen.compiled import (
+    CompiledPass,
+    clear_compiled_cache,
+    compiled_entry,
+    compiled_source,
+    get_compiled_pass,
+    numba_status,
+)
+from repro.codegen.cuda import CudaKernelSpec, generate_cuda_1d, generate_cuda_2d
+from repro.codegen.specs import GemmSpec, gemm_spec, gemm_spec_from_pass, weight_fragments
 
-__all__ = ["CudaKernelSpec", "generate_cuda_2d"]
+__all__ = [
+    "CompiledPass",
+    "CudaKernelSpec",
+    "GemmSpec",
+    "clear_compiled_cache",
+    "compiled_entry",
+    "compiled_source",
+    "gemm_spec",
+    "gemm_spec_from_pass",
+    "generate_cuda_1d",
+    "generate_cuda_2d",
+    "get_compiled_pass",
+    "numba_status",
+    "weight_fragments",
+]

@@ -1,6 +1,7 @@
 """ConvStencil core: layout transformation, compute adaptation, conflict removal."""
 
 from repro.core.api import ConvStencil, convstencil_valid
+from repro.core.chunks import chunk_plan
 from repro.core.engine1d import convstencil_valid_1d
 from repro.core.engine2d import convstencil_valid_2d
 from repro.core.engine3d import convstencil_valid_3d, plane_decomposition
@@ -39,6 +40,7 @@ __all__ = [
     "Stencil2RowLayout",
     "TILE_ROWS",
     "TilePlan",
+    "chunk_plan",
     "convstencil_valid",
     "convstencil_valid_1d",
     "convstencil_valid_2d",

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import telemetry
+from repro.core.chunks import chunk_plan
 from repro.core.lookup import ColumnLookup, build_column_lookup
 from repro.core.padding import PaddingPlan, plan_padding
 from repro.core.weights import weight_matrices_1d, weight_matrices_2d
@@ -156,27 +157,9 @@ def _charge_explicit_roundtrip(sim: DeviceSim, live_elements: int) -> None:
     sim.global_memory.read_linear(0, live_elements)
 
 
-def _chunk_plan(total_rows: int) -> list:
-    """k-dimension chunking of a weight matrix into 4-row fragments.
-
-    Returns ``(start, zero_prefix)`` pairs.  When ``total_rows`` is not a
-    multiple of 4 (and at least 4), the final chunk *overlaps* the previous
-    one — it re-reads the last 4 rows and zeroes the already-accumulated
-    prefix — instead of reading past the matrix end.  This is what lets the
-    paper's 266-column block matrices pad to exactly 268 (Figure 5): no
-    fragment load ever overshoots the live columns.
-    """
-    if total_rows < 4:
-        return [(0, 0)]  # single zero-padded chunk (1-D kernels with k < 4)
-    starts = list(range(0, total_rows - 3, 4))
-    if total_rows % 4 != 0:
-        overlap_start = total_rows - 4
-        starts.append(overlap_start)
-        plan = [(s, 0) for s in starts[:-1]]
-        prev_end = starts[-2] + 4
-        plan.append((overlap_start, prev_end - overlap_start))
-        return plan
-    return [(s, 0) for s in starts]
+#: Deprecated private alias — the decomposition now lives in
+#: :func:`repro.core.chunks.chunk_plan`; this name predates the public API.
+_chunk_plan = chunk_plan
 
 
 def _weight_fragments(w: np.ndarray) -> list:

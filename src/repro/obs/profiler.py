@@ -84,7 +84,10 @@ def classify_frame(module: str, func: str) -> Optional[str]:
         return "halo"
     if base == "padding" or "dirty" in func:
         return "fixup"
-    if base in _GEMM_MODULES:
+    if base in _GEMM_MODULES or base.startswith("compiled_engine"):
+        # exec-compiled kernels live under repro.codegen.generated.*; the
+        # whole straight-line body is the stacked-GEMM stage (its gather
+        # helpers are named stencil2row_* and classified above).
         return "gemm"
     if base in _PLAN_MODULES or func.startswith("build_plan") or func.startswith("plan_"):
         return "plan"

@@ -50,7 +50,7 @@ SCHEMA_VERSION = 1
 
 #: The PR this tree is being grown in — names the default baseline file
 #: (``BENCH_PR<N>.json``).  Bumped once per perfwatch-writing PR.
-CURRENT_PR = 6
+CURRENT_PR = 8
 
 #: Default regression threshold: CI-disjoint slowdowns under 20% are
 #: reported but do not gate (two-worker CI runners jitter that much).

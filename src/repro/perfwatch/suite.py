@@ -97,8 +97,9 @@ _FULL_CELLS: Tuple[Tuple[str, str, Tuple[int, ...], int, int, int], ...] = (
 
 #: Backends every cell is measured on.  ``tiled`` is constructed with a
 #: low tiling threshold so the suite's laptop-scale grids genuinely fan
-#: out instead of silently degenerating to the serial path.
-SUITE_BACKENDS: Tuple[str, ...] = ("serial", "tiled")
+#: out instead of silently degenerating to the serial path; ``compiled``
+#: exercises the plan-driven shape-pinned generated kernels.
+SUITE_BACKENDS: Tuple[str, ...] = ("serial", "tiled", "compiled")
 
 #: Tiled-backend pool parameters pinned by the suite (environment
 #: defaults would make the measurement cell machine-dependent).

@@ -53,11 +53,13 @@ from repro.runtime.plan import (
     plan_key,
     tile_bounds,
 )
+from repro.runtime.compiled import CompiledBackend
 from repro.runtime.tiled import TiledBackend
 
 __all__ = [
     "BACKEND_ENV",
     "Backend",
+    "CompiledBackend",
     "ExecutionPlan",
     "PassPlan",
     "PlanCache",

@@ -1,0 +1,42 @@
+"""The ``compiled`` backend: plan-driven, shape-pinned generated kernels.
+
+Where :class:`~repro.runtime.backends.SerialBackend` interprets each
+:class:`~repro.runtime.plan.PassPlan` through the generic
+:mod:`repro.core` engines, this backend hands the plan to
+:mod:`repro.codegen.compiled`, which lowers it once into straight-line
+stacked-GEMM NumPy source (every branch resolved at generation time),
+``exec``-compiles it, and caches the kernel per plan key.  Results are
+bit-identical to ``serial``/``reference`` — the generated code performs
+the same floating-point operations in the same order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.compiled import get_compiled_pass
+from repro.runtime.backends import Backend, _empty_batch_result, register_backend
+
+__all__ = ["CompiledBackend"]
+
+
+class CompiledBackend(Backend):
+    """Executes passes through exec-compiled, shape-pinned generated kernels."""
+
+    name = "compiled"
+
+    def apply_pass(self, pp, padded: np.ndarray) -> np.ndarray:
+        """Run one pass through the generated kernel for this plan."""
+        return get_compiled_pass(pp)(padded)
+
+    def apply_pass_batch(self, pp, padded: np.ndarray) -> np.ndarray:
+        """Batched pass: a pinned batch-axis kernel in 2-D, the base-class
+        per-grid loop elsewhere (matching ``serial``'s dispatch)."""
+        if padded.shape[0] == 0:
+            return _empty_batch_result(pp, padded)
+        if pp.ndim == 2:
+            return get_compiled_pass(pp, batched=True)(padded)
+        return super().apply_pass_batch(pp, padded)
+
+
+register_backend("compiled", CompiledBackend)

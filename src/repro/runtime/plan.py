@@ -19,8 +19,9 @@ explicitly, so a 50-step run builds every table exactly once (via the
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from functools import lru_cache
 from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
@@ -34,7 +35,15 @@ from repro.errors import KernelError
 from repro.stencils.grid import BoundaryCondition
 from repro.stencils.kernel import StencilKernel
 
-__all__ = ["ExecutionPlan", "PassPlan", "build_plan", "plan_key", "tile_bounds"]
+__all__ = [
+    "ExecutionPlan",
+    "PassPlan",
+    "build_plan",
+    "clear_tile_bounds",
+    "invalidate_tile_bounds",
+    "plan_key",
+    "tile_bounds",
+]
 
 
 def plan_key(
@@ -52,7 +61,14 @@ def plan_key(
     return (kernel, tuple(grid_shape), BoundaryCondition(boundary), int(fusion_depth))
 
 
-@lru_cache(maxsize=4096)
+_tile_bounds_lock = threading.Lock()
+_tile_bounds_memo: "OrderedDict[tuple, Tuple[Tuple[int, int], ...]]" = OrderedDict()
+
+#: Memo capacity; matches the old ``lru_cache`` bound, but unlike it the
+#: memo is tied to the plan-cache lifecycle (see :func:`invalidate_tile_bounds`).
+_TILE_BOUNDS_CAPACITY = 4096
+
+
 def tile_bounds(
     extent: int, tiles: int, align: int = 1, min_rows: int = 1
 ) -> Tuple[Tuple[int, int], ...]:
@@ -67,8 +83,33 @@ def tile_bounds(
 
     Memoised (the result is a small immutable tuple of a pure function of
     four ints) so backends can re-derive their geometry on every dispatch
-    without re-running the decomposition.
+    without re-running the decomposition.  Repeat calls return the *same*
+    tuple object while the entry is resident.  The memo is bounded and,
+    unlike a bare ``lru_cache``, participates in the plan-cache lifecycle:
+    :class:`~repro.runtime.cache.PlanCache` eviction and ``clear`` release
+    the entries its plans pinned (:func:`invalidate_tile_bounds`), so
+    long-lived processes cycling through many grid extents do not strand
+    up to 4096 dead decompositions behind an unreachable cache slot.
     """
+    key = (int(extent), int(tiles), int(align), int(min_rows))
+    with _tile_bounds_lock:
+        cached = _tile_bounds_memo.get(key)
+        if cached is not None:
+            _tile_bounds_memo.move_to_end(key)
+            return cached
+    result = _compute_tile_bounds(*key)
+    with _tile_bounds_lock:
+        won = _tile_bounds_memo.setdefault(key, result)
+        _tile_bounds_memo.move_to_end(key)
+        while len(_tile_bounds_memo) > _TILE_BOUNDS_CAPACITY:
+            _tile_bounds_memo.popitem(last=False)
+    # a concurrent caller may have inserted first; keep identity stable
+    return won
+
+
+def _compute_tile_bounds(
+    extent: int, tiles: int, align: int, min_rows: int
+) -> Tuple[Tuple[int, int], ...]:
     tiles = max(1, min(int(tiles), max(1, extent // max(align, min_rows))))
     if tiles <= 1:
         return ((0, extent),)
@@ -78,6 +119,34 @@ def tile_bounds(
     return tuple(
         (lo, hi) for lo, hi in zip(starts[:-1], starts[1:]) if hi > lo
     )
+
+
+def invalidate_tile_bounds(extent: int, align: Optional[int] = None) -> int:
+    """Release memoised decompositions of ``extent`` (optionally per ``align``).
+
+    Called by :class:`~repro.runtime.cache.PlanCache` when a plan is
+    evicted or the cache is cleared, so tile geometry only stays memoised
+    while some resident plan can still ask for it.  Returns the number of
+    entries released.  Over-invalidation is harmless — the next
+    :func:`tile_bounds` call recomputes.
+    """
+    with _tile_bounds_lock:
+        doomed = [
+            k
+            for k in _tile_bounds_memo
+            if k[0] == extent and (align is None or k[2] == align)
+        ]
+        for k in doomed:
+            del _tile_bounds_memo[k]
+    return len(doomed)
+
+
+def clear_tile_bounds() -> int:
+    """Drop the entire tile-bounds memo; returns how many entries it held."""
+    with _tile_bounds_lock:
+        n = len(_tile_bounds_memo)
+        _tile_bounds_memo.clear()
+    return n
 
 
 @dataclass(frozen=True)

@@ -253,6 +253,7 @@ def run_server(
     duration_s: float = 10.0,
     waves: int = 2,
     on_cycle=None,
+    clock=None,
 ) -> Dict[str, Any]:
     """Run a service under repeating seeded load for ``duration_s``.
 
@@ -261,12 +262,17 @@ def run_server(
     stays fixed) and folds per-tenant accounting into the long-lived
     service — whose stats the obs exporter serves concurrently.  Returns
     the final cycle's report augmented with cycle count.
+
+    ``clock`` is injectable (tests script the deadline instead of
+    sleeping through real seconds); it defaults to the audited monotonic
+    reference.
     """
     spec = spec if spec is not None else TraceSpec()
     config = config if config is not None else ServeConfig()
+    read_clock = clock if clock is not None else _CLOCK
 
     async def _run() -> Dict[str, Any]:
-        deadline = _CLOCK() + duration_s
+        deadline = read_clock() + duration_s
         report: Dict[str, Any] = {}
         cycles = 0
         async with StencilService(config) as service:
@@ -290,7 +296,7 @@ def run_server(
                 cycles += 1
                 if on_cycle is not None:
                     on_cycle(cycles, report)
-                if _CLOCK() >= deadline:
+                if read_clock() >= deadline:
                     break
         report["cycles"] = cycles
         return report

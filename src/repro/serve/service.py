@@ -61,6 +61,11 @@ _log = get_logger("serve.service")
 #: Audited clock reference (admission timestamps, latency accounting).
 _CLOCK = time.monotonic
 
+#: Audited async-sleep reference (coalescing-window timers).  Injectable
+#: per service instance, so timing-sensitive tests script the window
+#: instead of racing the wall clock.
+_SLEEP = asyncio.sleep
+
 
 class _Lane:
     """One executor lane: a single-thread pool plus its warm plan keys."""
@@ -140,8 +145,10 @@ class StencilService:
             resp = await svc.submit(Request("acme", kernel=k, data=x, steps=4))
             assert resp.ok and resp.batch_size >= 1
 
-    ``clock`` is injectable for deterministic quota/latency tests; it
-    defaults to the audited monotonic reference.
+    ``clock`` and ``sleep`` are injectable for deterministic quota/
+    latency/coalescing tests (the same pattern as ``repro.perfwatch``);
+    they default to the audited monotonic and ``asyncio.sleep``
+    references.
     """
 
     def __init__(
@@ -149,9 +156,11 @@ class StencilService:
         config: Optional[ServeConfig] = None,
         *,
         clock=None,
+        sleep=None,
     ) -> None:
         self.config = config if config is not None else ServeConfig()
         self._clock = clock if clock is not None else _CLOCK
+        self._sleep = sleep if sleep is not None else _SLEEP
         self._lanes = [_Lane(i) for i in range(self.config.lanes)]
         self._quota = QuotaLedger(self.config.quota_for)
         self._pending: Dict[tuple, _PendingBatch] = {}
@@ -347,7 +356,7 @@ class StencilService:
     async def _flush_after_window(self, key: tuple) -> None:
         window = self.config.coalesce_window_s
         if window > 0.0:
-            await asyncio.sleep(window)
+            await self._sleep(window)
         await self._flush(key)
 
     def _trigger_flush(self, key: tuple) -> None:

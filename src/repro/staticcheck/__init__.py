@@ -28,6 +28,7 @@ from repro.staticcheck.engine import (
     all_rules,
     default_paths,
     lint_paths,
+    lint_sources,
     run_lint,
 )
 from repro.staticcheck.finding import Finding, SEVERITIES, sort_findings
@@ -58,6 +59,7 @@ __all__ = [
     "default_paths",
     "eq13_mma_count",
     "lint_paths",
+    "lint_sources",
     "load_baseline",
     "render_json",
     "render_text",

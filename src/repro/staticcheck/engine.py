@@ -44,6 +44,7 @@ __all__ = [
     "all_rules",
     "default_paths",
     "lint_paths",
+    "lint_sources",
     "run_lint",
     "rule",
 ]
@@ -278,6 +279,43 @@ def lint_paths(paths: Sequence[str]) -> LintResult:
             for f in entry.check(module):
                 if not module.is_suppressed(f.rule_id, f.line):
                     result.findings.append(f)
+    return result
+
+
+def lint_sources(sources) -> LintResult:
+    """Run all registered AST rules over in-memory ``{name: source}`` text.
+
+    The generated-code hook: :mod:`repro.codegen.compiled` emits kernels
+    that never touch disk, and this applies the same rule set (with the
+    same inline-suppression semantics) to their source strings.  ``sources``
+    is a mapping of display name → source text, or an iterable of
+    ``(name, text)`` pairs.  Unparseable text is an ``RPR000`` finding,
+    mirroring :func:`lint_paths`.
+    """
+    pairs = sources.items() if hasattr(sources, "items") else sources
+    rules = list(all_rules().values())
+    result = LintResult()
+    for name, text in pairs:
+        result.files_scanned += 1
+        try:
+            module = ModuleSource.parse(str(name), text=text)
+        except SyntaxError as exc:
+            result.findings.append(
+                Finding(
+                    rule_id="RPR000",
+                    severity="error",
+                    file=str(name),
+                    line=int(getattr(exc, "lineno", 0) or 0),
+                    message=f"source does not parse: {type(exc).__name__}: {exc}",
+                    fix_hint="fix the generator; unparsed sources cannot be checked",
+                )
+            )
+            continue
+        for entry in rules:
+            for f in entry.check(module):
+                if not module.is_suppressed(f.rule_id, f.line):
+                    result.findings.append(f)
+    result.findings = sort_findings(result.findings)
     return result
 
 

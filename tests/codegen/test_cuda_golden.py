@@ -1,0 +1,93 @@
+"""CUDA emitter goldens + CUDA↔compiled spec consistency (shared generator core).
+
+Two safety nets around :mod:`repro.codegen`:
+
+* **golden sources** — the emitted ``.cu`` text for fixed inputs is
+  snapshotted under ``goldens/``; any drift in the shared spec extraction
+  (:mod:`repro.codegen.specs`) or the emitters shows up as a diff, not a
+  silent behaviour change on hardware nobody in CI has;
+* **spec consistency** — the :class:`CudaKernelSpec` constants baked into
+  the text (tile geometry, chunk count, Eq.-13 MMA count) must equal the
+  geometry the ``compiled`` backend derives from an
+  :class:`~repro.runtime.plan.ExecutionPlan` of the *same* kernel, since
+  both are views of one :class:`~repro.codegen.specs.GemmSpec`.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.codegen import (
+    compiled_entry,
+    gemm_spec,
+    gemm_spec_from_pass,
+    generate_cuda_1d,
+    generate_cuda_2d,
+)
+from repro.core.fusion import plan_fusion
+from repro.runtime import plan_for
+from repro.stencils import get_kernel
+
+GOLDENS = Path(__file__).parent / "goldens"
+
+
+class TestGoldenSources:
+    def test_cuda_2d_heat_auto_matches_golden(self):
+        source, _spec = generate_cuda_2d(get_kernel("heat-2d"), fusion="auto")
+        golden = (GOLDENS / "cuda_2d_heat_auto.cu").read_text()
+        assert source == golden, (
+            "generated 2-D CUDA source drifted from the committed golden; "
+            "if the change is intentional, regenerate the golden file"
+        )
+
+    def test_cuda_1d_heat_auto_matches_golden(self):
+        source, _spec = generate_cuda_1d(get_kernel("heat-1d"), fusion="auto")
+        golden = (GOLDENS / "cuda_1d_heat_auto.cu").read_text()
+        assert source == golden, (
+            "generated 1-D CUDA source drifted from the committed golden; "
+            "if the change is intentional, regenerate the golden file"
+        )
+
+    def test_generation_is_deterministic(self):
+        a, _ = generate_cuda_2d(get_kernel("box-2d9p"), fusion="auto")
+        b, _ = generate_cuda_2d(get_kernel("box-2d9p"), fusion="auto")
+        assert a == b
+
+
+class TestSpecConsistency:
+    @pytest.mark.parametrize(
+        "name,shape",
+        [("heat-2d", (40, 40)), ("box-2d9p", (24, 24)), ("box-2d49p", (24, 24))],
+    )
+    def test_cuda_spec_matches_compiled_plan_2d(self, name, shape):
+        kernel = get_kernel(name)
+        _source, spec = generate_cuda_2d(kernel, fusion="auto")
+        plan = plan_for(kernel, shape, fusion="auto")
+        # same fused kernel on both paths
+        assert plan.fused_pass.kernel.edge == spec.edge
+        # the GemmSpec baked into the CUDA text equals the one the
+        # compiled backend derives from the ExecutionPlan pass
+        assert spec.gemm == gemm_spec_from_pass(plan.fused_pass)
+        entry = compiled_entry(plan.fused_pass)
+        assert spec.gemm == entry.gemm
+        assert spec.chunks == entry.gemm.chunks
+        assert spec.mma_per_tile == entry.gemm.mma_per_tile
+        # tile geometry: input tile spans the output block plus the halo
+        assert spec.tile_m == spec.block[0] + spec.edge - 1
+        assert spec.tile_n == spec.block[1] + spec.edge - 1
+
+    def test_cuda_spec_matches_compiled_plan_1d(self):
+        kernel = get_kernel("heat-1d")
+        _source, spec = generate_cuda_1d(kernel, fusion="auto")
+        plan = plan_for(kernel, (257,), fusion="auto")
+        assert plan.fused_pass.kernel.edge == spec.edge
+        assert spec.gemm == gemm_spec_from_pass(plan.fused_pass)
+        assert spec.gemm == compiled_entry(plan.fused_pass).gemm
+        assert spec.chunks == spec.gemm.chunks
+
+    def test_mma_count_is_eq13(self):
+        # Eq. 13: 2 · ceil(k²/4) mma_sync per tile (both tessellation chains)
+        fused = plan_fusion(get_kernel("heat-2d"), "auto").fused
+        spec = gemm_spec(fused)
+        k2 = fused.edge * fused.edge
+        assert spec.mma_per_tile == 2 * ((k2 + 3) // 4)

@@ -35,6 +35,19 @@ class TestClassifyFrame:
             ("repro.runtime.execute", "build_plan_tables", "plan"),
             ("repro.runtime.execute", "execute_batch", None),
             ("numpy.core", "dot", None),
+            # exec-compiled kernels (repro.codegen.compiled): the generated
+            # module body is the GEMM stage, its gather helpers stencil2row
+            (
+                "repro.codegen.generated.compiled_engine_2d_ab12cd34",
+                "compiled_pass",
+                "gemm",
+            ),
+            (
+                "repro.codegen.generated.compiled_engine_2d_batched_ab12cd34",
+                "compiled_pass",
+                "gemm",
+            ),
+            ("repro.codegen.compiled", "stencil2row_gather", "stencil2row"),
         ],
     )
     def test_frame_phases(self, module, func, phase):

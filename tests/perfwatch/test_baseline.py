@@ -151,3 +151,46 @@ class TestCompare:
         cur = report(entry("w@serial", 2.0, 1.9, 2.1))
         text = compare(base, cur).regressions[0].describe()
         assert "regression" in text and "+100.0%" in text
+
+
+class TestCommittedBaseline:
+    """The committed ``BENCH_PR8.json`` must keep the claim the PR makes:
+    CI-disjoint ``compiled``-over-``serial`` wins on the full suite.  CI
+    asserts the same thing (codegen never re-times in CI — a shared
+    runner's noise would make the claim unfalsifiable there)."""
+
+    @pytest.fixture()
+    def committed(self):
+        import pathlib
+
+        path = pathlib.Path(__file__).resolve().parents[2] / "BENCH_PR8.json"
+        if not path.exists():
+            pytest.skip("committed baseline not present in this checkout")
+        return load_baseline(path)
+
+    def test_full_suite_with_all_backend_cells(self, committed):
+        from repro.perfwatch.suite import default_suite
+
+        assert committed["suite"] == "full"
+        keys = {e["key"] for e in committed["entries"]}
+        assert keys == {w.key for w in default_suite(quick=False)}
+
+    def test_compiled_beats_serial_with_disjoint_cis(self, committed):
+        timings = {e["key"]: e["timing"] for e in committed["entries"]}
+        wins = [
+            key
+            for key, t in timings.items()
+            if key.endswith("@compiled")
+            and t["ci_high"] < timings[key.replace("@compiled", "@serial")]["ci_low"]
+        ]
+        assert len(wins) >= 3, sorted(wins)
+
+    def test_no_disjoint_compiled_losses(self, committed):
+        timings = {e["key"]: e["timing"] for e in committed["entries"]}
+        losses = [
+            key
+            for key, t in timings.items()
+            if key.endswith("@compiled")
+            and t["ci_low"] > timings[key.replace("@compiled", "@serial")]["ci_high"]
+        ]
+        assert losses == [], sorted(losses)

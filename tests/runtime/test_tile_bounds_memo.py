@@ -1,0 +1,74 @@
+"""Regression: the tile-bounds memo is bound to the plan-cache lifecycle.
+
+The old module-level ``@lru_cache(maxsize=4096)`` on ``tile_bounds``
+outlived :class:`~repro.runtime.cache.PlanCache` eviction: a process
+cycling through thousands of grid extents stranded up to 4096 dead
+decompositions behind an unreachable cache slot.  The memo must now
+release entries when the plans that pinned them are evicted or cleared,
+while preserving the memoised-identity contract for live entries.
+"""
+
+from repro.runtime import PlanCache, build_plan, plan_key, tile_bounds
+from repro.runtime.plan import (
+    _tile_bounds_memo,
+    clear_tile_bounds,
+    invalidate_tile_bounds,
+)
+from repro.stencils import get_kernel
+
+
+def _resident_extents():
+    return {key[0] for key in _tile_bounds_memo}
+
+
+class TestMemoContract:
+    def test_repeat_calls_return_same_object(self):
+        a = tile_bounds(128, 4, 2)
+        b = tile_bounds(128, 4, 2)
+        assert a is b  # memo hit, not merely equal
+
+    def test_invalidate_then_recompute_gives_equal_bounds(self):
+        before = tile_bounds(96, 3, 2)
+        assert invalidate_tile_bounds(96, 2) >= 1
+        after = tile_bounds(96, 3, 2)
+        assert after == before and after is not before
+
+    def test_clear_empties_memo(self):
+        tile_bounds(77, 2)
+        assert clear_tile_bounds() >= 1
+        assert len(_tile_bounds_memo) == 0
+
+
+class TestPlanCacheLifecycle:
+    def test_eviction_releases_tile_bounds_entries(self):
+        clear_tile_bounds()
+        cache = PlanCache(capacity=2)
+        kernel = get_kernel("heat-2d")
+        extents = (33, 34, 35, 36)
+        for n in extents:
+            key = plan_key(kernel, (n, n), "constant", 1)
+            cache.get_or_build(
+                key, lambda n=n: build_plan(kernel, (n, n), "constant", 1)
+            )
+        resident = _resident_extents()
+        # the two evicted plans' decompositions are gone, the two live
+        # plans' decompositions remain
+        assert 33 not in resident and 34 not in resident
+        assert 35 in resident and 36 in resident
+
+    def test_clear_releases_all_cached_plans_entries(self):
+        clear_tile_bounds()
+        cache = PlanCache(capacity=8)
+        kernel = get_kernel("heat-1d")
+        for n in (40, 41):
+            key = plan_key(kernel, (n,), "constant", 1)
+            cache.get_or_build(
+                key, lambda n=n: build_plan(kernel, (n,), "constant", 1)
+            )
+        unrelated = tile_bounds(5000, 4)
+        cache.clear()
+        resident = _resident_extents()
+        assert 40 not in resident and 41 not in resident
+        # direct users of tile_bounds are untouched by a plan-cache clear
+        assert 5000 in resident
+        assert tile_bounds(5000, 4) is unrelated

@@ -23,6 +23,30 @@ def run_async(coro):
     return asyncio.run(coro)
 
 
+class ManualSleep:
+    """Scripted replacement for the service's coalescing-window sleep.
+
+    Awaiters park on an event instead of the wall clock; the test decides
+    when the window "elapses" by calling :meth:`release` (after which all
+    current and future sleeps return immediately).
+    """
+
+    def __init__(self):
+        self._released = None
+        self.calls = []
+
+    async def __call__(self, delay):
+        if self._released is None:
+            self._released = asyncio.Event()
+        self.calls.append(delay)
+        await self._released.wait()
+
+    def release(self):
+        if self._released is None:
+            self._released = asyncio.Event()
+        self._released.set()
+
+
 class TestRequestValidation:
     def test_requires_kernel_and_data(self):
         with pytest.raises(ServeError):
@@ -83,9 +107,10 @@ class TestCoalescing:
         kernel = get_kernel("heat-2d")
 
         async def scenario():
-            # Huge window: only the max_batch=3 trigger can flush quickly.
+            # Never-elapsing window: only the max_batch=3 trigger can flush.
+            sleep = ManualSleep()
             config = ServeConfig(lanes=1, coalesce_window_ms=5000.0, max_batch=3)
-            async with StencilService(config) as service:
+            async with StencilService(config, sleep=sleep) as service:
                 requests = [
                     Request("t", kernel=kernel, data=rng.random((8, 8)), steps=1)
                     for _ in range(3)
@@ -260,12 +285,14 @@ class TestBackpressure:
         kernel = get_kernel("heat-2d")
 
         async def scenario():
-            # Window long enough that admitted requests stay queued while
-            # the over-limit submissions arrive.
+            # Scripted window: admitted requests stay queued until the test
+            # releases the sleep, so the over-limit submissions always see
+            # a full queue — no wall-clock race.
+            sleep = ManualSleep()
             config = ServeConfig(
                 lanes=1, coalesce_window_ms=200.0, max_queue_depth=3
             )
-            async with StencilService(config) as service:
+            async with StencilService(config, sleep=sleep) as service:
                 tasks = [
                     asyncio.create_task(
                         service.submit(
@@ -279,6 +306,9 @@ class TestBackpressure:
                     )
                     for _ in range(6)
                 ]
+                for _ in range(3):
+                    await asyncio.sleep(0)  # let every task run admission
+                sleep.release()
                 return await asyncio.gather(*tasks)
 
         responses = run_async(scenario())
@@ -296,13 +326,16 @@ class TestBackpressure:
             # burst=2 with a frozen clock: exactly two requests may ever be
             # admitted on quota.  The queue rejection in between must not
             # spend the second token.
+            sleep = ManualSleep()
             config = ServeConfig(
                 lanes=1,
                 coalesce_window_ms=200.0,
                 max_queue_depth=1,
                 quota=TenantQuota(rate=1.0, burst=2.0),
             )
-            async with StencilService(config, clock=lambda: 0.0) as service:
+            async with StencilService(
+                config, clock=lambda: 0.0, sleep=sleep
+            ) as service:
                 first = asyncio.create_task(
                     service.submit(
                         Request("t", kernel=kernel, data=rng.random((8, 8)))
@@ -312,6 +345,7 @@ class TestBackpressure:
                 queue_rejected = await service.submit(
                     Request("t", kernel=kernel, data=rng.random((8, 8)))
                 )
+                sleep.release()  # "window elapsed": flush the first batch
                 r1 = await first
                 after = await service.submit(
                     Request("t", kernel=kernel, data=rng.random((8, 8)))
@@ -331,10 +365,11 @@ class TestBackpressure:
         kernel = get_kernel("heat-2d")
 
         async def scenario():
+            sleep = ManualSleep()
             config = ServeConfig(
                 lanes=1, coalesce_window_ms=200.0, max_queue_depth=1
             )
-            async with StencilService(config) as service:
+            async with StencilService(config, sleep=sleep) as service:
                 first = asyncio.create_task(
                     service.submit(
                         Request("t", kernel=kernel, data=rng.random((8, 8)))
@@ -346,6 +381,7 @@ class TestBackpressure:
                         Request("t", kernel=kernel, data=rng.random((8, 8))),
                         strict=True,
                     )
+                sleep.release()
                 return await first
 
         assert run_async(scenario()).ok
@@ -561,6 +597,25 @@ class TestLoadgen:
         assert any(
             not np.array_equal(a.data, b.data) for a, b in zip(t1, t2)
         )
+
+    def test_run_server_deadline_uses_injected_clock(self):
+        from repro.serve.loadgen import run_server
+
+        # Scripted clock: each read advances a full minute, so the
+        # duration_s=10 deadline passes after exactly one cycle without
+        # ever sleeping through real seconds.
+        ticks = iter(range(0, 10_000, 60))
+        cycles_seen = []
+        report = run_server(
+            spec=TraceSpec(seed=3, requests=4),
+            config=ServeConfig(lanes=1, coalesce_window_ms=0.0),
+            duration_s=10.0,
+            waves=1,
+            on_cycle=lambda n, _report: cycles_seen.append(n),
+            clock=lambda: float(next(ticks)),
+        )
+        assert report["cycles"] == 1
+        assert cycles_seen == [1]
 
 
 async def _replay_with(spec, config):

@@ -1,0 +1,66 @@
+"""The in-memory lint hook used for generated kernels (``lint_sources``)."""
+
+from repro.staticcheck import lint_sources
+
+
+CLEAN = '''\
+"""A tidy module."""
+
+def f(x):
+    return x + 1
+'''
+
+GEMM_UNPINNED = '''\
+"""Engine-looking module with an unmarked batched GEMM."""
+import numpy as np
+
+def run(batch, w):
+    block = batch @ w
+    return block
+'''
+
+GEMM_MARKED = '''\
+"""Engine-looking module with the acknowledgement marker."""
+import numpy as np
+
+def run(batch, w):
+    # staticcheck: gemm-shape-pinned
+    block = batch @ w
+    return block
+'''
+
+
+class TestLintSources:
+    def test_clean_source_has_no_findings(self):
+        result = lint_sources({"clean.py": CLEAN})
+        assert result.ok and result.findings == []
+        assert result.files_scanned == 1
+
+    def test_syntax_error_is_rpr000(self):
+        result = lint_sources({"bad.py": "def broken(:\n"})
+        assert not result.ok
+        assert [f.rule_id for f in result.findings] == ["RPR000"]
+
+    def test_rules_apply_to_engine_named_sources(self):
+        # RPR002 keys off engine-ish module stems: the same text that is
+        # clean under a neutral name is flagged under an engine name
+        neutral = lint_sources({"helper.py": GEMM_UNPINNED})
+        engine = lint_sources({"compiled_engine_test.py": GEMM_UNPINNED})
+        assert all(f.rule_id != "RPR002" for f in neutral.findings)
+        assert any(f.rule_id == "RPR002" for f in engine.findings)
+
+    def test_pinned_marker_satisfies_rpr002(self):
+        result = lint_sources({"compiled_engine_test.py": GEMM_MARKED})
+        assert all(f.rule_id != "RPR002" for f in result.findings)
+
+    def test_inline_suppression_respected(self):
+        suppressed = GEMM_UNPINNED.replace(
+            "block = batch @ w",
+            "block = batch @ w  # staticcheck: disable=RPR002",
+        )
+        result = lint_sources({"compiled_engine_test.py": suppressed})
+        assert all(f.rule_id != "RPR002" for f in result.findings)
+
+    def test_accepts_pairs_iterable(self):
+        result = lint_sources([("a.py", CLEAN), ("b.py", CLEAN)])
+        assert result.files_scanned == 2 and result.ok

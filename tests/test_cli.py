@@ -155,3 +155,41 @@ class TestVerifySubcommand:
     def test_main_exit_zero(self, capsys):
         assert main(["verify", "--quick", "--seed", "0", "--cases", "2"]) == 0
         assert "VERIFY:" in capsys.readouterr().out
+
+
+class TestCodegenSubcommand:
+    def test_python_target_writes_lintable_source(self, tmp_path):
+        out = tmp_path / "compiled_engine_smoke.py"
+        lines = run([
+            "codegen", "heat-2d", "--shape", "16x16", "-o", str(out),
+        ])
+        assert any("codegen: python compiled_engine_2d_" in ln for ln in lines)
+        assert out.exists()
+        from repro.staticcheck import lint_sources
+
+        result = lint_sources({out.name: out.read_text()})
+        assert result.ok and result.findings == []
+
+    def test_python_target_requires_shape(self):
+        with pytest.raises(ReproError, match="--shape"):
+            run(["codegen", "heat-2d"])
+
+    def test_cuda_target(self, tmp_path):
+        out = tmp_path / "heat2d.cu"
+        lines = run([
+            "codegen", "heat-2d", "--target", "cuda", "-o", str(out),
+        ])
+        assert any("codegen: cuda heat-2d" in ln for ln in lines)
+        assert "wmma" in out.read_text()
+
+    def test_stdout_mode_emits_source(self):
+        lines = run(["codegen", "heat-1d", "--shape", "64"])
+        assert any(ln.startswith("def compiled_pass") for ln in lines)
+
+    def test_verify_accepts_compiled_backend(self):
+        lines = run([
+            "verify", "--quick", "--seed", "0", "--cases", "3",
+            "--backend", "compiled", "--backend", "serial",
+        ])
+        assert any("result: OK" in ln for ln in lines)
+        assert any("compiled" in ln for ln in lines)
