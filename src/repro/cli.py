@@ -303,21 +303,23 @@ def _run_verify(argv: List[str]) -> List[str]:
 
 
 def _run_lint(argv: List[str]) -> List[str]:
-    """The ``lint`` subcommand: all three staticcheck layers as a gate.
+    """The ``lint`` subcommand: every staticcheck layer as a gate.
 
-    Report lines (text or one JSON document) go to stdout only; on
-    error-severity findings the report is still printed before the
-    nonzero-exit :class:`~repro.errors.StaticCheckError` is raised, whose
-    message ``main`` routes to stderr — so ``--format json`` stdout stays
-    machine-parseable either way.
+    Report lines (text, one JSON document, or one SARIF 2.1.0 document)
+    go to stdout only; on error-severity findings the report is still
+    printed before the nonzero-exit
+    :class:`~repro.errors.StaticCheckError` is raised, whose message
+    ``main`` routes to stderr — so ``--format json``/``sarif`` stdout
+    stays machine-parseable either way.
     """
     parser = argparse.ArgumentParser(
         prog="convstencil lint",
         description=(
             "Static determinism & safety checks: the AST linter "
             "(RPR001-006), the plan/LUT verifier over the kernel catalog "
-            "(RPR201-206), and the concurrency discipline rules "
-            "(RPR101-103)"
+            "(RPR201-206), the concurrency discipline rules (RPR101-103), "
+            "the generated-kernel prover (RPR400-406), and the asyncio "
+            "serve-layer rules (RPR301-304)"
         ),
     )
     parser.add_argument(
@@ -327,9 +329,9 @@ def _run_lint(argv: List[str]) -> List[str]:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default text; json emits one document)",
+        help="report format (default text; json/sarif emit one document)",
     )
     parser.add_argument(
         "--baseline",
@@ -344,15 +346,24 @@ def _run_lint(argv: List[str]) -> List[str]:
         help="record the current findings as the new baseline and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="drop baseline entries that no longer match any finding, "
+        "then exit 0",
+    )
+    parser.add_argument(
         "--no-plans",
         action="store_true",
-        help="skip the plan-invariant layer (AST rules only)",
+        help="skip the plan-invariant and generated-kernel layers "
+        "(AST rules only)",
     )
     args = parser.parse_args(argv)
 
     from repro.staticcheck import (
         load_baseline,
+        prune_baseline,
         render_json,
+        render_sarif,
         render_text,
         run_lint,
         write_baseline,
@@ -360,7 +371,8 @@ def _run_lint(argv: List[str]) -> List[str]:
     from repro.staticcheck.report import DEFAULT_BASELINE
 
     baseline_path = args.baseline if args.baseline else DEFAULT_BASELINE
-    baseline = [] if args.write_baseline else load_baseline(baseline_path)
+    subtract = not (args.write_baseline or args.prune_baseline)
+    baseline = load_baseline(baseline_path) if subtract else []
     result = run_lint(
         paths=args.paths or None,
         include_plans=not args.no_plans,
@@ -369,11 +381,19 @@ def _run_lint(argv: List[str]) -> List[str]:
     if args.write_baseline:
         n = write_baseline(baseline_path, result)
         return [f"staticcheck: wrote baseline {baseline_path} ({n} findings)"]
-    lines = (
-        render_json(result).splitlines()
-        if args.format == "json"
-        else render_text(result)
-    )
+    if args.prune_baseline:
+        kept, pruned = prune_baseline(baseline_path, result)
+        return [
+            f"staticcheck: pruned {pruned} stale baseline entr"
+            + ("y" if pruned == 1 else "ies")
+            + f" from {baseline_path} ({kept} kept)"
+        ]
+    if args.format == "json":
+        lines = render_json(result).splitlines()
+    elif args.format == "sarif":
+        lines = render_sarif(result).splitlines()
+    else:
+        lines = render_text(result)
     if not result.ok:
         for line in lines:
             print(line)

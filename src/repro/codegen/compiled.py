@@ -47,7 +47,7 @@ import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -60,9 +60,11 @@ from repro.telemetry.log import get_logger
 __all__ = [
     "NUMBA_ENV",
     "CompiledPass",
+    "GeneratedPass",
     "clear_compiled_cache",
     "compiled_entry",
     "compiled_source",
+    "generate_pass",
     "get_compiled_pass",
     "numba_status",
     "stencil2row_gather",
@@ -205,6 +207,34 @@ def numba_status() -> str:
 
 
 @dataclass(frozen=True)
+class GeneratedPass:
+    """One generated (not yet compiled) pass kernel — the prover's input.
+
+    Carries everything :func:`repro.staticcheck.symexec.check_generated`
+    needs to prove the kernel safe against its plan: the source, the
+    constant namespace (weights and gather LUTs), which flavour was
+    emitted, and an ``origin`` string naming what produced the source so
+    findings in detached generated code stay actionable.
+    """
+
+    #: Generated module name (stem contains ``engine`` so RPR002 applies).
+    name: str
+    #: Generated Python source (what ``lint_sources`` and symexec see).
+    source: str
+    #: Generation-time constants the source closes over (weights, LUTs).
+    constants: Dict[str, object]
+    #: Body flavour: ``"strided"`` (as_strided views) or ``"lut"`` (njit
+    #: fused gather driven by row/col LUT constants).
+    flavor: str
+    #: Whether the kernel takes a leading batch axis.
+    batched: bool
+    #: The GEMM geometry the source was specialized against.
+    gemm: GemmSpec
+    #: Provenance carried into findings: kernel, grid, flavour, digest.
+    origin: str
+
+
+@dataclass(frozen=True)
 class CompiledPass:
     """One generated, compiled pass kernel (exposed for tests/CLI)."""
 
@@ -218,6 +248,8 @@ class CompiledPass:
     gather: str
     #: The GEMM geometry the source was specialized against.
     gemm: GemmSpec
+    #: Generation-time constants the kernel was exec'd against.
+    constants: Dict[str, object]
 
 
 def _digest(pp, batched: bool, use_lut: bool) -> str:
@@ -695,43 +727,91 @@ def _generate(
     return name, "\n".join(lines), ns
 
 
-def _staticcheck_source(name: str, source: str) -> None:
-    """Lint generated source under the ``REPRO_STATICCHECK`` opt-in gate."""
-    if os.environ.get("REPRO_STATICCHECK", "").lower() not in ("1", "true", "on"):
-        return
-    from repro.staticcheck import lint_sources
+def generate_pass(
+    pp, batched: bool = False, flavor: Optional[str] = None
+) -> GeneratedPass:
+    """Lower one pass plan to a :class:`GeneratedPass` without executing it.
 
-    result = lint_sources({f"{name}.py": source})
-    if result.errors:
+    ``flavor`` selects the body explicitly (``"strided"`` or ``"lut"``);
+    the default resolves from the Numba state like :func:`compiled_entry`
+    does.  LUT sources can be *generated* (and therefore proven by the
+    staticcheck layer-4 prover) even where Numba is absent and they could
+    never run — the catalog sweep relies on exactly that.
+    """
+    if flavor is None:
+        flavor = "lut" if _resolve_gathers()[2] == "njit" else "strided"
+    if flavor not in ("strided", "lut"):
+        raise TessellationError(f"unknown kernel flavor {flavor!r}")
+    if pp.ndim == 1:
+        flavor = "strided"  # 1-D bodies have no gather to elide
+    use_lut = flavor == "lut"
+    name, source, constants = _generate(pp, batched, use_lut)
+    origin = (
+        f"kernel={pp.kernel.name} grid={pp.grid_shape} flavor={flavor}"
+        + (" batched" if batched else "")
+        + f" digest={name.rsplit('_', 1)[-1]}"
+    )
+    return GeneratedPass(
+        name=name,
+        source=source,
+        constants=constants,
+        flavor=flavor,
+        batched=batched,
+        gemm=gemm_spec_from_pass(pp),
+        origin=origin,
+    )
+
+
+def _staticcheck_generated(gen: GeneratedPass, pp) -> None:
+    """Gate a generated kernel under ``REPRO_STATICCHECK`` before caching.
+
+    Mirrors the layer-2 gate on ``PlanCache`` inserts: the AST rules run
+    over the source (with provenance attached) and the layer-4 prover
+    symbolically executes it against the plan; any error rejects the
+    kernel with :class:`StaticCheckError` — it is never cached.
+    """
+    from repro.staticcheck import lint_sources, staticcheck_enabled
+    from repro.staticcheck.symexec import check_generated
+
+    if not staticcheck_enabled():
+        return
+    display = f"{gen.name}.py"
+    result = lint_sources({display: gen.source}, origins={display: gen.origin})
+    findings = result.errors
+    findings += [f for f in check_generated(gen, pp) if f.severity == "error"]
+    if findings:
         raise StaticCheckError(
-            f"generated kernel {name} failed staticcheck: "
-            + "; ".join(f.describe() for f in result.errors)
+            f"generated kernel {gen.name} failed staticcheck: "
+            + "; ".join(f.format() for f in findings[:3])
+            + (f" (+{len(findings) - 3} more)" if len(findings) > 3 else "")
         )
 
 
 def _compile(pp, batched: bool) -> CompiledPass:
     gather2, gather3, status = _resolve_gathers()
     use_lut = status == "njit"
-    name, source, constants = _generate(pp, batched, use_lut)
-    _staticcheck_source(name, source)
+    gen = generate_pass(pp, batched=batched, flavor="lut" if use_lut else "strided")
+    _staticcheck_generated(gen, pp)
     namespace: Dict[str, object] = {
-        "__name__": f"repro.codegen.generated.{name}",
+        "__name__": f"repro.codegen.generated.{gen.name}",
     }
     if use_lut:
         namespace["stencil2row_gather"] = gather2
         namespace["stencil2row_gather_batched"] = gather3
-    namespace.update(constants)
-    exec(compile(source, f"<{name}>", "exec"), namespace)
+    namespace.update(gen.constants)
+    exec(compile(gen.source, f"<{gen.name}>", "exec"), namespace)
     telemetry.counter("codegen.compiled.builds").inc()
     _log.debug(
-        "compiled %s (%d lines, gather=%s)", name, len(source.splitlines()), status
+        "compiled %s (%d lines, gather=%s)",
+        gen.name, len(gen.source.splitlines()), status,
     )
     return CompiledPass(
-        name=name,
-        source=source,
+        name=gen.name,
+        source=gen.source,
         fn=namespace["compiled_pass"],
         gather=status,
-        gemm=gemm_spec_from_pass(pp),
+        gemm=gen.gemm,
+        constants=gen.constants,
     )
 
 

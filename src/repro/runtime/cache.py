@@ -45,7 +45,9 @@ def _staticcheck_plan(plan: ExecutionPlan) -> None:
     refuses to cache a plan violating a paper invariant: a corrupted LUT
     or weight table must never reach an engine.
     """
-    if os.environ.get("REPRO_STATICCHECK", "").strip() not in ("1", "true", "on"):
+    from repro.staticcheck.engine import staticcheck_enabled
+
+    if not staticcheck_enabled():
         return
     from repro.staticcheck.plan_invariants import check_plan
 

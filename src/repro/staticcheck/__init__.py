@@ -1,6 +1,6 @@
 """repro.staticcheck — the determinism & safety static analyzer.
 
-Three layers behind one finding model and one reporter (see DESIGN.md
+Five layers behind one finding model and one reporter (see DESIGN.md
 "Static checks"):
 
 1. **AST determinism/numerics linter** (:mod:`.rules_ast`, RPR001–006) —
@@ -14,10 +14,21 @@ Three layers behind one finding model and one reporter (see DESIGN.md
 3. **Concurrency discipline checker** (:mod:`.rules_concurrency`,
    RPR101–103) — shared-memory lifetime, `with`-only ordered locking,
    and no blocking under the PlanCache global lock.
+4. **Generated-kernel prover** (:mod:`.symexec`, RPR400–406) — abstract
+   interpretation of the ``compiled`` backend's generated source against
+   its plan: strided-view bounds, gather-LUT bounds, Eq.-13 chunk
+   tiling, GEMM conformance, float64 end-to-end, deterministic op
+   order.  Gates the compiled-kernel cache under ``REPRO_STATICCHECK=1``
+   exactly as layer 2 gates plan inserts.
+5. **Asyncio concurrency rules** (:mod:`.rules_async`, RPR301–304) —
+   the serve/obs hazard shapes: await under a sync lock, blocking calls
+   in coroutines, fire-and-forget tasks, executor dispatch under the
+   service lock.
 
-Entry points: ``repro lint`` on the command line, :func:`run_lint` /
-:func:`check_plan` from tests.  Suppress intentionally exempt lines with
-``# staticcheck: disable=RPR00x``.
+Entry points: ``repro lint`` on the command line (``--format
+text|json|sarif``, ``--prune-baseline``), :func:`run_lint` /
+:func:`check_plan` / :func:`check_generated` from tests.  Suppress
+intentionally exempt lines with ``# staticcheck: disable=RPR00x``.
 """
 
 from repro.staticcheck.engine import (
@@ -30,8 +41,14 @@ from repro.staticcheck.engine import (
     lint_paths,
     lint_sources,
     run_lint,
+    staticcheck_enabled,
 )
-from repro.staticcheck.finding import Finding, SEVERITIES, sort_findings
+from repro.staticcheck.finding import (
+    Finding,
+    SEVERITIES,
+    sort_findings,
+    source_snippet,
+)
 from repro.staticcheck.plan_invariants import (
     check_plan,
     check_plan_catalog,
@@ -40,9 +57,16 @@ from repro.staticcheck.plan_invariants import (
 from repro.staticcheck.report import (
     DEFAULT_BASELINE,
     load_baseline,
+    prune_baseline,
     render_json,
+    render_sarif,
     render_text,
     write_baseline,
+)
+from repro.staticcheck.symexec import (
+    check_gemm_spec,
+    check_generated,
+    check_generated_catalog,
 )
 
 __all__ = [
@@ -54,6 +78,9 @@ __all__ = [
     "SEVERITIES",
     "STATICCHECK_ENV",
     "all_rules",
+    "check_gemm_spec",
+    "check_generated",
+    "check_generated_catalog",
     "check_plan",
     "check_plan_catalog",
     "default_paths",
@@ -61,9 +88,13 @@ __all__ = [
     "lint_paths",
     "lint_sources",
     "load_baseline",
+    "prune_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_lint",
     "sort_findings",
+    "source_snippet",
+    "staticcheck_enabled",
     "write_baseline",
 ]

@@ -33,7 +33,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 from repro import telemetry
-from repro.staticcheck.finding import Finding, sort_findings
+from repro.staticcheck.finding import Finding, sort_findings, source_snippet
 
 __all__ = [
     "GEMM_PINNED_MARK",
@@ -47,10 +47,26 @@ __all__ = [
     "lint_sources",
     "run_lint",
     "rule",
+    "staticcheck_enabled",
 ]
 
 #: Environment variable enabling plan checks on every PlanCache insert.
 STATICCHECK_ENV = "REPRO_STATICCHECK"
+
+
+def staticcheck_enabled(env: Optional[Dict[str, str]] = None) -> bool:
+    """Whether the ``REPRO_STATICCHECK`` opt-in gate is on.
+
+    The single parser of that variable — the plan-cache gate, the
+    compiled-kernel gate, and the CLI all route through here so they
+    cannot drift on accepted spellings (``1``/``true``/``on``, any case).
+    """
+    source = os.environ if env is None else env
+    return str(source.get(STATICCHECK_ENV, "")).strip().lower() in (
+        "1",
+        "true",
+        "on",
+    )
 
 _SUPPRESS_RE = re.compile(
     r"#\s*staticcheck:\s*disable(?P<scope>-file)?\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+)"
@@ -92,7 +108,11 @@ def all_rules() -> Dict[str, Rule]:
     """Registered rules by id (imports the rule modules on first use)."""
     # Importing here (not at module top) avoids a cycle: rule modules
     # import this module for the @rule decorator.
-    from repro.staticcheck import rules_ast, rules_concurrency  # noqa: F401
+    from repro.staticcheck import (  # noqa: F401
+        rules_ast,
+        rules_async,
+        rules_concurrency,
+    )
 
     return dict(_RULES)
 
@@ -197,6 +217,8 @@ class LintResult:
     files_scanned: int = 0
     plans_checked: int = 0
     baseline_suppressed: int = 0
+    kernels_checked: int = 0
+    baseline_stale: int = 0
 
     @property
     def errors(self) -> List[Finding]:
@@ -221,7 +243,9 @@ class LintResult:
             "ok": self.ok,
             "files_scanned": self.files_scanned,
             "plans_checked": self.plans_checked,
+            "kernels_checked": self.kernels_checked,
             "baseline_suppressed": self.baseline_suppressed,
+            "baseline_stale": self.baseline_stale,
             "counts": self.counts(),
             "findings": [f.to_dict() for f in sort_findings(self.findings)],
         }
@@ -282,7 +306,7 @@ def lint_paths(paths: Sequence[str]) -> LintResult:
     return result
 
 
-def lint_sources(sources) -> LintResult:
+def lint_sources(sources, origins: Optional[Dict[str, str]] = None) -> LintResult:
     """Run all registered AST rules over in-memory ``{name: source}`` text.
 
     The generated-code hook: :mod:`repro.codegen.compiled` emits kernels
@@ -291,12 +315,19 @@ def lint_sources(sources) -> LintResult:
     is a mapping of display name → source text, or an iterable of
     ``(name, text)`` pairs.  Unparseable text is an ``RPR000`` finding,
     mirroring :func:`lint_paths`.
+
+    Because the linted text is detached (no editor can open the finding's
+    pseudo-path), every finding carries a numbered source snippet around
+    the hit, and ``origins`` — a display-name → provenance mapping (plan
+    key, kernel digest) — is attached as :attr:`Finding.origin`.
     """
     pairs = sources.items() if hasattr(sources, "items") else sources
     rules = list(all_rules().values())
+    origins = origins or {}
     result = LintResult()
     for name, text in pairs:
         result.files_scanned += 1
+        origin = origins.get(str(name), "")
         try:
             module = ModuleSource.parse(str(name), text=text)
         except SyntaxError as exc:
@@ -308,13 +339,17 @@ def lint_sources(sources) -> LintResult:
                     line=int(getattr(exc, "lineno", 0) or 0),
                     message=f"source does not parse: {type(exc).__name__}: {exc}",
                     fix_hint="fix the generator; unparsed sources cannot be checked",
+                    origin=origin,
                 )
             )
             continue
         for entry in rules:
             for f in entry.check(module):
-                if not module.is_suppressed(f.rule_id, f.line):
-                    result.findings.append(f)
+                if module.is_suppressed(f.rule_id, f.line):
+                    continue
+                result.findings.append(
+                    f.with_context(origin, source_snippet(text, f.line))
+                )
     result.findings = sort_findings(result.findings)
     return result
 
@@ -323,13 +358,20 @@ def run_lint(
     paths: Optional[Sequence[str]] = None,
     include_plans: bool = True,
     baseline: Optional[Iterable[Finding]] = None,
+    include_generated: Optional[bool] = None,
 ) -> LintResult:
-    """Run all three staticcheck layers and fold in the baseline.
+    """Run all staticcheck layers and fold in the baseline.
 
     ``paths`` defaults to the installed ``repro`` package; ``baseline``
     findings (matched by :attr:`Finding.baseline_key`) are subtracted and
-    counted rather than reported.
+    counted rather than reported — entries matching nothing are counted
+    in :attr:`LintResult.baseline_stale` so a dead suppression cannot
+    silently mask a future regression.  ``include_generated`` adds the
+    layer-4 sweep (symbolic execution of every catalogued kernel's
+    generated code); it defaults to following ``include_plans``.
     """
+    if include_generated is None:
+        include_generated = include_plans
     with telemetry.span("staticcheck.lint") as sp:
         result = lint_paths(paths if paths else default_paths())
         if include_plans:
@@ -338,8 +380,16 @@ def run_lint(
             plan_findings, plans = check_plan_catalog()
             result.findings.extend(plan_findings)
             result.plans_checked = plans
+        if include_generated:
+            from repro.staticcheck.symexec import check_generated_catalog
+
+            kernel_findings, kernels = check_generated_catalog()
+            result.findings.extend(kernel_findings)
+            result.kernels_checked = kernels
         if baseline:
             known = {f.baseline_key for f in baseline}
+            current = {f.baseline_key for f in result.findings}
+            result.baseline_stale = len(known - current)
             kept = [f for f in result.findings if f.baseline_key not in known]
             result.baseline_suppressed = len(result.findings) - len(kept)
             result.findings = kept
@@ -348,6 +398,7 @@ def run_lint(
         telemetry.counter("staticcheck.findings").inc(len(result.findings))
         sp.set_attribute("files", result.files_scanned)
         sp.set_attribute("plans_checked", result.plans_checked)
+        sp.set_attribute("kernels_checked", result.kernels_checked)
         sp.set_attribute("findings", len(result.findings))
         sp.set_attribute("errors", len(result.errors))
     return result

@@ -15,7 +15,13 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Tuple
 
-__all__ = ["Finding", "SEVERITIES", "severity_rank", "sort_findings"]
+__all__ = [
+    "Finding",
+    "SEVERITIES",
+    "severity_rank",
+    "sort_findings",
+    "source_snippet",
+]
 
 #: Recognised severities, most severe first.  Only ``error`` findings make
 #: the lint gate exit nonzero; ``warning`` is advisory, ``info`` contextual.
@@ -36,6 +42,13 @@ class Finding:
 
     ``baseline_key`` deliberately omits the line number: baselines must
     survive unrelated edits shifting code up or down a file.
+
+    ``origin`` and ``snippet`` exist for findings in *generated* code,
+    whose ``file`` is a detached pseudo-path no editor can open: ``origin``
+    names what produced the source (plan key, kernel digest), ``snippet``
+    is a numbered source excerpt around the hit so the finding is
+    actionable without re-generating the kernel.  Both are empty for
+    findings in on-disk files and excluded from ``baseline_key``.
     """
 
     rule_id: str
@@ -44,6 +57,8 @@ class Finding:
     line: int
     message: str
     fix_hint: str = ""
+    origin: str = ""
+    snippet: str = ""
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -52,8 +67,17 @@ class Finding:
             )
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-dict form used by the JSON reporter and the baseline file."""
-        return asdict(self)
+        """Plain-dict form used by the JSON reporter and the baseline file.
+
+        The generated-code fields are included only when set, so reports
+        and baselines for on-disk findings keep their historical shape.
+        """
+        d = asdict(self)
+        if not self.origin:
+            del d["origin"]
+        if not self.snippet:
+            del d["snippet"]
+        return d
 
     @staticmethod
     def from_dict(d: Dict[str, object]) -> "Finding":
@@ -65,6 +89,8 @@ class Finding:
             line=int(d.get("line", 0)),
             message=str(d["message"]),
             fix_hint=str(d.get("fix_hint", "")),
+            origin=str(d.get("origin", "")),
+            snippet=str(d.get("snippet", "")),
         )
 
     @property
@@ -75,10 +101,43 @@ class Finding:
     def format(self) -> str:
         """One-line human rendering: ``file:line: severity RPRxxx message``."""
         hint = f"  [{self.fix_hint}]" if self.fix_hint else ""
+        origin = f"  ({self.origin})" if self.origin else ""
         return (
             f"{self.file}:{self.line}: {self.severity} {self.rule_id} "
-            f"{self.message}{hint}"
+            f"{self.message}{hint}{origin}"
         )
+
+    def with_context(self, origin: str, snippet: str) -> "Finding":
+        """Copy of this finding carrying generated-code provenance."""
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            file=self.file,
+            line=self.line,
+            message=self.message,
+            fix_hint=self.fix_hint,
+            origin=origin,
+            snippet=snippet,
+        )
+
+
+def source_snippet(source: str, line: int, context: int = 2) -> str:
+    """Numbered excerpt around ``line`` (1-based), the hit marked ``>``.
+
+    Findings in generated code point into a detached string no editor can
+    open; this is the excerpt :meth:`Finding.with_context` carries so the
+    finding is actionable without re-generating the kernel.
+    """
+    lines = source.splitlines()
+    if line <= 0 or line > len(lines):
+        return ""
+    lo = max(1, line - context)
+    hi = min(len(lines), line + context)
+    width = len(str(hi))
+    return "\n".join(
+        f"{'>' if n == line else ' '} {n:>{width}}: {lines[n - 1]}"
+        for n in range(lo, hi + 1)
+    )
 
 
 def sort_findings(findings: Iterable[Finding]) -> List[Finding]:

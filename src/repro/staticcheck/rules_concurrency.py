@@ -29,7 +29,10 @@ from typing import Iterator, List, Optional, Set, Tuple
 from repro.staticcheck.engine import ModuleSource, rule
 from repro.staticcheck.finding import Finding
 
-__all__ = ["LOCK_ORDER", "BLOCKING_ATTRS"]
+#: ``lock_name``/``terminal_name`` are shared with the layer-5 asyncio
+#: rules (:mod:`.rules_async`), which hunt the same lock-shaped ``with``
+#: items from a coroutine's point of view.
+__all__ = ["LOCK_ORDER", "BLOCKING_ATTRS", "lock_name", "terminal_name"]
 
 #: Declared lock acquisition order, outermost-first.  A ``with`` on a lock
 #: later in this tuple may nest inside one earlier in it, never the
@@ -66,6 +69,11 @@ def _lock_name(item: ast.withitem) -> str:
     """Lock identifier a ``with`` item acquires, or ``""`` if not a lock."""
     name = _terminal_name(item.context_expr)
     return name if "lock" in name.lower() else ""
+
+
+# Public aliases for cross-layer reuse (see __all__).
+terminal_name = _terminal_name
+lock_name = _lock_name
 
 
 def _is_shared_memory_create(node: ast.AST) -> bool:
