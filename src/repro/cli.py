@@ -54,6 +54,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import List, Sequence
 
 import numpy as np
@@ -205,7 +206,20 @@ def _run_telemetry_report(argv: List[str]) -> List[str]:
     parser.add_argument(
         "--top", type=int, default=0, help="show only the N largest phases"
     )
+    parser.add_argument(
+        "--request-id",
+        default=None,
+        metavar="ID",
+        help=(
+            "render one request's serve-stage waterfall instead of the "
+            "phase table (accepts flight dumps and span JSONL)"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.request_id:
+        from repro import flight
+
+        return flight.render_request_report(args.trace, args.request_id)
     return telemetry.render_phase_report(args.trace, top=args.top).splitlines()
 
 
@@ -623,9 +637,28 @@ def _run_loadgen(argv: List[str]) -> List[str]:
     parser.add_argument(
         "--json", action="store_true", help="emit the full report as JSON"
     )
+    parser.add_argument(
+        "--flight-dump",
+        metavar="FILE.jsonl",
+        default=None,
+        help=(
+            "enable the flight recorder for the replay and export the "
+            "whole trace ring to FILE.jsonl (replayable via repro flight)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from repro.serve import TraceSpec, run_loadgen
+
+    recorder = None
+    if args.flight_dump:
+        from repro import flight
+        from repro.flight.recorder import FlightRecorder
+
+        # Ring sized to hold the full trace so the post-replay
+        # completeness gate never loses early requests to eviction.
+        recorder = FlightRecorder(capacity=max(2 * args.requests, 256))
+        flight.enable(recorder)
 
     spec = TraceSpec(seed=args.seed, requests=args.requests, tenants=args.tenants)
     report = run_loadgen(
@@ -634,6 +667,8 @@ def _run_loadgen(argv: List[str]) -> List[str]:
         waves=args.waves,
         check_identity=not args.no_identity,
     )
+    if recorder is not None:
+        recorder.export_jsonl(args.flight_dump)
     if report["identity_checked"] and not report["identity_ok"]:
         raise ReproError(
             f"served results diverged from direct ConvStencil.run for "
@@ -656,6 +691,187 @@ def _run_loadgen(argv: List[str]) -> List[str]:
             f"{'ok' if report['identity_ok'] else 'FAIL'} "
             f"({report['ok']} served result(s) compared)"
         )
+    flight_report = report.get("flight") or {}
+    if flight_report.get("enabled"):
+        lines.append(
+            f"FLIGHT: {flight_report['complete']}/{flight_report['checked']} "
+            f"complete traces, {flight_report['multi_request_traces']} "
+            f"multi-request (coalesced) trace(s)"
+        )
+        if args.flight_dump:
+            lines.append(f"FLIGHT: ring exported to {args.flight_dump}")
+    return lines
+
+
+def _flight_self_test(dump_dir: "str | None") -> List[str]:
+    """The ``flight --self-test`` drill: a scripted-clock burn-rate episode.
+
+    Deterministically drives one alert through ok → pending → firing →
+    ok against synthetic traffic counters (one sample per scripted
+    minute), with the flight-recorder alert hook attached so every
+    transition snapshots a black-box dump.  Ends by replaying the victim
+    request's waterfall out of the dump it just wrote — the whole
+    observe→alert→dump→replay loop in one command, no service needed.
+    """
+    import tempfile
+
+    from repro.flight.recorder import FlightRecorder
+    from repro import flight
+    from repro.obs.alerts import AlertEngine, AlertPolicy
+
+    target = Path(dump_dir) if dump_dir else Path(tempfile.mkdtemp(prefix="flight-"))
+    recorder = FlightRecorder(capacity=32, dump_dir=target, max_dumps=8)
+
+    # A handful of synthetic ok traces so dumps have batch context.
+    members = [f"selftest-{i:02d}" for i in range(4)]
+    for i, rid in enumerate(members):
+        trace = recorder.begin(rid, tenant="selftest")
+        base = 0.010 * i
+        trace.stage("admit", base, base + 0.0002, outcome="admitted")
+        trace.stage("queue_wait", base + 0.0002, base + 0.0012)
+        trace.stage("coalesce", base + 0.0012, base + 0.0015, batch_id="b-self")
+        trace.stage(
+            "execute", base + 0.0015, base + 0.0085,
+            batch_id="b-self", links=list(members),
+        )
+        trace.stage("split", base + 0.0085, base + 0.0090)
+        trace.finish("ok")
+
+    # Scripted minute-by-minute counters: an hour of clean traffic, an
+    # 8-minute half-breach burst (fast window trips first, then slow),
+    # then a clean recovery that clears the fast window.
+    clock_now = [0.0]
+    counters = {"total": 0, "breached": 0}
+    engine = AlertEngine(
+        supplier=lambda: (counters["total"], counters["breached"]),
+        policies=[AlertPolicy()],
+        clock=lambda: clock_now[0],
+    )
+    flight.attach_alert_hook(engine, recorder)
+    states: List[str] = []
+
+    def _minute(breached_per_minute: int) -> None:
+        clock_now[0] += 60.0
+        counters["total"] += 10
+        counters["breached"] += breached_per_minute
+        states.append(engine.tick()["slo-burn"])
+
+    for _ in range(60):
+        _minute(0)  # slow-window history: 600 requests, 0 breached
+    for _ in range(8):
+        _minute(5)  # burst: 50% breach rate
+    for _ in range(8):
+        _minute(0)  # recovery
+    observed = [s for s, prev in zip(states, [None] + states[:-1]) if s != prev]
+    expected = ["ok", "pending", "firing", "ok"]
+    if observed != expected:
+        raise ReproError(
+            f"flight self-test: state sequence {observed} != {expected} — "
+            "the burn-rate engine is not deterministic under a scripted clock"
+        )
+    dumps = sorted(target.glob("flight-*.jsonl"))
+    if len(dumps) < 3:  # pending, firing, and recovery transitions
+        raise ReproError(
+            f"flight self-test: expected >= 3 alert-transition dumps in "
+            f"{target}, found {len(dumps)}"
+        )
+
+    lines = [
+        "FLIGHT self-test: ok -> pending -> firing -> ok "
+        f"({engine.alerts[0].transitions} transitions over "
+        f"{len(states)} scripted minutes)",
+        f"FLIGHT self-test: {len(dumps)} black-box dump(s) in {target}:",
+    ]
+    lines.extend(f"  {p.name}" for p in dumps)
+    lines.append("")
+    lines.extend(flight.render_request_report(dumps[-1], members[-1]))
+    lines.append("FLIGHT self-test: OK")
+    return lines
+
+
+def _run_flight(argv: List[str]) -> List[str]:
+    """The ``flight`` subcommand: replay and inspect black-box dumps."""
+    parser = argparse.ArgumentParser(
+        prog="convstencil flight",
+        description=(
+            "Inspect flight-recorder black-box dumps: list recorded "
+            "requests, replay one request's stage waterfall, or run the "
+            "scripted-clock alert self-test"
+        ),
+    )
+    parser.add_argument(
+        "--dump",
+        metavar="FILE.jsonl",
+        default=None,
+        help="flight dump (or telemetry span JSONL) to inspect",
+    )
+    parser.add_argument(
+        "--request-id",
+        metavar="ID",
+        default=None,
+        help="render this request's stage waterfall from --dump",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_ids",
+        help="list the requests recorded in --dump (the default action)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help=(
+            "drive the burn-rate alert through ok/pending/firing/ok under "
+            "a scripted clock and replay the dump it writes"
+        ),
+    )
+    parser.add_argument(
+        "--dir",
+        metavar="DIR",
+        default=None,
+        help="self-test dump directory (default: a fresh temp dir)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return _flight_self_test(args.dir)
+    if not args.dump:
+        raise ReproError(
+            "repro flight needs --dump FILE.jsonl (with --request-id or "
+            "--list) or --self-test"
+        )
+
+    from repro import flight
+
+    if args.request_id:
+        return flight.render_request_report(args.dump, args.request_id)
+
+    traces, problems = flight.load_flight_dump(args.dump)
+    if not traces:
+        lines = [f"FLIGHT: no traces in {args.dump}"]
+        lines.extend(f"  note: {p}" for p in problems)
+        return lines
+    lines = [f"FLIGHT: {len(traces)} trace(s) in {args.dump}"]
+    for record in traces:
+        stages = record.get("stages") or []
+        total = 0.0
+        if stages:
+            total = max(float(s.get("end", 0.0)) for s in stages) - min(
+                float(s.get("start", 0.0)) for s in stages
+            )
+        flags = ""
+        if record.get("slo_breached"):
+            flags += "  [SLO BREACH]"
+        if record.get("reason"):
+            flags += f"  reason={record['reason']}"
+        lines.append(
+            f"  {record.get('request_id', '?'):>12}  "
+            f"tenant={record.get('tenant') or '-':<10} "
+            f"status={record.get('status', '?'):<8} "
+            f"{len(stages)} stage(s)  {total * 1e3:8.2f}ms{flags}"
+        )
+    lines.extend(f"  note: {p}" for p in problems)
+    lines.append("FLIGHT: replay one with --request-id <id>")
     return lines
 
 
@@ -692,11 +908,16 @@ def _run_serve(argv: List[str]) -> List[str]:
     )
     args = parser.parse_args(argv)
 
-    from repro import obs
+    from repro import flight, obs
     from repro.serve import TraceSpec
     from repro.serve.loadgen import run_server
 
     obs.enable()
+    # Burn-rate alerting over the collector's SLO counters; when the
+    # flight ring is on (REPRO_FLIGHT) every transition dumps the ring.
+    engine = obs.configure_alerts()
+    if flight.enabled():
+        flight.attach_alert_hook(engine)
     server = None
     lines: List[str] = []
     if not args.no_exporter:
@@ -1026,6 +1247,8 @@ def run(argv: Sequence[str]) -> List[str]:
         return _run_serve(argv[1:])
     if argv and argv[0] == "loadgen":
         return _run_loadgen(argv[1:])
+    if argv and argv[0] == "flight":
+        return _run_flight(argv[1:])
     args = build_parser().parse_args(argv)
     if args.trace or args.metrics:
         telemetry.enable()

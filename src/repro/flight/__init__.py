@@ -1,0 +1,170 @@
+"""repro.flight — request-scoped tracing and the serve-path black box.
+
+The serve layer amortises many small stencil requests into one GEMM
+pass (PAPER.md §3.3, Eq. 13); this package answers the operator-side
+question that amortisation raises: *which requests rode which coalesced
+batch, and where did this p99 outlier spend its time?*  Every request
+admitted by :class:`repro.serve.StencilService` gets a
+:class:`~repro.flight.recorder.RequestTrace` — one timed record per
+pipeline stage (``admit → queue_wait → coalesce → execute → split``),
+the ``execute`` stage linking all members of its coalesced batch — and
+completed traces land in a bounded :class:`~repro.flight.recorder.FlightRecorder`
+ring.  On failure, SLO breach, or a burn-rate alert transition
+(:mod:`repro.obs.alerts`), the ring snapshots the offending trace plus
+its neighbors to a JSONL black-box dump, replayable via
+``repro flight --request-id``.
+
+Enablement mirrors the telemetry/obs layers: the ``REPRO_FLIGHT``
+environment variable or :func:`enable`.  While the flight ring is off
+but telemetry is on, stage records still mirror into the tracer as
+``serve.<stage>`` spans (so JSONL traces remain replayable); with both
+off, :func:`begin_request` returns one shared no-op object after a
+single attribute check — the serve hot path pays one branch per request.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Optional, Tuple
+
+from repro import telemetry as _telemetry
+from repro.flight.recorder import STAGES, FlightRecorder, RequestTrace
+from repro.flight.waterfall import (
+    find_trace,
+    load_flight_dump,
+    render_request_report,
+    render_waterfall,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "STAGES",
+    "FlightRecorder",
+    "RequestTrace",
+    "attach_alert_hook",
+    "begin_request",
+    "disable",
+    "enable",
+    "enabled",
+    "find_trace",
+    "get_recorder",
+    "load_flight_dump",
+    "render_request_report",
+    "render_waterfall",
+]
+
+#: Environment variable that switches the flight ring on at import time.
+ENV_VAR = "REPRO_FLIGHT"
+
+_FALSY = {"", "0", "false", "no", "off"}
+
+
+def _env_enabled(value: "str | None") -> bool:
+    return value is not None and value.strip().lower() not in _FALSY
+
+
+class _NoopFlight:
+    """Shared inert request handle while flight *and* telemetry are off."""
+
+    __slots__ = ()
+
+    trace_id = ""
+    tenant = ""
+    request_id = ""
+    status = "ok"
+    slo_breached = False
+    missing_stages: Tuple[str, ...] = ()
+    complete = True
+
+    def stage(self, name: str, start: float, end: float, **attributes: Any) -> None:
+        return None
+
+    def annotate(self, **fields: Any) -> None:
+        return None
+
+    def finish(self, status: str, reason: str = "", slo_breached: bool = False) -> None:
+        return None
+
+
+_NOOP_FLIGHT = _NoopFlight()
+
+
+class _State:
+    __slots__ = ("enabled", "recorder", "lock")
+
+    def __init__(self) -> None:
+        self.enabled = _env_enabled(os.environ.get(ENV_VAR))
+        self.recorder: Optional[FlightRecorder] = None
+        self.lock = threading.Lock()
+
+
+_state = _State()
+
+
+def enabled() -> bool:
+    """Whether the flight ring is currently recording."""
+    return _state.enabled
+
+
+def enable(recorder: Optional[FlightRecorder] = None) -> FlightRecorder:
+    """Turn the flight ring on (equivalent to ``REPRO_FLIGHT=1``).
+
+    Passing a ``recorder`` swaps it in (tests use this to point the dump
+    directory at a tmp path).
+    """
+    with _state.lock:
+        if recorder is not None:
+            _state.recorder = recorder
+        elif _state.recorder is None:
+            _state.recorder = FlightRecorder()
+        _state.enabled = True
+        return _state.recorder
+
+
+def disable() -> None:
+    """Turn the flight ring off (recorded traces are kept)."""
+    _state.enabled = False
+
+
+def get_recorder(create: bool = True) -> Optional[FlightRecorder]:
+    """The process-wide recorder, building it lazily by default."""
+    with _state.lock:
+        if _state.recorder is None and create:
+            _state.recorder = FlightRecorder()
+        return _state.recorder
+
+
+def _reset_for_tests(recorder: Optional[FlightRecorder] = None) -> None:
+    with _state.lock:
+        _state.recorder = recorder
+        _state.enabled = _env_enabled(os.environ.get(ENV_VAR))
+
+
+def begin_request(request_id: str, tenant: str = ""):
+    """The serve layer's per-request hook (near-free while all off).
+
+    Returns, in order of preference: a ring-backed
+    :class:`RequestTrace` (flight enabled), a recorder-less trace that
+    only mirrors telemetry spans (tracing enabled), or the shared no-op.
+    """
+    if _state.enabled:
+        return get_recorder().begin(request_id, tenant)
+    if _telemetry.enabled():
+        return RequestTrace(request_id, tenant)
+    return _NOOP_FLIGHT
+
+
+def attach_alert_hook(engine, recorder: Optional[FlightRecorder] = None) -> None:
+    """Dump the flight ring whenever a burn-rate alert transitions.
+
+    The listener runs synchronously inside
+    :meth:`repro.obs.alerts.BurnRateAlert.evaluate`, so the dump is
+    written before the next sample can move the state again.
+    """
+    target = recorder if recorder is not None else get_recorder()
+
+    def _on_transition(alert, old: str, new: str, now: float) -> None:
+        target.snapshot_dump(f"alert-{alert.policy.name}-{old}-{new}")
+
+    engine.add_listener(_on_transition)

@@ -1,0 +1,362 @@
+"""Per-request stage traces and the bounded flight-recorder ring.
+
+A :class:`RequestTrace` is the unit the serve path builds as a request
+moves through its pipeline: one :class:`StageRecord` per stage
+(``admit → queue_wait → coalesce → execute → split``), each mirrored
+into the telemetry tracer as a ``serve.<stage>`` span carrying the
+request's ``trace_id``.  The :class:`FlightRecorder` keeps the most
+recent completed traces in a bounded ring — the "black box" — and, when
+a trace ends badly (error, SLO breach) or an alert transitions, dumps
+the offending trace *plus its neighbors* to a JSONL file so the
+post-mortem sees the batch context, not just the victim.
+
+Everything here is clock-free: stage timestamps come from the caller
+(the serve layer's audited ``_CLOCK``), dump filenames use a process
+sequence number, and trace ids come from
+:func:`repro.telemetry.new_trace_id`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro import telemetry as _telemetry
+from repro.telemetry.log import get_logger
+
+__all__ = [
+    "STAGES",
+    "FlightRecorder",
+    "RequestTrace",
+    "StageRecord",
+]
+
+_log = get_logger("flight.recorder")
+
+#: The serve pipeline's stage names, in pipeline order.  A trace is
+#: *complete* when it finished ``ok`` and recorded every one of these.
+STAGES: Tuple[str, ...] = ("admit", "queue_wait", "coalesce", "execute", "split")
+
+
+class StageRecord:
+    """One timed pipeline stage of one request."""
+
+    __slots__ = ("name", "start", "end", "attributes")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.start = float(start)
+        self.end = float(end)
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.attributes:
+            out["attributes"] = self.attributes
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "StageRecord":
+        return cls(
+            str(raw.get("name", "")),
+            float(raw.get("start", 0.0)),
+            float(raw.get("end", 0.0)),
+            raw.get("attributes") or {},
+        )
+
+
+class RequestTrace:
+    """The stage-by-stage record of one request's flight.
+
+    Built by the serve path; ``recorder`` may be ``None`` (tracing
+    enabled but the flight ring off), in which case stages still mirror
+    to telemetry spans but nothing is retained here after finish.
+    """
+
+    __slots__ = (
+        "request_id",
+        "tenant",
+        "trace_id",
+        "status",
+        "reason",
+        "slo_breached",
+        "stages",
+        "annotations",
+        "_recorder",
+    )
+
+    def __init__(
+        self,
+        request_id: str,
+        tenant: str = "",
+        trace_id: str = "",
+        recorder: Optional["FlightRecorder"] = None,
+    ) -> None:
+        self.request_id = str(request_id)
+        self.tenant = str(tenant)
+        self.trace_id = trace_id or _telemetry.new_trace_id()
+        self.status = "open"
+        self.reason = ""
+        self.slo_breached = False
+        self.stages: List[StageRecord] = []
+        self.annotations: Dict[str, Any] = {}
+        self._recorder = recorder
+
+    # -- recording --------------------------------------------------------
+
+    def stage(self, name: str, start: float, end: float, **attributes: Any) -> None:
+        """Record one completed stage and mirror it as a telemetry span."""
+        self.stages.append(StageRecord(name, start, end, attributes))
+        _telemetry.record_span(
+            f"serve.{name}",
+            start,
+            end,
+            trace_id=self.trace_id,
+            request_id=self.request_id,
+            tenant=self.tenant,
+            **attributes,
+        )
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach free-form metadata (batch id, plan label, ...)."""
+        self.annotations.update(fields)
+
+    def finish(
+        self,
+        status: str,
+        reason: str = "",
+        slo_breached: bool = False,
+    ) -> None:
+        """Close the trace (``ok`` / ``rejected`` / ``error``) and hand it
+        to the recorder, which may snapshot a black-box dump."""
+        if self.status != "open":  # idempotent: first finish wins
+            return
+        self.status = status
+        self.reason = reason
+        self.slo_breached = bool(slo_breached)
+        if self._recorder is not None:
+            self._recorder._complete(self)
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def stage_names(self) -> Tuple[str, ...]:
+        return tuple(record.name for record in self.stages)
+
+    @property
+    def missing_stages(self) -> Tuple[str, ...]:
+        """Pipeline stages this trace never recorded."""
+        seen = set(self.stage_names)
+        return tuple(name for name in STAGES if name not in seen)
+
+    @property
+    def complete(self) -> bool:
+        """Finished ``ok`` with every pipeline stage present."""
+        return self.status == "ok" and not self.missing_stages
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "kind": "trace",
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "trace_id": self.trace_id,
+            "status": self.status,
+            "slo_breached": self.slo_breached,
+            "stages": [record.to_dict() for record in self.stages],
+        }
+        if self.reason:
+            out["reason"] = self.reason
+        if self.annotations:
+            out["annotations"] = self.annotations
+        return out
+
+
+#: Ring capacity / dump knobs (read at recorder construction).
+RING_ENV = "REPRO_FLIGHT_RING"
+DIR_ENV = "REPRO_FLIGHT_DIR"
+MAX_DUMPS_ENV = "REPRO_FLIGHT_MAX_DUMPS"
+
+DEFAULT_RING = 256
+DEFAULT_MAX_DUMPS = 8
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
+class FlightRecorder:
+    """Bounded ring of completed request traces with black-box dumps.
+
+    Thread-safe: the serve path finishes traces from the event-loop
+    thread while ``execute`` stages may annotate from lane threads.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        dump_dir: "str | Path | None" = None,
+        max_dumps: Optional[int] = None,
+    ) -> None:
+        self.capacity = capacity if capacity else _env_int(RING_ENV, DEFAULT_RING)
+        env_dir = os.environ.get(DIR_ENV)
+        if dump_dir is None and env_dir:
+            dump_dir = env_dir
+        self.dump_dir: Optional[Path] = Path(dump_dir) if dump_dir else None
+        self.max_dumps = (
+            max_dumps if max_dumps is not None else _env_int(MAX_DUMPS_ENV, DEFAULT_MAX_DUMPS)
+        )
+        self._ring: Deque[RequestTrace] = deque(maxlen=self.capacity)
+        self._open: Dict[str, RequestTrace] = {}
+        self._seq = itertools.count(1)
+        self._dumps_written = 0
+        self._completed = 0
+        self._lock = threading.Lock()
+
+    # -- trace lifecycle --------------------------------------------------
+
+    def begin(self, request_id: str, tenant: str = "") -> RequestTrace:
+        """Open a trace for one admitted (or about-to-be-rejected) request."""
+        trace = RequestTrace(request_id, tenant, recorder=self)
+        with self._lock:
+            self._open[trace.request_id] = trace
+        return trace
+
+    def _complete(self, trace: RequestTrace) -> None:
+        """Called by :meth:`RequestTrace.finish`: retire into the ring and
+        dump on error / SLO breach."""
+        with self._lock:
+            self._open.pop(trace.request_id, None)
+            self._ring.append(trace)
+            self._completed += 1
+        if trace.status == "error":
+            self.snapshot_dump(f"error-{trace.request_id}", trace.request_id)
+        elif trace.slo_breached:
+            self.snapshot_dump(f"slo-breach-{trace.request_id}", trace.request_id)
+
+    # -- lookup -----------------------------------------------------------
+
+    def get(self, request_id: str) -> Optional[RequestTrace]:
+        """A completed (ring) or in-flight trace by request id."""
+        with self._lock:
+            for trace in reversed(self._ring):
+                if trace.request_id == request_id:
+                    return trace
+            return self._open.get(request_id)
+
+    def traces(self) -> List[RequestTrace]:
+        """Completed traces, oldest first (a copy)."""
+        with self._lock:
+            return list(self._ring)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            ring = list(self._ring)
+            open_count = len(self._open)
+            completed = self._completed
+            dumps = self._dumps_written
+        return {
+            "capacity": self.capacity,
+            "ring": len(ring),
+            "open": open_count,
+            "completed": completed,
+            "complete_traces": sum(1 for t in ring if t.complete),
+            "dumps_written": dumps,
+        }
+
+    # -- black-box dumps --------------------------------------------------
+
+    def snapshot_dump(
+        self,
+        reason: str,
+        request_id: str = "",
+        neighbors: int = 8,
+    ) -> Optional[Path]:
+        """Write the offending trace plus its ring neighbors to JSONL.
+
+        Returns the dump path, or ``None`` when no dump directory is
+        configured or the per-process dump budget (``max_dumps``) is
+        spent — a runaway failure mode must not fill the disk.
+        """
+        if self.dump_dir is None:
+            return None
+        with self._lock:
+            if self._dumps_written >= self.max_dumps:
+                return None
+            self._dumps_written += 1
+            seq = next(self._seq)
+            ring = list(self._ring)
+            ring.extend(self._open.values())
+        if request_id:
+            idx = next(
+                (i for i, t in enumerate(ring) if t.request_id == request_id),
+                len(ring) - 1,
+            )
+            lo = max(0, idx - neighbors)
+            selected = ring[lo : idx + neighbors + 1]
+        else:
+            selected = ring[-(2 * neighbors + 1) :]
+        safe_reason = "".join(
+            ch if ch.isalnum() or ch in "-_" else "-" for ch in reason
+        ) or "dump"
+        path = self.dump_dir / f"flight-{seq:04d}-{safe_reason}.jsonl"
+        try:
+            self.dump_dir.mkdir(parents=True, exist_ok=True)
+            with path.open("w", encoding="utf-8") as fh:
+                meta = {
+                    "kind": "meta",
+                    "reason": reason,
+                    "request_id": request_id,
+                    "traces": len(selected),
+                    "pid": os.getpid(),
+                }
+                fh.write(json.dumps(meta) + "\n")
+                for trace in selected:
+                    fh.write(json.dumps(trace.to_dict()) + "\n")
+        except OSError as exc:
+            _log.warning("flight: cannot write dump %s (%s)", path, exc)
+            return None
+        _log.info("flight: wrote black-box dump %s (%s)", path, reason)
+        return path
+
+    def export_jsonl(self, path: "str | Path") -> Path:
+        """Write the entire ring (meta line + every trace) to ``path``."""
+        out = Path(path)
+        ring = self.traces()
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with out.open("w", encoding="utf-8") as fh:
+            meta = {
+                "kind": "meta",
+                "reason": "export",
+                "traces": len(ring),
+                "pid": os.getpid(),
+            }
+            fh.write(json.dumps(meta) + "\n")
+            for trace in ring:
+                fh.write(json.dumps(trace.to_dict()) + "\n")
+        return out

@@ -1,0 +1,297 @@
+"""Stage-waterfall rendering for flight dumps and telemetry traces.
+
+Two on-disk formats answer "where did request X spend its time?":
+
+* **flight dumps** — JSONL written by
+  :meth:`repro.flight.recorder.FlightRecorder.snapshot_dump` /
+  ``export_jsonl``: a ``{"kind": "meta"}`` header line followed by one
+  ``{"kind": "trace"}`` line per request, stages inline;
+* **telemetry traces** — JSONL written by
+  :meth:`repro.telemetry.trace.Tracer.export_jsonl`: one span per line,
+  the serve path's stage spans named ``serve.<stage>`` and stamped with
+  ``request_id``/``trace_id`` attributes.
+
+:func:`render_request_report` accepts either (sniffing the first
+parseable line), reconstructs the request's stage sequence, and renders
+a proportional waterfall — queue wait vs execute vs split — plus the
+coalesced-batch membership the ``execute`` stage links.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.telemetry.log import get_logger
+
+__all__ = [
+    "find_trace",
+    "load_flight_dump",
+    "render_request_report",
+    "render_waterfall",
+    "spans_to_trace",
+]
+
+_log = get_logger("flight.waterfall")
+
+#: Pipeline order used to sort reconstructed stages (mirrors
+#: :data:`repro.flight.recorder.STAGES` without importing the recorder).
+_STAGE_ORDER = ("admit", "queue_wait", "coalesce", "execute", "split")
+
+_BAR_WIDTH = 40
+
+
+def load_flight_dump(path: "str | Path") -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Parse a flight JSONL dump tolerantly.
+
+    Returns ``(trace_dicts, problems)`` — malformed lines are skipped
+    and reported, never fatal, because black-box dumps may be truncated
+    by the very failure they were recording.
+    """
+    traces: List[Dict[str, Any]] = []
+    problems: List[str] = []
+    p = Path(path)
+    if not p.exists():
+        raise ReproError(f"flight dump not found: {p}")
+    with p.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                problems.append(f"line {lineno}: not valid JSON (truncated dump?)")
+                continue
+            if not isinstance(record, dict):
+                problems.append(f"line {lineno}: not a JSON object")
+                continue
+            if record.get("kind") == "meta":
+                continue
+            if record.get("kind") == "trace" or "stages" in record:
+                traces.append(record)
+    return traces, problems
+
+
+def find_trace(
+    traces: Sequence[Dict[str, Any]], request_id: str
+) -> Optional[Dict[str, Any]]:
+    """The newest trace dict for ``request_id`` (dumps append oldest-first)."""
+    for record in reversed(list(traces)):
+        if record.get("request_id") == request_id:
+            return record
+    return None
+
+
+def spans_to_trace(
+    spans: Sequence[Dict[str, Any]], request_id: str
+) -> Optional[Dict[str, Any]]:
+    """Rebuild a flight-style trace dict from telemetry span dicts.
+
+    Collects ``serve.<stage>`` spans whose ``request_id`` attribute
+    matches; returns ``None`` when the request never appears.
+    """
+    stages: List[Dict[str, Any]] = []
+    tenant = ""
+    trace_id = ""
+    for span in spans:
+        name = str(span.get("name", ""))
+        if not name.startswith("serve."):
+            continue
+        attrs = span.get("attributes") or {}
+        if str(attrs.get("request_id", "")) != request_id:
+            continue
+        stage_name = name[len("serve.") :]
+        if stage_name not in _STAGE_ORDER:
+            continue
+        tenant = tenant or str(attrs.get("tenant", ""))
+        trace_id = trace_id or str(attrs.get("trace_id", ""))
+        extra = {
+            k: v
+            for k, v in attrs.items()
+            if k not in ("request_id", "trace_id", "tenant")
+        }
+        stages.append(
+            {
+                "name": stage_name,
+                "start": float(span.get("start", 0.0)),
+                "end": float(span.get("end", 0.0)),
+                "attributes": extra,
+            }
+        )
+    if not stages:
+        return None
+    stages.sort(key=lambda s: (s["start"], _STAGE_ORDER.index(s["name"])))
+    return {
+        "kind": "trace",
+        "request_id": request_id,
+        "tenant": tenant,
+        "trace_id": trace_id,
+        "status": "ok",
+        "stages": stages,
+    }
+
+
+def _fmt_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}µs"
+
+
+def render_waterfall(trace: Dict[str, Any]) -> List[str]:
+    """Render one trace dict as a proportional stage waterfall."""
+    stages = trace.get("stages") or []
+    lines: List[str] = []
+    head = (
+        f"request {trace.get('request_id', '?')}  "
+        f"tenant={trace.get('tenant') or '-'}  "
+        f"trace={trace.get('trace_id') or '-'}  "
+        f"status={trace.get('status', '?')}"
+    )
+    if trace.get("slo_breached"):
+        head += "  [SLO BREACH]"
+    lines.append(head)
+    if trace.get("reason"):
+        lines.append(f"  reason: {trace['reason']}")
+    if not stages:
+        lines.append("  (no stages recorded)")
+        return lines
+
+    t0 = min(float(s.get("start", 0.0)) for s in stages)
+    t1 = max(float(s.get("end", 0.0)) for s in stages)
+    span = max(t1 - t0, 1e-12)
+    total = t1 - t0
+    name_w = max(len(str(s.get("name", ""))) for s in stages)
+    for s in stages:
+        start = float(s.get("start", 0.0))
+        end = float(s.get("end", 0.0))
+        dur = max(0.0, end - start)
+        lo = int(round((start - t0) / span * _BAR_WIDTH))
+        hi = int(round((end - t0) / span * _BAR_WIDTH))
+        hi = max(hi, lo + 1)
+        bar = " " * lo + "█" * (hi - lo)
+        pct = (dur / total * 100.0) if total > 0 else 0.0
+        lines.append(
+            f"  {str(s.get('name', '')).ljust(name_w)} "
+            f"|{bar.ljust(_BAR_WIDTH)}| {_fmt_duration(dur):>9}  {pct:5.1f}%"
+        )
+    lines.append(f"  total {_fmt_duration(total)}")
+
+    execute = next(
+        (s for s in stages if s.get("name") == "execute"), None
+    )
+    if execute is not None:
+        attrs = execute.get("attributes") or {}
+        links = attrs.get("links") or []
+        batch_id = attrs.get("batch_id", "")
+        if batch_id or links:
+            lines.append(
+                f"  coalesced into batch {batch_id or '-'} "
+                f"with {len(links)} member(s): {', '.join(str(x) for x in links)}"
+            )
+
+    recorded = {str(s.get("name", "")) for s in stages}
+    missing = [name for name in _STAGE_ORDER if name not in recorded]
+    if missing and trace.get("status", "ok") == "ok":
+        lines.append(
+            f"  warning: trace truncated — missing stage(s): {', '.join(missing)}"
+        )
+    return lines
+
+
+def _load_any(path: "str | Path") -> Tuple[List[Dict[str, Any]], List[str], str]:
+    """Load a JSONL file as flight traces or telemetry spans.
+
+    Returns ``(records, problems, kind)`` where ``kind`` is ``"flight"``
+    or ``"spans"`` (sniffed from the first parseable line).
+    """
+    p = Path(path)
+    if not p.exists():
+        raise ReproError(f"trace file not found: {p}")
+    kind = ""
+    with p.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                if record.get("kind") in ("meta", "trace") or "stages" in record:
+                    kind = "flight"
+                elif "span_id" in record or "name" in record:
+                    kind = "spans"
+            break
+    if kind == "flight":
+        traces, problems = load_flight_dump(p)
+        return traces, problems, kind
+    # telemetry span JSONL (tolerant, mirroring telemetry.report)
+    spans: List[Dict[str, Any]] = []
+    problems: List[str] = []
+    with p.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                problems.append(f"line {lineno}: not valid JSON (truncated trace?)")
+                continue
+            if isinstance(record, dict):
+                spans.append(record)
+    return spans, problems, "spans"
+
+
+def _known_request_ids(records: List[Dict[str, Any]], kind: str) -> List[str]:
+    ids: List[str] = []
+    seen = set()
+    if kind == "flight":
+        for record in records:
+            rid = str(record.get("request_id", ""))
+            if rid and rid not in seen:
+                seen.add(rid)
+                ids.append(rid)
+    else:
+        for span in records:
+            attrs = span.get("attributes") or {}
+            rid = str(attrs.get("request_id", ""))
+            if rid and rid not in seen:
+                seen.add(rid)
+                ids.append(rid)
+    return ids
+
+
+def render_request_report(path: "str | Path", request_id: str) -> List[str]:
+    """Render the stage waterfall for one request from a JSONL file.
+
+    Accepts both flight dumps and telemetry span exports.  Raises
+    :class:`~repro.errors.ReproError` with the known request ids when
+    ``request_id`` does not appear at all.
+    """
+    records, problems, kind = _load_any(path)
+    if kind == "flight":
+        trace = find_trace(records, request_id)
+    else:
+        trace = spans_to_trace(records, request_id)
+    if trace is None:
+        known = _known_request_ids(records, kind)
+        hint = (
+            f" — known request ids: {', '.join(known[:10])}"
+            + ("..." if len(known) > 10 else "")
+            if known
+            else " — the file contains no request-stamped records"
+        )
+        raise ReproError(
+            f"request id {request_id!r} not found in {path}{hint}"
+        )
+    lines = render_waterfall(trace)
+    for problem in problems:
+        lines.append(f"  note: {problem}")
+    return lines

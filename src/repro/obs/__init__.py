@@ -32,16 +32,19 @@ import threading
 import time
 from typing import Any, Callable, Dict, Optional
 
+from repro.obs.alerts import AlertEngine, AlertPolicy
 from repro.obs.collector import ObsCollector
 from repro.obs.profiler import DEFAULT_INTERVAL, SamplingProfiler
 
 __all__ = [
     "ENV_VAR",
     "bench_summary",
+    "configure_alerts",
     "disable",
     "enable",
     "enabled",
     "fold_worker_payload",
+    "get_alert_engine",
     "get_collector",
     "get_profiler",
     "pass_timer",
@@ -91,13 +94,14 @@ def _env_profile_interval() -> float:
 class _State:
     """Module-global switch + collector/profiler pair."""
 
-    __slots__ = ("enabled", "profile_wanted", "collector", "profiler", "lock")
+    __slots__ = ("enabled", "profile_wanted", "collector", "profiler", "alerts", "lock")
 
     def __init__(self) -> None:
         self.enabled = _env_enabled(os.environ.get(ENV_VAR))
         self.profile_wanted = _env_profile_wanted()
         self.collector = ObsCollector()
         self.profiler: Optional[SamplingProfiler] = None
+        self.alerts: Optional[AlertEngine] = None
         self.lock = threading.Lock()
 
 
@@ -153,6 +157,35 @@ def _ensure_profiler() -> Optional[SamplingProfiler]:
     return profiler
 
 
+def configure_alerts(
+    policies=None, clock=None, supplier=None
+) -> AlertEngine:
+    """(Re)build the burn-rate alert engine over the live collector.
+
+    ``supplier`` defaults to the current collector's
+    :meth:`~repro.obs.collector.ObsCollector.slo_totals`; an injectable
+    ``clock`` makes the state machine fully deterministic in tests.
+    """
+    if supplier is None:
+        collector = _state.collector
+        supplier = collector.slo_totals
+    engine = AlertEngine(supplier, policies=policies, clock=clock)
+    with _state.lock:
+        _state.alerts = engine
+    return engine
+
+
+def get_alert_engine(create: bool = True) -> Optional[AlertEngine]:
+    """The process-wide alert engine (default policy), building it lazily.
+
+    ``create=False`` peeks without instantiating — the exporter uses
+    that so scraping never changes state behind the operator's back.
+    """
+    if _state.alerts is None and create:
+        return configure_alerts()
+    return _state.alerts
+
+
 def _reset_for_tests(
     collector: Optional[ObsCollector] = None,
 ) -> ObsCollector:
@@ -161,6 +194,7 @@ def _reset_for_tests(
     if old is not None:
         old.stop()
     _state.profiler = None
+    _state.alerts = None
     _state.collector = collector if collector is not None else ObsCollector()
     return _state.collector
 
@@ -233,15 +267,21 @@ def record_request(
     elapsed: float,
     outcome: str = "ok",
     slo_breached: bool = False,
+    trace_id: str = "",
+    plan_label: str = "",
 ) -> None:
     """Account one serving-layer request (no-op while disabled).
 
     ``outcome`` is the serve vocabulary: ``ok``, ``rejected_quota``,
-    ``rejected_queue``.
+    ``rejected_queue``.  A non-empty ``trace_id`` attaches the request's
+    identity as the latency bucket's exemplar candidate.
     """
     if not _state.enabled:
         return
-    _state.collector.record_request(tenant, elapsed, outcome, slo_breached)
+    _state.collector.record_request(
+        tenant, elapsed, outcome, slo_breached,
+        trace_id=trace_id, plan_label=plan_label,
+    )
 
 
 def record_serve_batch(size: int, queue_depth: int, affinity_hit: bool) -> None:
@@ -377,8 +417,17 @@ def fold_worker_payload(payload: Optional[Dict[str, Any]]) -> int:
 
 
 def snapshot() -> Dict[str, Any]:
-    """The collector's JSON-able health snapshot (profiler included)."""
-    return _state.collector.snapshot(profiler=_state.profiler)
+    """The collector's JSON-able health snapshot (profiler included).
+
+    When an alert engine exists it is ticked (one supplier sample feeds
+    every alert) and its state rides the snapshot under ``"alerts"``.
+    """
+    snap = _state.collector.snapshot(profiler=_state.profiler)
+    engine = _state.alerts
+    if engine is not None:
+        engine.tick()
+        snap["alerts"] = engine.snapshot()
+    return snap
 
 
 def bench_summary() -> Dict[str, Any]:

@@ -263,12 +263,16 @@ class ObsCollector:
         elapsed: float,
         outcome: str = "ok",
         slo_breached: bool = False,
+        trace_id: str = "",
+        plan_label: str = "",
     ) -> None:
         """Account one serving-layer request for ``tenant``.
 
         ``outcome`` follows the serve vocabulary (``ok`` /
         ``rejected_quota`` / ``rejected_queue``); latency is recorded
-        only for completed requests.
+        only for completed requests.  A non-empty ``trace_id`` lets the
+        sample compete for its latency bucket's exemplar slot, so p99
+        outliers in the exporter link back to a concrete request.
         """
         with self._lock:
             stats = self._tenants.get(tenant)
@@ -277,9 +281,25 @@ class ObsCollector:
             stats.requests += 1
             stats.outcomes[outcome] = stats.outcomes.get(outcome, 0) + 1
             if outcome == "ok":
-                stats.hist.observe(elapsed)
+                stats.hist.observe(
+                    elapsed, trace_id=trace_id, tenant=tenant, label=plan_label
+                )
             if slo_breached:
                 stats.slo_breaches += 1
+
+    def slo_totals(self) -> Tuple[int, int]:
+        """``(completed_requests, slo_breaches)`` summed over all tenants.
+
+        The ratio feeds the burn-rate alert engine
+        (:mod:`repro.obs.alerts`); both totals are monotonic.
+        """
+        with self._lock:
+            total = 0
+            breaches = 0
+            for stats in self._tenants.values():
+                total += stats.outcomes.get("ok", 0)
+                breaches += stats.slo_breaches
+            return total, breaches
 
     def observe_serve_batch(
         self, size: int, queue_depth: int, affinity_hit: bool

@@ -77,15 +77,35 @@ class _Lines:
             self._declared.add(name)
 
     def sample(
-        self, name: str, labels: Optional[Dict[str, str]], value: float
+        self,
+        name: str,
+        labels: Optional[Dict[str, str]],
+        value: float,
+        exemplar: Optional[Dict[str, Any]] = None,
     ) -> None:
+        """One sample line, optionally with an OpenMetrics-style exemplar.
+
+        The exemplar renders as a ``# {label="..."} value`` annotation
+        after the sample — Prometheus 0.0.4 scrapers treat everything
+        past ``#`` as a comment, OpenMetrics-aware ones pick up the
+        linked trace.
+        """
         if labels:
             rendered = ",".join(
                 f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
             )
-            self._out.append(f"{name}{{{rendered}}} {_fmt(value)}")
+            line = f"{name}{{{rendered}}} {_fmt(value)}"
         else:
-            self._out.append(f"{name} {_fmt(value)}")
+            line = f"{name} {_fmt(value)}"
+        if exemplar:
+            ex_value = exemplar.get("value", 0.0)
+            ex_labels = ",".join(
+                f'{k}="{_escape_label(str(v))}"'
+                for k, v in sorted(exemplar.items())
+                if k != "value" and v
+            )
+            line += f" # {{{ex_labels}}} {_fmt(float(ex_value))}"
+        self._out.append(line)
 
     def text(self) -> str:
         return "\n".join(self._out) + "\n"
@@ -242,10 +262,25 @@ def render_prometheus(snap: Dict[str, Any]) -> str:
                 "histogram",
                 "Serving-layer request latency distribution by tenant.",
             )
-            for bound, cumulative in hist.cumulative():
+            for index, (bound, cumulative) in enumerate(hist.cumulative()):
                 le = dict(base)
                 le["le"] = "+Inf" if bound == math.inf else _fmt(bound)
-                out.sample("repro_tenant_latency_seconds_bucket", le, float(cumulative))
+                ex = hist.bucket_exemplar(index)
+                out.sample(
+                    "repro_tenant_latency_seconds_bucket",
+                    le,
+                    float(cumulative),
+                    exemplar=(
+                        {
+                            "trace_id": ex.trace_id,
+                            "tenant": ex.tenant,
+                            "plan": ex.label,
+                            "value": ex.value,
+                        }
+                        if ex is not None
+                        else None
+                    ),
+                )
             out.sample("repro_tenant_latency_seconds_sum", base, float(hist.sum))
             out.sample("repro_tenant_latency_seconds_count", base, float(hist.count))
 
@@ -301,6 +336,32 @@ def render_prometheus(snap: Dict[str, Any]) -> str:
             "repro_serve_queue_peak", "gauge", "Peak admitted-but-unanswered requests."
         )
         out.sample("repro_serve_queue_peak", None, float(serve.get("queue_peak", 0)))
+
+    for alert in snap.get("alerts") or []:
+        labels = {"alert": str(alert.get("name", ""))}
+        out.family(
+            "repro_alert_state",
+            "gauge",
+            "Burn-rate alert state (0=ok, 1=pending, 2=firing).",
+        )
+        out.sample("repro_alert_state", labels, float(alert.get("state_code", 0)))
+        out.family(
+            "repro_alert_transitions_total",
+            "counter",
+            "Burn-rate alert state transitions.",
+        )
+        out.sample(
+            "repro_alert_transitions_total", labels, float(alert.get("transitions", 0))
+        )
+        out.family(
+            "repro_alert_burn_rate",
+            "gauge",
+            "Observed SLO burn-rate multiple per alert window.",
+        )
+        for window, info in sorted((alert.get("windows") or {}).items()):
+            wl = dict(labels)
+            wl["window"] = window
+            out.sample("repro_alert_burn_rate", wl, float(info.get("burn_rate", 0.0)))
 
     profile = snap.get("profile") or {}
     out.family(

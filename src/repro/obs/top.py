@@ -63,6 +63,24 @@ def _attainment_cell(fraction: float, color: bool) -> str:
     return _paint(text, code, color)
 
 
+def _slowest_exemplar(entry: Dict[str, Any]) -> str:
+    """``trace@latency`` of the worst exemplar in a tenant's histogram."""
+    exemplars = (entry.get("latency") or {}).get("exemplars") or {}
+    best: Optional[List[Any]] = None
+    for raw in exemplars.values():
+        if not raw:
+            continue
+        if best is None or float(raw[0]) > float(best[0]):
+            best = raw
+    if best is None:
+        return "-"
+    trace_id = str(best[1]) if len(best) > 1 else ""
+    return f"{trace_id or '?'}@{_fmt_latency(float(best[0]))}"
+
+
+_ALERT_CODES = {"ok": _GREEN, "pending": _YELLOW, "firing": _RED}
+
+
 def render_top(snap: Dict[str, Any], color: bool = True) -> List[str]:
     """Render one frame of the live view as a list of lines."""
     lines: List[str] = []
@@ -154,11 +172,12 @@ def render_top(snap: Dict[str, Any], color: bool = True) -> List[str]:
                     _fmt_latency(float(entry.get("p50_s", 0.0))),
                     _fmt_latency(float(entry.get("p99_s", 0.0))),
                     int(entry.get("slo_breaches", 0)),
+                    _slowest_exemplar(entry),
                 )
             )
         lines.extend(
             format_table(
-                ["tenant", "req", "ok", "rej", "p50", "p99", "slo✗"],
+                ["tenant", "req", "ok", "rej", "p50", "p99", "slo✗", "slowest"],
                 rows,
                 title="Tenants (serving)",
             ).splitlines()
@@ -174,6 +193,24 @@ def render_top(snap: Dict[str, Any], color: bool = True) -> List[str]:
                 f"max {int(serve.get('max_batch', 0))} coalesced, "
                 f"affinity {rate:.1f}%, "
                 f"queue peak {int(serve.get('queue_peak', 0))}"
+            )
+        lines.append("")
+
+    alerts = snap.get("alerts") or []
+    if alerts:
+        lines.append(_paint("Alerts (SLO burn rate)", _BOLD, color))
+        for alert in alerts:
+            state = str(alert.get("state", "ok"))
+            windows = alert.get("windows") or {}
+            burns = ", ".join(
+                f"{name} {float(info.get('burn_rate', 0.0)):.2f}x"
+                f"/{float(info.get('threshold', 0.0)):.1f}x"
+                for name, info in sorted(windows.items())
+            )
+            lines.append(
+                f"  {alert.get('name', '?')}: "
+                f"{_paint(state.upper(), _ALERT_CODES.get(state, _RED), color)}"
+                f"  ({burns}; {int(alert.get('transitions', 0))} transition(s))"
             )
         lines.append("")
 

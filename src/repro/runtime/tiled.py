@@ -167,54 +167,60 @@ def _run_tile_shm(task: dict) -> Tuple[int, int, Optional[dict]]:
     recorded while computing (``None`` when telemetry is off) — the parent
     folds it back into its own tracer, so process-pool tiles keep their
     spans instead of dropping them with the worker.
+
+    The task dict may carry a ``"trace"`` tag (the submitting request's
+    ``(trace_id, request_id)``); the worker re-enters that scope so both
+    its spans and the capture payload are stamped with the right trace.
     """
     _injected_fault("worker")
-    mark = capture_mark()
-    cap = obs.tile_capture()
-    lo, hi = task["lo"], task["hi"]
-    kernel: StencilKernel = task["kernel"]
-    k = kernel.edge
-    seg_in = _attach_shared(task["in_name"])
-    seg_out = _attach_shared(task["out_name"])
-    try:
-        padded = np.ndarray(task["in_shape"], dtype=np.float64, buffer=seg_in.buf)
-        out = np.ndarray(task["out_shape"], dtype=np.float64, buffer=seg_out.buf)
-        engine = _engine_for(kernel.ndim)
-        with telemetry.span(
-            "runtime.tiled.tile", kernel=kernel.name, lo=lo, hi=hi
-        ), cap:
-            out[lo:hi] = engine(padded[lo : hi + k - 1], kernel)
-    finally:
-        seg_in.close()
-        seg_out.close()
-    return lo, hi, obs.attach_tile_payload(capture_delta(mark), cap)
+    with telemetry.trace_scope(*(task.get("trace") or ("",))):
+        mark = capture_mark()
+        cap = obs.tile_capture()
+        lo, hi = task["lo"], task["hi"]
+        kernel: StencilKernel = task["kernel"]
+        k = kernel.edge
+        seg_in = _attach_shared(task["in_name"])
+        seg_out = _attach_shared(task["out_name"])
+        try:
+            padded = np.ndarray(task["in_shape"], dtype=np.float64, buffer=seg_in.buf)
+            out = np.ndarray(task["out_shape"], dtype=np.float64, buffer=seg_out.buf)
+            engine = _engine_for(kernel.ndim)
+            with telemetry.span(
+                "runtime.tiled.tile", kernel=kernel.name, lo=lo, hi=hi
+            ), cap:
+                out[lo:hi] = engine(padded[lo : hi + k - 1], kernel)
+        finally:
+            seg_in.close()
+            seg_out.close()
+        return lo, hi, obs.attach_tile_payload(capture_delta(mark), cap)
 
 
 def _run_batch_tile_shm(task: dict) -> Tuple[int, int, Optional[dict]]:
     """Worker body: one batch-axis tile of one ensemble pass."""
     _injected_fault("worker")
-    mark = capture_mark()
-    cap = obs.tile_capture()
-    lo, hi = task["lo"], task["hi"]
-    kernel: StencilKernel = task["kernel"]
-    seg_in = _attach_shared(task["in_name"])
-    seg_out = _attach_shared(task["out_name"])
-    try:
-        padded = np.ndarray(task["in_shape"], dtype=np.float64, buffer=seg_in.buf)
-        out = np.ndarray(task["out_shape"], dtype=np.float64, buffer=seg_out.buf)
-        with telemetry.span(
-            "runtime.tiled.tile", kernel=kernel.name, lo=lo, hi=hi, batched=True
-        ), cap:
-            if kernel.ndim == 2:
-                out[lo:hi] = convstencil_valid_2d_batched(padded[lo:hi], kernel)
-            else:
-                engine = _engine_for(kernel.ndim)
-                for b in range(lo, hi):
-                    out[b] = engine(padded[b], kernel)
-    finally:
-        seg_in.close()
-        seg_out.close()
-    return lo, hi, obs.attach_tile_payload(capture_delta(mark), cap)
+    with telemetry.trace_scope(*(task.get("trace") or ("",))):
+        mark = capture_mark()
+        cap = obs.tile_capture()
+        lo, hi = task["lo"], task["hi"]
+        kernel: StencilKernel = task["kernel"]
+        seg_in = _attach_shared(task["in_name"])
+        seg_out = _attach_shared(task["out_name"])
+        try:
+            padded = np.ndarray(task["in_shape"], dtype=np.float64, buffer=seg_in.buf)
+            out = np.ndarray(task["out_shape"], dtype=np.float64, buffer=seg_out.buf)
+            with telemetry.span(
+                "runtime.tiled.tile", kernel=kernel.name, lo=lo, hi=hi, batched=True
+            ), cap:
+                if kernel.ndim == 2:
+                    out[lo:hi] = convstencil_valid_2d_batched(padded[lo:hi], kernel)
+                else:
+                    engine = _engine_for(kernel.ndim)
+                    for b in range(lo, hi):
+                        out[b] = engine(padded[b], kernel)
+        finally:
+            seg_in.close()
+            seg_out.close()
+        return lo, hi, obs.attach_tile_payload(capture_delta(mark), cap)
 
 
 class TiledBackend(SerialBackend):
@@ -394,6 +400,11 @@ class TiledBackend(SerialBackend):
         try:
             shared_in = np.ndarray(padded.shape, dtype=np.float64, buffer=seg_in.buf)
             shared_in[...] = padded
+            # Pool workers don't inherit contextvars; ship the ambient
+            # request identity with each task so worker spans land under
+            # the submitting request's trace.
+            ctx = telemetry.current_trace()
+            trace_tag = tuple(ctx) if ctx is not None else None
             tasks = [
                 {
                     "lo": lo,
@@ -403,6 +414,7 @@ class TiledBackend(SerialBackend):
                     "in_shape": padded.shape,
                     "out_name": seg_out.name,
                     "out_shape": out_shape,
+                    "trace": trace_tag,
                 }
                 for lo, hi in bounds
             ]
@@ -423,10 +435,13 @@ class TiledBackend(SerialBackend):
         out = np.empty(out_shape, dtype=np.float64)
         k = kernel.edge
         engine = _engine_for(kernel.ndim)
+        # Thread-pool workers don't inherit contextvars either; close over
+        # the caller's trace so tile spans keep their request identity.
+        trace = telemetry.current_trace()
 
         def run_tile(b):
             lo, hi = b
-            with telemetry.span(
+            with telemetry.trace_scope(trace), telemetry.span(
                 "runtime.tiled.tile", kernel=kernel.name, lo=lo, hi=hi
             ), obs.tile_capture():
                 if worker is _run_batch_tile_shm:

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import flight
 from repro.core.api import ConvStencil
 from repro.errors import ServeError
 from repro.obs.hist import LatencyHistogram
@@ -168,9 +169,67 @@ async def replay(
                 response.data, reference
             ):
                 mismatches.append(request.request_id)
-    return summarize(
+    report = summarize(
         trace, responses, service, mismatches, checked=check_identity
     )
+    report["flight"] = _flight_report(trace, responses)
+    return report
+
+
+def _flight_report(
+    trace: Sequence[Request], responses: Sequence[Optional[Response]]
+) -> Dict[str, Any]:
+    """Assert the flight ring holds a *complete* trace per accepted request.
+
+    The serving observability gate: with the flight recorder enabled,
+    every request the replay completed must have all five pipeline
+    stages, its ``execute`` stage must link every member of its
+    coalesced batch, and at least some traces must be multi-request
+    (coalescing actually exercised).  Raises :class:`ServeError` on any
+    incomplete trace — a replay that loses traces is a bug, not noise.
+    """
+    if not flight.enabled():
+        return {"enabled": False}
+    recorder = flight.get_recorder()
+    incomplete: List[str] = []
+    missing: List[str] = []
+    multi_request = 0
+    checked = 0
+    for request, response in zip(trace, responses):
+        if response is None or not response.ok:
+            continue
+        checked += 1
+        rec_trace = recorder.get(request.request_id)
+        if rec_trace is None:
+            missing.append(request.request_id)
+            continue
+        if not rec_trace.complete:
+            incomplete.append(request.request_id)
+            continue
+        execute = next(
+            s for s in rec_trace.stages if s.name == "execute"
+        )
+        links = execute.attributes.get("links") or []
+        if request.request_id not in links:
+            incomplete.append(request.request_id)
+        elif len(links) > 1:
+            multi_request += 1
+    if missing or incomplete:
+        detail = ", ".join((missing + incomplete)[:10])
+        raise ServeError(
+            f"flight recorder lost {len(missing)} trace(s) and "
+            f"{len(incomplete)} incomplete trace(s) out of {checked} "
+            f"completed requests (e.g. {detail}) — every replayed request "
+            "must yield a complete admit→queue_wait→coalesce→execute→split "
+            "trace whose execute stage links its batch members"
+        )
+    return {
+        "enabled": True,
+        "checked": checked,
+        "complete": checked,
+        "multi_request_traces": multi_request,
+        "recorder": recorder.stats(),
+    }
 
 
 def summarize(

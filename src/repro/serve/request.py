@@ -17,6 +17,8 @@ latency.
 
 from __future__ import annotations
 
+import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -32,6 +34,11 @@ __all__ = ["Request", "Response", "coalesce_key"]
 #: Response status vocabulary (stringly-typed on purpose: JSON-able).
 STATUS_OK = "ok"
 STATUS_REJECTED = "rejected"
+
+#: Fallback request-id sequence (clock-free, pid-qualified like
+#: :func:`repro.telemetry.new_trace_id`) for requests constructed without
+#: an explicit id — flight traces and span links need a non-empty identity.
+_REQUEST_IDS = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -67,6 +74,10 @@ class Request:
         object.__setattr__(self, "data", data)
         object.__setattr__(self, "boundary", BoundaryCondition(self.boundary))
         object.__setattr__(self, "fill_value", float(self.fill_value))
+        if not self.request_id:
+            object.__setattr__(
+                self, "request_id", f"q{os.getpid():x}-{next(_REQUEST_IDS):06d}"
+            )
 
     @property
     def grid_shape(self) -> Tuple[int, ...]:

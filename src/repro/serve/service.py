@@ -29,6 +29,7 @@ audited-single-call-site discipline as :mod:`repro.obs.collector`.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import time
 import threading
 from collections import OrderedDict
@@ -38,7 +39,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro import obs, telemetry
+from repro import flight, obs, telemetry
 from repro.core.fusion import FusionPlan, plan_fusion
 from repro.errors import QueueSaturated, QuotaExceeded, ServeError
 from repro.obs.hist import LatencyHistogram
@@ -125,12 +126,25 @@ class _PendingBatch:
     requests: List[Request] = field(default_factory=list)
     futures: List["asyncio.Future"] = field(default_factory=list)
     enqueued_at: List[float] = field(default_factory=list)
+    #: Per-request flight handles (RequestTrace or the shared no-op) and
+    #: the admit-stage end times their queue_wait stages start from.
+    flights: List[Any] = field(default_factory=list)
+    admitted_at: List[float] = field(default_factory=list)
     timer: Optional["asyncio.Task"] = None
 
-    def add(self, request: Request, future: "asyncio.Future", now: float) -> None:
+    def add(
+        self,
+        request: Request,
+        future: "asyncio.Future",
+        now: float,
+        fl: Any,
+        admitted: float,
+    ) -> None:
         self.requests.append(request)
         self.futures.append(future)
         self.enqueued_at.append(now)
+        self.flights.append(fl)
+        self.admitted_at.append(admitted)
 
     def __len__(self) -> int:
         return len(self.requests)
@@ -179,6 +193,7 @@ class StencilService:
         self._max_batch = 0
         self._affinity_hits = 0
         self._affinity_misses = 0
+        self._batch_seq = itertools.count(1)
         self._closed = False
 
     # -- kernel interning --------------------------------------------------
@@ -251,16 +266,21 @@ class StencilService:
             return self.config.slo_seconds
         return obs.get_collector().slo_seconds
 
-    def _account_ok(self, tenant: str, latency: float) -> bool:
+    def _account_ok(
+        self, tenant: str, latency: float, trace_id: str = "", plan_label: str = ""
+    ) -> bool:
         slo = self._slo_seconds()
         breached = slo is not None and latency > slo
         stats = self._tenant(tenant)
         stats.requests += 1
         stats.ok += 1
-        stats.hist.observe(latency)
+        stats.hist.observe(latency, trace_id=trace_id, tenant=tenant, label=plan_label)
         if breached:
             stats.slo_breaches += 1
-        obs.record_request(tenant, latency, "ok", slo_breached=breached)
+        obs.record_request(
+            tenant, latency, "ok", slo_breached=breached,
+            trace_id=trace_id, plan_label=plan_label,
+        )
         return breached
 
     def _account_reject(self, tenant: str, reason: str) -> None:
@@ -287,6 +307,7 @@ class StencilService:
         loop = asyncio.get_running_loop()
         now = self._clock()
         telemetry.counter("serve.requests").inc()
+        fl = flight.begin_request(request.request_id, request.tenant)
 
         # Queue depth is checked before the token bucket so a request the
         # service cannot even enqueue does not burn quota — tenants must
@@ -294,6 +315,8 @@ class StencilService:
         if self._queued >= self.config.max_queue_depth:
             retry_after = self.config.coalesce_window_s
             self._account_reject(request.tenant, "queue")
+            fl.stage("admit", now, self._clock(), outcome="rejected_queue")
+            fl.finish("rejected", reason="queue")
             response = Response(
                 request_id=request.request_id,
                 tenant=request.tenant,
@@ -311,6 +334,8 @@ class StencilService:
         admitted, retry_after = self._quota.try_acquire(request.tenant, now)
         if not admitted:
             self._account_reject(request.tenant, "quota")
+            fl.stage("admit", now, self._clock(), outcome="rejected_quota")
+            fl.finish("rejected", reason="quota")
             response = Response(
                 request_id=request.request_id,
                 tenant=request.tenant,
@@ -329,12 +354,14 @@ class StencilService:
         fusion = self._fusion_for(kernel, request.fusion)
         key = coalesce_key(request, kernel, fusion.depth)
         future: "asyncio.Future" = loop.create_future()
+        admit_end = self._clock()
+        fl.stage("admit", now, admit_end, outcome="admitted", kernel=key.kernel_name)
 
         batch = self._pending.get(key)
         if batch is None:
             batch = self._pending[key] = _PendingBatch(kernel=kernel, fusion=fusion)
             batch.timer = self._spawn(self._flush_after_window(key))
-        batch.add(request, future, now)
+        batch.add(request, future, now, fl, admit_end)
         self._queued += 1
         self._queue_peak = max(self._queue_peak, self._queued)
         if len(batch) >= self.config.max_batch:
@@ -348,6 +375,9 @@ class StencilService:
     # -- coalescing & flush ------------------------------------------------
 
     def _spawn(self, coro) -> "asyncio.Task":
+        # staticcheck: trace-context-propagated — create_task copies the
+        # caller's contextvars (asyncio does this natively), so the ambient
+        # trace_id survives into the flush coroutine.
         task = asyncio.get_running_loop().create_task(coro)
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
@@ -383,16 +413,28 @@ class StencilService:
         kernel: StencilKernel,
         fusion: FusionPlan,
         arrays: List[np.ndarray],
+        batch_meta: Tuple[str, str, str, Tuple[str, ...]] = ("", "", "", ()),
     ):
-        """Lane-thread body: one stacked pass over the coalesced batch."""
+        """Lane-thread body: one stacked pass over the coalesced batch.
+
+        ``batch_meta`` is ``(trace_id, lead_request_id, batch_id,
+        member_request_ids)``: the lane thread re-enters the lead
+        request's trace scope so every span the pass emits — including
+        tiled-worker folds — lands under that trace, and the single
+        ``serve.batch`` span links all N coalesced members (the N:1
+        structure of the paper's GEMM amortisation, Eq. 13).
+        """
         from repro.runtime import execute_batch, plan_for
 
-        with telemetry.span(
+        trace_id, lead_request, batch_id, members = batch_meta
+        with telemetry.trace_scope(trace_id, lead_request), telemetry.span(
             "serve.batch",
             kernel=kernel.name,
             shape=key.grid_shape,
             steps=key.steps,
             batch=len(arrays),
+            batch_id=batch_id,
+            links=list(members),
         ):
             plan = plan_for(kernel, key.grid_shape, key.boundary, fusion)
             stacked = np.stack(arrays)
@@ -416,9 +458,23 @@ class StencilService:
         error: Optional[Exception] = None
         outputs: List[np.ndarray] = []
         arrays = [request.data for request in batch.requests]
+        flush_start = self._clock()
+        batch_id = f"b{next(self._batch_seq):05d}"
+        members = tuple(request.request_id for request in batch.requests)
+        # The batch executes under the lead (first-admitted) request's
+        # trace; the execute stage on every member links all of them.
+        batch_trace = next((h.trace_id for h in batch.flights if h.trace_id), "")
+        lead_request = members[0] if members else ""
+        for fl, admitted in zip(batch.flights, batch.admitted_at):
+            fl.stage("queue_wait", admitted, flush_start, batch_id=batch_id)
+        exec_start = self._clock()
         try:
+            # staticcheck: trace-context-propagated — run_in_executor does
+            # NOT copy contextvars; _execute re-enters the batch trace
+            # scope explicitly via batch_meta in the lane thread.
             outputs = await loop.run_in_executor(
-                lane.pool, self._execute, key, batch.kernel, batch.fusion, arrays
+                lane.pool, self._execute, key, batch.kernel, batch.fusion, arrays,
+                (batch_trace, lead_request, batch_id, members),
             )
         except Exception as exc:
             # Broad on purpose: whatever the execute path raises
@@ -444,17 +500,36 @@ class StencilService:
                     f"batched pass for {key.kernel_name} produced "
                     f"{len(outputs)} result(s) for {n} request(s)"
                 )
-            for position, (request, future, t0) in enumerate(
-                zip(batch.requests, batch.futures, batch.enqueued_at)
+            plan_label = f"{key.kernel_name}@{self.config.backend}"
+            stage_attrs = {
+                "batch_id": batch_id,
+                "batch_size": n,
+                "lane": lane.index,
+                "affinity_hit": affinity_hit,
+            }
+            settled: List[Tuple[Any, bool]] = []
+            for position, (request, future, t0, fl) in enumerate(
+                zip(batch.requests, batch.futures, batch.enqueued_at, batch.flights)
             ):
                 self._queued -= 1
+                fl.stage("coalesce", flush_start, exec_start, **stage_attrs)
+                fl.stage(
+                    "execute", exec_start, end, links=list(members), **stage_attrs
+                )
                 if future.done():
+                    fl.finish("cancelled", reason="future already settled")
                     continue
                 if error is not None:
+                    fl.finish(
+                        "error", reason=f"{type(error).__name__}: {error}"
+                    )
                     future.set_exception(error)
                     continue
                 latency = end - t0
-                self._account_ok(request.tenant, latency)
+                breached = self._account_ok(
+                    request.tenant, latency,
+                    trace_id=fl.trace_id, plan_label=plan_label,
+                )
                 future.set_result(
                     Response(
                         request_id=request.request_id,
@@ -467,6 +542,11 @@ class StencilService:
                         latency_s=latency,
                     )
                 )
+                settled.append((fl, breached))
+            split_end = self._clock()
+            for fl, breached in settled:
+                fl.stage("split", end, split_end, batch_id=batch_id)
+                fl.finish("ok", slo_breached=breached)
             self._batches += 1
             self._batched_requests += n
             self._max_batch = max(self._max_batch, n)

@@ -1,4 +1,4 @@
-"""Layer 5 — asyncio concurrency rules for the serving stack (RPR301–304).
+"""Layer 5 — asyncio concurrency rules for the serving stack (RPR301–305).
 
 The serve layer (``repro.serve``) mixes one asyncio event loop with
 per-plan single-thread executors and a handful of *sync* ``threading``
@@ -22,23 +22,41 @@ RPR303    fire-and-forget ``create_task``/``ensure_future`` as a bare
 RPR304    executor submission (``run_in_executor``, ``<pool>.submit``)
           while holding a sync lock: the service lock serialises lane
           dispatch, and a slow lane wedges every other tenant behind it.
+RPR305    task/executor hand-off in ``repro.serve`` that drops the
+          ambient trace context: ``create_task`` copies contextvars but
+          ``run_in_executor``/``submit`` do not, so a hand-off with no
+          ``copy_context`` call and no documented-propagation marker
+          silently detaches every downstream span from its request.
 ========  ==================================================================
 
-All four scan every checked file; they are tuned to the idioms the serve
-layer actually uses (``with self._intern_lock`` in sync helpers is fine,
-``_spawn``'s assigned-and-callback'd ``create_task`` is fine).
+RPR301–304 scan every checked file; RPR305 applies only to the serve
+tree, where the flight layer's per-request tracing makes propagation a
+correctness property (a dropped context orphans the request's
+``execute``/worker spans).  All are tuned to the idioms the serve layer
+actually uses (``with self._intern_lock`` in sync helpers is fine,
+``_spawn``'s assigned-and-callback'd ``create_task`` is fine, hand-offs
+annotated ``# staticcheck: trace-context-propagated`` pass RPR305).
 """
 
 from __future__ import annotations
 
 import ast
+from pathlib import Path
 from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.staticcheck.engine import ModuleSource, rule
 from repro.staticcheck.finding import Finding
 from repro.staticcheck.rules_concurrency import lock_name, terminal_name
 
-__all__ = ["ASYNC_BLOCKING_CALLS", "EXECUTOR_RECEIVER_HINTS"]
+__all__ = [
+    "ASYNC_BLOCKING_CALLS",
+    "EXECUTOR_RECEIVER_HINTS",
+    "TRACE_CONTEXT_MARK",
+]
+
+#: In-function marker documenting that a task/executor hand-off carries
+#: the ambient trace context (natively, or re-entered on the far side).
+TRACE_CONTEXT_MARK = "staticcheck: trace-context-propagated"
 
 #: ``(receiver, attr)`` attribute calls treated as blocking inside
 #: ``async def``.  ``receiver`` of ``""`` means a bare-name call.
@@ -246,3 +264,67 @@ def check_executor_under_lock(module: ModuleSource) -> Iterator[Finding]:
                     "submit (see StencilService._flush)"
                 ),
             )
+
+
+# ---------------------------------------------------------------------------
+# RPR305 — task/executor hand-off dropping the ambient trace context
+
+
+def _handoff_label(call: ast.Call) -> str:
+    """Label for a task-spawn or executor-submission call, else ``""``."""
+    name = terminal_name(call.func)
+    if name in ("create_task", "ensure_future"):
+        return f"{name}(...)"
+    if isinstance(call.func, ast.Attribute):
+        if call.func.attr == "run_in_executor":
+            return "run_in_executor(...)"
+        if call.func.attr == "submit":
+            receiver = terminal_name(call.func.value).lower()
+            if any(h in receiver for h in EXECUTOR_RECEIVER_HINTS):
+                return f"{receiver}.submit(...)"
+    return ""
+
+
+@rule(
+    "RPR305",
+    "error",
+    "serve-layer task/executor hand-off drops the ambient trace context",
+)
+def check_trace_context_handoff(module: ModuleSource) -> Iterator[Finding]:
+    """Flag serve-tree ``create_task``/``ensure_future``/
+    ``run_in_executor``/``<pool>.submit`` calls whose enclosing function
+    neither calls ``contextvars.copy_context`` nor carries the
+    :data:`TRACE_CONTEXT_MARK` annotation.
+
+    The flight layer's request spans ride a contextvar
+    (:func:`repro.telemetry.current_trace`); ``create_task`` copies the
+    context natively but ``run_in_executor``/``submit`` do not, and
+    either way the propagation decision must be *visible* at the
+    hand-off site — natively-propagating sites document it with the
+    marker instead of suppressing the rule.
+    """
+    if "serve" not in Path(module.path).parts:
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        label = _handoff_label(node)
+        if not label:
+            continue
+        if module.has_marker("copy_context", node):
+            continue
+        if module.has_marker(TRACE_CONTEXT_MARK, node):
+            continue
+        yield module.finding(
+            "RPR305",
+            "error",
+            node,
+            f"{label} hands work off without trace-context propagation — "
+            "the spawned task/thread loses the ambient trace_id and every "
+            "span it records is orphaned from its request",
+            fix_hint=(
+                "run the callee under contextvars.copy_context() or "
+                "re-enter the trace (telemetry.trace_scope) on the far "
+                f"side, then annotate the site with '# {TRACE_CONTEXT_MARK}'"
+            ),
+        )

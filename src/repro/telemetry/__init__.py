@@ -57,12 +57,19 @@ from repro.telemetry.report import (
 from repro.telemetry.trace import (
     Span,
     SpanContext,
+    TraceContext,
     Tracer,
+    current_trace,
     disable,
     enable,
     enabled,
     get_tracer,
+    new_trace_id,
+    record_span,
+    reset_trace,
+    set_trace,
     span,
+    trace_scope,
 )
 
 __all__ = [
@@ -74,11 +81,13 @@ __all__ = [
     "PhaseStat",
     "Span",
     "SpanContext",
+    "TraceContext",
     "Tracer",
     "capture_delta",
     "capture_mark",
     "configure_logging",
     "counter",
+    "current_trace",
     "disable",
     "fold_capture",
     "enable",
@@ -90,11 +99,16 @@ __all__ = [
     "get_tracer",
     "histogram",
     "load_trace",
+    "new_trace_id",
     "perf_counters_from_registry",
     "perfwatch_summary",
     "phase_breakdown",
+    "record_span",
     "render_phase_report",
+    "reset_trace",
+    "set_trace",
     "span",
     "staticcheck_summary",
+    "trace_scope",
     "worker_summary",
 ]

@@ -84,11 +84,18 @@ def capture_delta(mark: CaptureMark) -> Optional[Dict[str, Any]]:
         for name, value in _counter_values().items()
         if value - counters0.get(name, 0) > 0
     }
-    return {
+    payload: Dict[str, Any] = {
         "pid": os.getpid(),
         "spans": [sp.to_dict() for sp in spans],
         "counters": deltas,
     }
+    # Ambient request identity rides the payload so the parent-side fold
+    # can attach worker spans to the originating request's trace even if
+    # a span was recorded outside the worker's trace scope.
+    ctx = _trace.current_trace()
+    if ctx is not None:
+        payload["trace"] = [ctx.trace_id, ctx.request_id]
+    return payload
 
 
 def fold_capture(payload: Optional[Dict[str, Any]], worker: Optional[str] = None) -> int:
@@ -105,8 +112,14 @@ def fold_capture(payload: Optional[Dict[str, Any]], worker: Optional[str] = None
     if pid == os.getpid():
         return 0
     label = worker if worker is not None else f"pid-{pid}"
+    trace_tag = payload.get("trace") or ()
+    defaults: Optional[Dict[str, Any]] = None
+    if trace_tag and trace_tag[0]:
+        defaults = {"trace_id": str(trace_tag[0])}
+        if len(trace_tag) > 1 and trace_tag[1]:
+            defaults["request_id"] = str(trace_tag[1])
     ingested = _trace.get_tracer().ingest(
-        payload.get("spans") or (), attributes={"worker": label}
+        payload.get("spans") or (), attributes={"worker": label}, defaults=defaults
     )
     registry = _metrics.get_registry()
     for name, delta in (payload.get("counters") or {}).items():

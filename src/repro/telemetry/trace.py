@@ -45,7 +45,7 @@ from collections import deque
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, NamedTuple, Optional
 
 from repro.errors import ReproError
 
@@ -53,12 +53,19 @@ __all__ = [
     "DEFAULT_MAX_SPANS",
     "Span",
     "SpanContext",
+    "TraceContext",
     "Tracer",
+    "current_trace",
     "disable",
     "enable",
     "enabled",
     "get_tracer",
+    "new_trace_id",
+    "record_span",
+    "reset_trace",
+    "set_trace",
     "span",
+    "trace_scope",
 ]
 
 #: Environment variable that switches tracing on at import time.
@@ -167,6 +174,94 @@ class _NoopSpan:
 _NOOP_SPAN = _NoopSpan()
 
 
+class TraceContext(NamedTuple):
+    """Request identity propagated with the execution context.
+
+    ``trace_id`` names one end-to-end request journey; ``request_id`` is
+    the caller-visible id riding it (the serve layer uses the request's
+    own id).  Both are plain strings so the context pickles into tiled
+    worker task dicts unchanged.
+    """
+
+    trace_id: str
+    request_id: str = ""
+
+
+#: The ambient trace context.  ``contextvars`` gives every thread and
+#: every asyncio task its own binding, and ``asyncio.create_task`` copies
+#: the spawning task's context natively — executor submissions do *not*,
+#: which is exactly what staticcheck RPR305 polices in the serve tree.
+_TRACE: ContextVar[Optional[TraceContext]] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+#: Clock-free trace-id sequence (ids must not read wall time: RPR004).
+_TRACE_IDS = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A process-unique trace id (``t<pid-hex>-<seq>``), no clock reads."""
+    return f"t{os.getpid():x}-{next(_TRACE_IDS):06d}"
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The ambient :class:`TraceContext`, if one is bound."""
+    return _TRACE.get()
+
+
+def set_trace(trace_id: str, request_id: str = ""):
+    """Bind a trace context; returns the token for :func:`reset_trace`."""
+    return _TRACE.set(TraceContext(str(trace_id), str(request_id)))
+
+
+def reset_trace(token) -> None:
+    """Restore the binding that :func:`set_trace` replaced."""
+    _TRACE.reset(token)
+
+
+class trace_scope:
+    """Context manager binding a trace context for the enclosed block.
+
+    Accepts either ``(trace_id, request_id)`` strings or an existing
+    :class:`TraceContext` as the first argument.  A falsy ``trace_id``
+    makes the scope inert, so call sites can pass through unset context
+    (e.g. a tiled worker task that carries no trace) without branching.
+    """
+
+    __slots__ = ("_ctx", "_token")
+
+    def __init__(self, trace_id, request_id: str = "") -> None:
+        if isinstance(trace_id, TraceContext):
+            self._ctx: Optional[TraceContext] = trace_id
+        elif trace_id:
+            self._ctx = TraceContext(str(trace_id), str(request_id))
+        else:
+            self._ctx = None
+        self._token = None
+
+    def __enter__(self) -> Optional[TraceContext]:
+        if self._ctx is not None:
+            self._token = _TRACE.set(self._ctx)
+        return self._ctx
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._token is not None:
+            _TRACE.reset(self._token)
+            self._token = None
+        return False
+
+
+def _stamp_trace(attributes: Dict[str, Any]) -> None:
+    """Copy the ambient trace identity into span attributes (setdefault)."""
+    ctx = _TRACE.get()
+    if ctx is None:
+        return
+    if "trace_id" not in attributes:
+        attributes["trace_id"] = ctx.trace_id
+    if ctx.request_id and "request_id" not in attributes:
+        attributes["request_id"] = ctx.request_id
+
+
 def _write_text(path: Path, text: str) -> None:
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -212,7 +307,14 @@ class Tracer:
     # -- recording --------------------------------------------------------
 
     def begin(self, name: str, attributes: Dict[str, Any]):
-        """Open a span as a child of the context's active span."""
+        """Open a span as a child of the context's active span.
+
+        Spans opened while a :class:`TraceContext` is bound inherit its
+        ``trace_id``/``request_id`` as attributes, so every span a request
+        touches — across task hops and (explicitly re-entered) executor
+        lanes — can be grouped back into one per-request trace.
+        """
+        _stamp_trace(attributes)
         parent = self._current.get()
         sp = Span(
             name=name,
@@ -236,7 +338,44 @@ class Tracer:
         """The context's innermost open span, if any."""
         return self._current.get()
 
-    def ingest(self, span_dicts, attributes: Optional[Dict[str, Any]] = None) -> int:
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """Buffer an externally timed span (no active-span stack changes).
+
+        Used for *synthesised* spans whose start/end were measured by the
+        caller's own clock — the serve layer's per-request stage spans
+        (``admit``/``queue_wait``/…) are assembled this way because their
+        boundaries live in different coroutine steps.  The span is parented
+        under the context's active span and stamped with the ambient
+        :class:`TraceContext` like any other.
+        """
+        attrs = dict(attributes or {})
+        _stamp_trace(attrs)
+        parent = self._current.get()
+        sp = Span(
+            name=name,
+            start=float(start),
+            end=float(end),
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            thread_id=threading.get_ident(),
+            attributes=attrs,
+        )
+        with self._lock:
+            self._record_locked(sp)
+        return sp
+
+    def ingest(
+        self,
+        span_dicts,
+        attributes: Optional[Dict[str, Any]] = None,
+        defaults: Optional[Dict[str, Any]] = None,
+    ) -> int:
         """Re-record foreign spans (``Span.to_dict`` shapes) into this buffer.
 
         Used by the cross-process fold (:mod:`repro.telemetry.fold`): every
@@ -245,8 +384,12 @@ class Tracer:
         spans whose parent is outside the batch (or absent) are attached
         under the context's currently active span, so worker tiles nest
         beneath the pass that dispatched them.  ``attributes`` entries are
-        merged into every span (e.g. ``{"worker": "pid-123"}``).  Returns
-        the number of spans recorded.
+        merged into every span (e.g. ``{"worker": "pid-123"}``);
+        ``defaults`` entries are *setdefault*-merged, so a worker span that
+        already stamped its own ``trace_id`` keeps it while spans recorded
+        outside the worker's trace scope inherit the payload's (this is
+        how tiled fold marks land worker spans under the originating
+        request's trace).  Returns the number of spans recorded.
 
         A single worker pid restarts its span-id sequence at 1 for every
         pass, so a batch concatenated from several passes (or repeated
@@ -291,6 +434,9 @@ class Tracer:
                 attrs = dict(obj.get("attributes") or {})
                 if attributes:
                     attrs.update(attributes)
+                if defaults:
+                    for key, value in defaults.items():
+                        attrs.setdefault(key, value)
                 self._record_locked(
                     Span(
                         name=str(obj.get("name", "?")),
@@ -472,6 +618,15 @@ class SpanContext:
                 return fn(*args, **kwargs)
 
         return wrapper
+
+
+def record_span(
+    name: str, start: float, end: float, **attributes: Any
+) -> Optional[Span]:
+    """Buffer one externally timed span; ``None`` (near-free) while off."""
+    if not _state.enabled:
+        return None
+    return _state.tracer.record_span(name, start, end, attributes)
 
 
 def span(name: str, **attributes: Any) -> SpanContext:

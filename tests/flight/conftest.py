@@ -1,0 +1,27 @@
+"""Flight-test fixtures: an isolated ring with a tmp dump directory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import flight
+from repro.flight.recorder import FlightRecorder
+
+
+@pytest.fixture
+def flight_ring(tmp_path):
+    """Flight enabled on a fresh recorder dumping into ``tmp_path``."""
+    recorder = FlightRecorder(capacity=16, dump_dir=tmp_path, max_dumps=4)
+    flight._reset_for_tests(recorder)
+    flight.enable(recorder)
+    yield recorder
+    flight._reset_for_tests()
+
+
+@pytest.fixture
+def flight_off():
+    """Flight explicitly disabled with no recorder (hot-path tests)."""
+    flight._reset_for_tests()
+    flight.disable()
+    yield flight
+    flight._reset_for_tests()

@@ -1,0 +1,170 @@
+"""Waterfall rendering: dump parsing, span reconstruction, error paths."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.flight.waterfall import (
+    find_trace,
+    load_flight_dump,
+    render_request_report,
+    render_waterfall,
+    spans_to_trace,
+)
+
+
+def _trace_dict(rid, stages=None, **extra):
+    base = {
+        "kind": "trace",
+        "request_id": rid,
+        "tenant": "acme",
+        "trace_id": f"t-{rid}",
+        "status": "ok",
+        "stages": stages
+        if stages is not None
+        else [
+            {"name": "admit", "start": 0.0, "end": 0.001},
+            {"name": "queue_wait", "start": 0.001, "end": 0.005},
+            {"name": "coalesce", "start": 0.005, "end": 0.006},
+            {
+                "name": "execute",
+                "start": 0.006,
+                "end": 0.016,
+                "attributes": {"batch_id": "b00001", "links": [rid, "other"]},
+            },
+            {"name": "split", "start": 0.016, "end": 0.017},
+        ],
+    }
+    base.update(extra)
+    return base
+
+
+def _write_dump(path, traces):
+    with path.open("w") as fh:
+        fh.write(json.dumps({"kind": "meta", "reason": "test"}) + "\n")
+        for t in traces:
+            fh.write(json.dumps(t) + "\n")
+
+
+class TestLoadDump:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="not found"):
+            load_flight_dump(tmp_path / "absent.jsonl")
+
+    def test_meta_skipped_traces_kept(self, tmp_path):
+        p = tmp_path / "d.jsonl"
+        _write_dump(p, [_trace_dict("r1"), _trace_dict("r2")])
+        traces, problems = load_flight_dump(p)
+        assert [t["request_id"] for t in traces] == ["r1", "r2"]
+        assert problems == []
+
+    def test_truncated_lines_reported_not_fatal(self, tmp_path):
+        p = tmp_path / "d.jsonl"
+        p.write_text(
+            json.dumps(_trace_dict("r1"))
+            + "\n"
+            + '{"kind": "trace", "request_id": "r2", "sta'  # mid-write cut
+        )
+        traces, problems = load_flight_dump(p)
+        assert [t["request_id"] for t in traces] == ["r1"]
+        assert len(problems) == 1 and "line 2" in problems[0]
+
+    def test_find_trace_newest_wins(self):
+        traces = [_trace_dict("dup", status="error"), _trace_dict("dup")]
+        assert find_trace(traces, "dup")["status"] == "ok"
+        assert find_trace(traces, "nope") is None
+
+
+class TestSpansToTrace:
+    def _span(self, name, rid, start, end, **attrs):
+        attrs.setdefault("trace_id", "t-abc")
+        attrs.setdefault("tenant", "acme")
+        return {
+            "name": name,
+            "start": start,
+            "end": end,
+            "attributes": dict(attrs, request_id=rid),
+        }
+
+    def test_rebuilds_matching_request_only(self):
+        spans = [
+            self._span("serve.admit", "r1", 0.0, 0.001),
+            self._span("serve.execute", "r1", 0.002, 0.010, links=["r1"]),
+            self._span("serve.admit", "r2", 0.0, 0.001),
+            {"name": "gemm", "start": 0.0, "end": 1.0},  # non-serve span
+        ]
+        trace = spans_to_trace(spans, "r1")
+        assert [s["name"] for s in trace["stages"]] == ["admit", "execute"]
+        assert trace["tenant"] == "acme"
+        assert trace["trace_id"] == "t-abc"
+        assert trace["stages"][1]["attributes"]["links"] == ["r1"]
+
+    def test_unknown_request_returns_none(self):
+        assert spans_to_trace([self._span("serve.admit", "r1", 0, 1)], "r9") is None
+
+
+class TestRenderWaterfall:
+    def test_bars_totals_and_batch_membership(self):
+        lines = render_waterfall(_trace_dict("r1"))
+        text = "\n".join(lines)
+        assert "request r1" in lines[0]
+        assert "execute" in text and "█" in text
+        assert "total 17.00ms" in text
+        assert "coalesced into batch b00001 with 2 member(s): r1, other" in text
+
+    def test_ok_trace_missing_stages_warns_truncated(self):
+        trace = _trace_dict(
+            "r1", stages=[{"name": "admit", "start": 0.0, "end": 0.001}]
+        )
+        text = "\n".join(render_waterfall(trace))
+        assert "truncated" in text
+        assert "queue_wait" in text and "execute" in text
+
+    def test_rejected_trace_shows_reason_without_warning(self):
+        trace = _trace_dict(
+            "r1",
+            stages=[{"name": "admit", "start": 0.0, "end": 0.001}],
+            status="rejected",
+            reason="quota",
+        )
+        text = "\n".join(render_waterfall(trace))
+        assert "reason: quota" in text
+        assert "truncated" not in text
+
+    def test_slo_breach_flagged_in_header(self):
+        lines = render_waterfall(_trace_dict("r1", slo_breached=True))
+        assert "[SLO BREACH]" in lines[0]
+
+
+class TestRenderRequestReport:
+    def test_renders_from_flight_dump(self, tmp_path):
+        p = tmp_path / "d.jsonl"
+        _write_dump(p, [_trace_dict("r1")])
+        assert "request r1" in render_request_report(p, "r1")[0]
+
+    def test_renders_from_span_jsonl(self, tmp_path):
+        p = tmp_path / "spans.jsonl"
+        span = {
+            "name": "serve.admit",
+            "span_id": 1,
+            "start": 0.0,
+            "end": 0.001,
+            "attributes": {"request_id": "r7", "trace_id": "t-x"},
+        }
+        p.write_text(json.dumps(span) + "\n")
+        assert "request r7" in render_request_report(p, "r7")[0]
+
+    def test_absent_id_lists_known_ids(self, tmp_path):
+        p = tmp_path / "d.jsonl"
+        _write_dump(p, [_trace_dict("r1"), _trace_dict("r2")])
+        with pytest.raises(ReproError, match=r"known request ids: r1, r2"):
+            render_request_report(p, "missing")
+
+    def test_empty_file_explains_itself(self, tmp_path):
+        p = tmp_path / "d.jsonl"
+        p.write_text("")
+        with pytest.raises(ReproError, match="no request-stamped records"):
+            render_request_report(p, "r1")

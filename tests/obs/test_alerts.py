@@ -1,0 +1,210 @@
+"""Burn-rate alerting: window maths, the state machine, engine plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.alerts import (
+    STATE_CODES,
+    STATE_FIRING,
+    STATE_OK,
+    STATE_PENDING,
+    AlertEngine,
+    AlertPolicy,
+    BurnRateAlert,
+    BurnWindow,
+)
+
+
+class ScriptedClock:
+    """A hand-advanced monotonic clock (determinism fixture)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+def _alert(clock, **policy_kw):
+    return BurnRateAlert(AlertPolicy(**policy_kw), clock=clock)
+
+
+def _minutes(alert, clock, minutes, total_per_minute, breached_per_minute,
+             start_total=0, start_breached=0):
+    """Feed ``minutes`` one-minute cumulative samples; return final counters."""
+    total, breached = start_total, start_breached
+    for _ in range(minutes):
+        clock.advance(60.0)
+        total += total_per_minute
+        breached += breached_per_minute
+        alert.observe(total, breached)
+    return total, breached
+
+
+class TestValidation:
+    def test_window_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BurnWindow("w", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            BurnWindow("w", 60.0, 0.0)
+
+    def test_policy_objective_bounds(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                AlertPolicy(objective=bad)
+
+    def test_fast_must_be_shorter_than_slow(self):
+        with pytest.raises(ValueError, match="fast window"):
+            AlertPolicy(
+                fast=BurnWindow("fast", 3600.0, 14.4),
+                slow=BurnWindow("slow", 300.0, 6.0),
+            )
+
+    def test_budget_is_one_minus_objective(self):
+        assert AlertPolicy(objective=0.99).budget == pytest.approx(0.01)
+
+
+class TestBurnRateMaths:
+    def test_no_traffic_is_zero_burn(self):
+        clock = ScriptedClock()
+        alert = _alert(clock)
+        assert alert.burn_rate(alert.policy.fast) == 0.0
+        alert.observe(0, 0)
+        assert alert.burn_rate(alert.policy.fast) == 0.0
+
+    def test_burn_is_breach_fraction_over_budget(self):
+        clock = ScriptedClock()
+        alert = _alert(clock, objective=0.99)
+        alert.observe(0, 0)
+        clock.advance(60.0)
+        alert.observe(100, 2)  # 2% breached, 1% budget → burn 2.0
+        assert alert.burn_rate(alert.policy.fast) == pytest.approx(2.0)
+
+    def test_window_baseline_excludes_old_breaches(self):
+        clock = ScriptedClock()
+        alert = _alert(clock)
+        # Breaches long in the past, then a clean fast-window of traffic.
+        _minutes(alert, clock, 2, 10, 5)
+        _minutes(alert, clock, 10, 10, 0, start_total=20, start_breached=10)
+        assert alert.burn_rate(alert.policy.fast) == 0.0
+        assert alert.burn_rate(alert.policy.slow) > 0.0
+
+    def test_backwards_counters_reset_history(self):
+        clock = ScriptedClock()
+        alert = _alert(clock)
+        _minutes(alert, clock, 3, 10, 5)
+        clock.advance(60.0)
+        alert.observe(0, 0)  # collector swap: totals restart
+        assert alert.burn_rate(alert.policy.fast) == 0.0
+        assert alert.state == STATE_OK
+
+    def test_samples_pruned_to_slow_horizon(self):
+        clock = ScriptedClock()
+        alert = _alert(clock)
+        _minutes(alert, clock, 200, 10, 0)  # > 3h of minute samples
+        assert len(alert._samples) <= 62  # one hour of minutes + baseline
+
+
+class TestStateMachine:
+    def test_pending_firing_ok_sequence(self):
+        clock = ScriptedClock()
+        alert = _alert(clock)
+        states = []
+        total = breached = 0
+        # An hour of clean traffic gives the slow window a real baseline —
+        # without it the first burst trips fast and slow simultaneously.
+        for minute in range(76):
+            clock.advance(60.0)
+            total += 10
+            breached += 5 if 60 <= minute < 68 else 0
+            states.append(alert.observe(total, breached))
+        transitions = [s for s, p in zip(states, [None] + states[:-1]) if s != p]
+        assert transitions == [STATE_OK, STATE_PENDING, STATE_FIRING, STATE_OK]
+        assert alert.transitions == 3
+
+    def test_short_spike_never_fires(self):
+        clock = ScriptedClock()
+        alert = _alert(clock)
+        total = breached = 0
+        for minute in range(66):
+            clock.advance(60.0)
+            total += 10
+            breached += 5 if minute == 60 else 0
+            alert.observe(total, breached)
+            assert alert.state != STATE_FIRING
+
+    def test_listeners_fire_on_transition_with_old_and_new(self):
+        clock = ScriptedClock()
+        alert = _alert(clock)
+        seen = []
+        alert.add_listener(lambda a, old, new, now: seen.append((old, new)))
+        _minutes(alert, clock, 6, 10, 10)  # 100% breach: straight to firing
+        assert (STATE_OK, STATE_FIRING) in seen or (
+            STATE_PENDING,
+            STATE_FIRING,
+        ) in seen
+
+    def test_listener_exception_does_not_break_alerting(self):
+        clock = ScriptedClock()
+        alert = _alert(clock)
+
+        def bad_listener(a, old, new, now):
+            raise RuntimeError("observer bug")
+
+        alert.add_listener(bad_listener)
+        _minutes(alert, clock, 6, 10, 10)
+        assert alert.state == STATE_FIRING  # still advanced
+
+    def test_snapshot_shape(self):
+        clock = ScriptedClock()
+        alert = _alert(clock)
+        _minutes(alert, clock, 2, 10, 1)
+        snap = alert.snapshot()
+        assert snap["name"] == "slo-burn"
+        assert snap["state"] in STATE_CODES
+        assert snap["state_code"] == STATE_CODES[snap["state"]]
+        assert set(snap["windows"]) == {"fast", "slow"}
+        for info in snap["windows"].values():
+            assert {"seconds", "threshold", "burn_rate"} <= set(info)
+        assert snap["total"] == 20
+        assert snap["breached"] == 2
+
+
+class TestEngine:
+    def test_tick_feeds_every_policy_one_coherent_sample(self):
+        clock = ScriptedClock()
+        counters = {"total": 0, "breached": 0}
+        pulls = []
+
+        def supplier():
+            pulls.append(clock.now)
+            return counters["total"], counters["breached"]
+
+        engine = AlertEngine(
+            supplier,
+            policies=[AlertPolicy("page"), AlertPolicy("ticket", objective=0.95)],
+            clock=clock,
+        )
+        clock.advance(60.0)
+        counters["total"] = 10
+        states = engine.tick()
+        assert set(states) == {"page", "ticket"}
+        assert len(pulls) == 1  # one supplier read for both alerts
+
+    def test_engine_snapshot_lists_all_alerts(self):
+        clock = ScriptedClock()
+        engine = AlertEngine(lambda: (0, 0), clock=clock)
+        snap = engine.snapshot()
+        assert [a["name"] for a in snap] == ["slo-burn"]
+
+    def test_obs_snapshot_carries_alert_states(self, obs_on):
+        obs_on.configure_alerts()
+        obs_on.record_request("acme", 0.001, "ok")
+        snap = obs_on.snapshot()
+        assert snap["alerts"][0]["name"] == "slo-burn"
+        assert snap["alerts"][0]["state"] == STATE_OK

@@ -7,7 +7,14 @@ import random
 
 import pytest
 
-from repro.obs.hist import BOUNDS, LAYOUT, N_BUCKETS, LatencyHistogram, merge_histograms
+from repro.obs.hist import (
+    BOUNDS,
+    LAYOUT,
+    N_BUCKETS,
+    Exemplar,
+    LatencyHistogram,
+    merge_histograms,
+)
 
 
 class TestLayout:
@@ -130,3 +137,108 @@ class TestSerialisation:
         assert pairs[-1][1] == h.count
         counts = [c for _, c in pairs]
         assert counts == sorted(counts)
+
+
+class TestExemplars:
+    def _shards(self, seed: int, shards: int = 5, per_shard: int = 30):
+        """Exemplar-carrying shards (mirrors TestMergeOrderInvariance)."""
+        rng = random.Random(seed)
+        out = []
+        for s in range(shards):
+            h = LatencyHistogram()
+            for k in range(per_shard):
+                h.observe(
+                    10.0 ** rng.uniform(-7.0, 1.5),
+                    trace_id=f"t{s}-{k:03d}",
+                    tenant=f"tenant-{s}",
+                    label="heat-2d@serial",
+                )
+            out.append(h)
+        return out
+
+    def test_no_trace_id_records_no_exemplar(self):
+        h = LatencyHistogram()
+        h.observe(1e-3)
+        assert h.exemplars == {}
+        assert h.max_exemplar() is None
+
+    def test_bucket_keeps_the_max_observation(self):
+        h = LatencyHistogram()
+        # Same bucket (log8 layout: both land under the 2ms-ish bound).
+        h.observe(1.40e-3, trace_id="small")
+        h.observe(1.45e-3, trace_id="big", tenant="acme", label="heat")
+        ex = h.max_exemplar()
+        assert ex.trace_id == "big"
+        assert ex.value == pytest.approx(1.45e-3)
+        assert ex.tenant == "acme" and ex.label == "heat"
+
+    def test_equal_values_tie_break_lexicographic(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.observe(1e-3, trace_id="zz")
+        b.observe(1e-3, trace_id="aa")
+        assert merge_histograms([a, b]).max_exemplar().trace_id == "aa"
+        assert merge_histograms([b, a]).max_exemplar().trace_id == "aa"
+
+    def test_empty_histogram_quantile_exemplar_is_none(self):
+        h = LatencyHistogram()
+        assert h.quantile(0.99) == 0.0
+        assert h.quantile_exemplar(0.99) is None
+
+    def test_overflow_bucket_reports_inf_with_exemplar(self):
+        h = LatencyHistogram()
+        h.observe(120.0, trace_id="whale", tenant="acme")
+        assert h.quantile(0.99) == math.inf
+        ex = h.quantile_exemplar(0.99)
+        assert ex is not None and ex.trace_id == "whale"
+        assert h.bucket_exemplar(N_BUCKETS - 1) is ex
+
+    def test_quantile_exemplar_matches_quantile_bucket(self):
+        h = LatencyHistogram()
+        h.observe(1e-5, trace_id="fast")
+        h.observe(2e-3, trace_id="mid")
+        h.observe(0.5, trace_id="slow")
+        assert h.quantile_exemplar(0.99).trace_id == "slow"
+        assert h.quantile_exemplar(0.01).trace_id == "fast"
+
+    @pytest.mark.parametrize("seed", [0, 0xBE7C])
+    def test_merge_order_invariant_exemplars(self, seed):
+        shards = self._shards(seed)
+        reference = merge_histograms(shards)
+        rng = random.Random(seed + 1)
+        for _ in range(5):
+            order = list(shards)
+            rng.shuffle(order)
+            merged = merge_histograms(order)
+            assert merged.exemplars == reference.exemplars
+            assert merged.counts == reference.counts
+
+    def test_counts_identical_with_and_without_exemplars(self):
+        plain, tagged = LatencyHistogram(), LatencyHistogram()
+        rng = random.Random(11)
+        for k in range(100):
+            v = 10.0 ** rng.uniform(-6.0, 1.0)
+            plain.observe(v)
+            tagged.observe(v, trace_id=f"t{k}")
+        assert tagged.counts == plain.counts
+        assert tagged.p99 == plain.p99
+
+    def test_roundtrip_preserves_exemplars(self):
+        (h,) = self._shards(3, shards=1)
+        back = LatencyHistogram.from_dict(h.to_dict())
+        assert back.exemplars == h.exemplars
+
+    def test_out_of_range_exemplar_refused(self):
+        payload = {
+            "layout": LAYOUT,
+            "count": 0,
+            "sum": 0.0,
+            "buckets": {},
+            "exemplars": {"99": [1.0, "t", "", ""]},
+        }
+        with pytest.raises(ValueError, match="out of range"):
+            LatencyHistogram.from_dict(payload)
+
+    def test_exemplar_equality_and_list_roundtrip(self):
+        ex = Exemplar(0.25, "t-1", "acme", "heat-2d@serial")
+        assert Exemplar.from_list(ex.to_list()) == ex
+        assert ex != Exemplar(0.25, "t-2", "acme", "heat-2d@serial")

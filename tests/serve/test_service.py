@@ -395,7 +395,7 @@ class TestExecuteFailure:
             async with StencilService(
                 ServeConfig(lanes=1, coalesce_window_ms=20.0)
             ) as service:
-                def boom(key, kernel, fusion, arrays):
+                def boom(key, kernel, fusion, arrays, batch_meta=None):
                     raise TessellationError("injected plan failure")
 
                 service._execute = boom

@@ -237,6 +237,104 @@ class TestExecutorUnderLock:
         )
 
 
+class TestTraceContextHandoff:
+    SERVE_PATH = "src/repro/serve/snippet.py"
+
+    def test_bare_executor_handoff_in_serve_tree_flagged(self):
+        findings = findings_for(
+            """
+            async def _flush(self, key):
+                future = loop.run_in_executor(lane.pool, self._execute, key)
+                return await future
+            """,
+            "RPR305",
+            path=self.SERVE_PATH,
+        )
+        assert len(findings) == 1
+        assert "trace" in findings[0].message
+        assert "trace-context-propagated" in findings[0].fix_hint
+
+    def test_create_task_without_marker_flagged(self):
+        findings = findings_for(
+            """
+            def _spawn(self, coro):
+                task = asyncio.create_task(coro)
+                task.add_done_callback(self._reap)
+                return task
+            """,
+            "RPR305",
+            path=self.SERVE_PATH,
+        )
+        assert len(findings) == 1
+
+    def test_pool_submit_flagged(self):
+        findings = findings_for(
+            """
+            def kick(self):
+                return self._lane_pool.submit(self._execute)
+            """,
+            "RPR305",
+            path=self.SERVE_PATH,
+        )
+        assert len(findings) == 1
+
+    def test_marker_annotation_passes(self):
+        assert (
+            findings_for(
+                """
+                def _spawn(self, coro):
+                    # staticcheck: trace-context-propagated — create_task copies
+                    # the caller's contextvars natively
+                    task = asyncio.create_task(coro)
+                    return task
+                """,
+                "RPR305",
+                path=self.SERVE_PATH,
+            )
+            == []
+        )
+
+    def test_copy_context_in_function_passes(self):
+        assert (
+            findings_for(
+                """
+                def kick(self):
+                    ctx = contextvars.copy_context()
+                    return self._pool.submit(ctx.run, self._execute)
+                """,
+                "RPR305",
+                path=self.SERVE_PATH,
+            )
+            == []
+        )
+
+    def test_non_serve_tree_is_out_of_scope(self):
+        assert (
+            findings_for(
+                """
+                def kick(self):
+                    return self._pool.submit(self._work)
+                """,
+                "RPR305",
+                path="src/repro/runtime/snippet.py",
+            )
+            == []
+        )
+
+    def test_non_executor_submit_is_clean(self):
+        assert (
+            findings_for(
+                """
+                def post(self):
+                    return self._form.submit(self._payload)
+                """,
+                "RPR305",
+                path=self.SERVE_PATH,
+            )
+            == []
+        )
+
+
 class TestSuppression:
     def test_disable_comment_suppresses(self):
         assert (
@@ -251,30 +349,29 @@ class TestSuppression:
         )
 
 
-def test_serve_and_obs_trees_are_clean_without_suppressions():
-    """The shipped serve/obs layers pass RPR301–304 with zero disables."""
+def test_serve_obs_flight_trees_are_clean_without_suppressions():
+    """The shipped serve/obs/flight layers pass RPR301–305 with zero disables."""
     import pathlib
 
     from repro.staticcheck import lint_paths
 
+    import repro.flight
     import repro.obs
     import repro.serve
 
     paths = [
         str(pathlib.Path(repro.serve.__file__).parent),
         str(pathlib.Path(repro.obs.__file__).parent),
+        str(pathlib.Path(repro.flight.__file__).parent),
     ]
+    rules = ("RPR301", "RPR302", "RPR303", "RPR304", "RPR305")
     result = lint_paths(paths)
-    async_hits = [
-        f
-        for f in result.findings
-        if f.rule_id in ("RPR301", "RPR302", "RPR303", "RPR304")
-    ]
+    async_hits = [f for f in result.findings if f.rule_id in rules]
     assert async_hits == [], [f.format() for f in async_hits]
     for path in paths:
         for py in pathlib.Path(path).glob("*.py"):
             text = py.read_text()
-            for rule in ("RPR301", "RPR302", "RPR303", "RPR304"):
+            for rule in rules:
                 assert f"disable={rule}" not in text, (
                     f"{py} suppresses {rule} instead of fixing it"
                 )

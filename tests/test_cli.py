@@ -193,3 +193,56 @@ class TestCodegenSubcommand:
         ])
         assert any("result: OK" in ln for ln in lines)
         assert any("compiled" in ln for ln in lines)
+
+
+class TestFlightSubcommand:
+    def test_self_test_runs_the_full_drill(self, tmp_path):
+        lines = run(["flight", "--self-test", "--dir", str(tmp_path)])
+        text = "\n".join(lines)
+        assert "ok -> pending -> firing -> ok" in text
+        assert "FLIGHT self-test: OK" in lines[-1]
+        assert len(list(tmp_path.glob("flight-*.jsonl"))) >= 3
+
+    def test_loadgen_flight_dump_then_replay(self, tmp_path):
+        from repro import flight
+
+        dump = tmp_path / "ring.jsonl"
+        flight._reset_for_tests()
+        try:
+            lines = run([
+                "loadgen", "--requests", "8", "--waves", "1",
+                "--no-identity", "--flight-dump", str(dump),
+            ])
+        finally:
+            flight._reset_for_tests()
+        assert any("complete traces" in ln for ln in lines)
+        assert dump.exists()
+
+        listing = run(["flight", "--dump", str(dump), "--list"])
+        assert "8 trace(s)" in listing[0]
+        rid = listing[1].split()[0]
+        waterfall = run(["flight", "--dump", str(dump), "--request-id", rid])
+        assert f"request {rid}" in waterfall[0]
+        assert any("execute" in ln for ln in waterfall)
+        # Satellite 2: the same dump replays through telemetry-report.
+        report = run(["telemetry-report", str(dump), "--request-id", rid])
+        assert f"request {rid}" in report[0]
+
+    def test_absent_request_id_names_known_ids(self, tmp_path):
+        from repro import flight
+
+        dump = tmp_path / "ring.jsonl"
+        flight._reset_for_tests()
+        try:
+            run([
+                "loadgen", "--requests", "4", "--waves", "1",
+                "--no-identity", "--flight-dump", str(dump),
+            ])
+        finally:
+            flight._reset_for_tests()
+        with pytest.raises(ReproError, match="known request ids"):
+            run(["flight", "--dump", str(dump), "--request-id", "nope"])
+
+    def test_flight_without_dump_or_selftest_errors(self):
+        with pytest.raises(ReproError, match="--dump"):
+            run(["flight"])
